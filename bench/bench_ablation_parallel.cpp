@@ -1,0 +1,82 @@
+// Ablation: thread-pool parallelization of the detector sweeps and the
+// EigenTrust mat-vec (the library's two CPU-heavy inner loops).
+#include <benchmark/benchmark.h>
+
+#include "core/basic_detector.h"
+#include "core/optimized_detector.h"
+#include "rating/matrix.h"
+#include "rating/store.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace p2prep;
+
+core::DetectorConfig config() {
+  core::DetectorConfig c;
+  c.positive_fraction_min = 0.8;
+  c.complement_fraction_max = 0.2;
+  c.frequency_min = 20;
+  c.high_rep_threshold = 0.05;
+  return c;
+}
+
+rating::RatingMatrix make_world(std::size_t n) {
+  util::Rng rng(n + 1);
+  rating::RatingStore store(n);
+  for (std::size_t p = 0; p < n / 20; ++p) {
+    const auto a = static_cast<rating::NodeId>(2 * p);
+    const auto b = static_cast<rating::NodeId>(2 * p + 1);
+    for (int k = 0; k < 40; ++k) {
+      store.ingest({a, b, rating::Score::kPositive, 0});
+      store.ingest({b, a, rating::Score::kPositive, 0});
+    }
+  }
+  for (rating::NodeId rater = 0; rater < n; ++rater) {
+    for (int k = 0; k < 6; ++k) {
+      auto ratee = static_cast<rating::NodeId>(rng.next_below(n));
+      if (ratee == rater) ratee = static_cast<rating::NodeId>((ratee + 1) % n);
+      store.ingest({rater, ratee,
+                    rng.chance(0.6) ? rating::Score::kPositive
+                                    : rating::Score::kNegative,
+                    0});
+    }
+  }
+  std::vector<double> reps(n, 0.2);
+  return rating::RatingMatrix::build(store, reps, 0.05);
+}
+
+void BM_BasicSerial(benchmark::State& state) {
+  const auto matrix = make_world(static_cast<std::size_t>(state.range(0)));
+  core::BasicCollusionDetector detector(config());
+  for (auto _ : state) benchmark::DoNotOptimize(detector.detect(matrix));
+}
+BENCHMARK(BM_BasicSerial)->Arg(200)->Arg(600);
+
+void BM_BasicParallel(benchmark::State& state) {
+  const auto matrix = make_world(static_cast<std::size_t>(state.range(0)));
+  util::ThreadPool pool;
+  core::BasicCollusionDetector detector(config(), &pool);
+  for (auto _ : state) benchmark::DoNotOptimize(detector.detect(matrix));
+}
+BENCHMARK(BM_BasicParallel)->Arg(200)->Arg(600);
+
+void BM_OptimizedSerial(benchmark::State& state) {
+  const auto matrix = make_world(static_cast<std::size_t>(state.range(0)));
+  core::OptimizedCollusionDetector detector(config());
+  for (auto _ : state) benchmark::DoNotOptimize(detector.detect(matrix));
+}
+BENCHMARK(BM_OptimizedSerial)->Arg(600)->Arg(2000);
+
+void BM_OptimizedParallel(benchmark::State& state) {
+  const auto matrix = make_world(static_cast<std::size_t>(state.range(0)));
+  util::ThreadPool pool;
+  core::OptimizedCollusionDetector detector(config(), &pool);
+  for (auto _ : state) benchmark::DoNotOptimize(detector.detect(matrix));
+}
+BENCHMARK(BM_OptimizedParallel)->Arg(600)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Ablation: whitewashing (cheap identities). Detected colluders re-enter
+// under fresh ids and resume colluding. Windowed detection re-catches
+// every generation within one period, so the attacker's traffic share
+// stays near the detection-on baseline — whitewashing buys identity
+// amnesty, not throughput — while the identity pool burns down.
+#include <cstdio>
+
+#include "core/optimized_detector.h"
+#include "net/simulator.h"
+#include "reputation/weighted.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace p2prep;
+
+struct Row {
+  double pct_to_colluders = 0.0;
+  std::size_t whitewashes = 0;
+  std::size_t identities_flagged = 0;
+};
+
+Row run(bool whitewash, bool detect) {
+  net::SimConfig config;
+  config.num_nodes = 200;
+  config.sim_cycles = 20;
+  config.whitewash_on_detection = whitewash;
+  config.seed = 1999;
+
+  core::DetectorConfig dc;
+  dc.positive_fraction_min = 0.9;
+  dc.complement_fraction_max = 0.7;
+  dc.frequency_min = 20;
+  dc.high_rep_threshold = 0.05;
+
+  reputation::WeightedFeedbackEngine engine;
+  core::OptimizedCollusionDetector detector(dc);
+  net::Simulator sim(config, net::paper_roles(8, 3), engine,
+                     detect ? &detector : nullptr);
+  sim.run();
+  return {sim.metrics().percent_to_colluders(), sim.whitewash_count(),
+          sim.manager().detected().size()};
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"scenario", "% requests to colluders",
+                     "identity swaps", "identities flagged"});
+  const Row baseline = run(false, false);
+  const Row detected = run(false, true);
+  const Row washed = run(true, true);
+  table.add_row({"no detection", util::Table::num(baseline.pct_to_colluders, 2),
+                 "0", "0"});
+  table.add_row({"detection", util::Table::num(detected.pct_to_colluders, 2),
+                 "0",
+                 util::Table::num(static_cast<std::uint64_t>(
+                     detected.identities_flagged))});
+  table.add_row({"detection + whitewashing",
+                 util::Table::num(washed.pct_to_colluders, 2),
+                 util::Table::num(static_cast<std::uint64_t>(
+                     washed.whitewashes)),
+                 util::Table::num(static_cast<std::uint64_t>(
+                     washed.identities_flagged))});
+  std::printf("=== Ablation: whitewashing after detection (200 nodes, 8 "
+              "colluders, 20 cycles) ===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Propositions 4.1 / 4.2: detector complexity scaling. Google-benchmark
+// timings plus the detectors' own work-unit counters over growing n with
+// all rows high-reputed (the worst case the propositions bound):
+// Basic = O(m n^2), Optimized = O(m n).
+#include <benchmark/benchmark.h>
+
+#include "core/basic_detector.h"
+#include "core/optimized_detector.h"
+#include "rating/matrix.h"
+#include "rating/store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p2prep;
+
+core::DetectorConfig config() {
+  core::DetectorConfig c;
+  c.positive_fraction_min = 0.8;
+  c.complement_fraction_max = 0.2;
+  c.frequency_min = 20;
+  c.high_rep_threshold = 0.05;
+  return c;
+}
+
+rating::RatingMatrix make_world(std::size_t n) {
+  util::Rng rng(n);
+  rating::RatingStore store(n);
+  // 5% of nodes are colluders in consecutive pairs.
+  const std::size_t pairs = std::max<std::size_t>(1, n / 40);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto a = static_cast<rating::NodeId>(2 * p);
+    const auto b = static_cast<rating::NodeId>(2 * p + 1);
+    for (int k = 0; k < 40; ++k) {
+      store.ingest({a, b, rating::Score::kPositive, 0});
+      store.ingest({b, a, rating::Score::kPositive, 0});
+    }
+  }
+  // Organic background load.
+  for (rating::NodeId rater = 0; rater < n; ++rater) {
+    for (int k = 0; k < 6; ++k) {
+      auto ratee = static_cast<rating::NodeId>(rng.next_below(n));
+      if (ratee == rater) ratee = static_cast<rating::NodeId>((ratee + 1) % n);
+      store.ingest({rater, ratee,
+                    rng.chance(ratee < 2 * pairs ? 0.1 : 0.85)
+                        ? rating::Score::kPositive
+                        : rating::Score::kNegative,
+                    0});
+    }
+  }
+  std::vector<double> reps(n, 0.2);  // everyone high-reputed: m = n
+  return rating::RatingMatrix::build(store, reps, 0.05);
+}
+
+void BM_BasicDetect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = make_world(n);
+  core::BasicCollusionDetector detector(config());
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const auto report = detector.detect(matrix);
+    work = report.cost.total();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["work_units"] =
+      benchmark::Counter(static_cast<double>(work));
+  state.counters["work_per_n2"] = benchmark::Counter(
+      static_cast<double>(work) / (static_cast<double>(n) * static_cast<double>(n)));
+}
+BENCHMARK(BM_BasicDetect)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_OptimizedDetect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto matrix = make_world(n);
+  core::OptimizedCollusionDetector detector(config());
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const auto report = detector.detect(matrix);
+    work = report.cost.total();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["work_units"] =
+      benchmark::Counter(static_cast<double>(work));
+  state.counters["work_per_n"] = benchmark::Counter(
+      static_cast<double>(work) / static_cast<double>(n));
+}
+BENCHMARK(BM_OptimizedDetect)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

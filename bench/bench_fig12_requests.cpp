@@ -1,0 +1,47 @@
+// Figure 12: percentage of file requests sent to colluders vs the number
+// of colluders in the system (8..58), for EigenTrust alone, EigenTrust+
+// Unoptimized and EigenTrust+Optimized (B = 0.2, setting as Figure 6).
+//
+// Expected shape: EigenTrust's share is much higher and climbs sharply
+// with the number of colluders; the two detection methods stay low and
+// nearly identical, rising only slightly.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace p2prep;
+
+  const std::size_t kColluderCounts[] = {8, 18, 28, 38, 48, 58};
+  util::Table table({"colluders", "EigenTrust %", "Unoptimized %",
+                     "Optimized %"});
+
+  for (std::size_t colluders : kColluderCounts) {
+    net::ExperimentSpec spec;
+    spec.config = bench::paper_sim_config(/*colluder_good_prob=*/0.2);
+    spec.roles = net::paper_roles(colluders, 3);
+    spec.engine = net::EngineKind::kWeighted;
+    spec.detector_config = bench::sim_detector_config();
+    spec.runs = 5;
+
+    spec.detector = net::DetectorKind::kNone;
+    const double eigentrust =
+        net::run_experiment(spec).avg_percent_to_colluders;
+    spec.detector = net::DetectorKind::kBasic;
+    const double unoptimized =
+        net::run_experiment(spec).avg_percent_to_colluders;
+    spec.detector = net::DetectorKind::kOptimized;
+    const double optimized =
+        net::run_experiment(spec).avg_percent_to_colluders;
+
+    table.add_row({util::Table::num(static_cast<std::uint64_t>(colluders)),
+                   util::Table::num(eigentrust, 2),
+                   util::Table::num(unoptimized, 2),
+                   util::Table::num(optimized, 2)});
+  }
+
+  std::printf("=== Figure 12: %% of requests sent to colluders vs #colluders "
+              "===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 13: operation cost (counted work units) for thwarting collusion
+// vs the number of colluders, for EigenTrust, Unoptimized and Optimized.
+//
+// Cost definitions (paper Sec. V-C):
+//  * EigenTrust — the recursive matrix calculation: the power-iteration
+//    engine's arithmetic across the run. Driven by n, so the curve is flat
+//    in the number of colluders.
+//  * Unoptimized / Optimized — the detectors' matrix scans + checks across
+//    the run's detection passes (the host engine's cost is excluded, as in
+//    the paper).
+//
+// Expected shape: Unoptimized far above Optimized and growing with the
+// number of colluders (more high-reputed rows to deep-scan); EigenTrust
+// flat; Optimized lowest. Absolute crossings between EigenTrust and
+// Unoptimized depend on the power iteration's convergence setting and the
+// detection cadence, which the paper does not specify (EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace p2prep;
+
+  const std::size_t kColluderCounts[] = {8, 18, 28, 38, 48, 58};
+  util::Table table({"colluders", "EigenTrust", "Unoptimized", "Optimized"});
+
+  for (std::size_t colluders : kColluderCounts) {
+    net::ExperimentSpec spec;
+    spec.config = bench::paper_sim_config(/*colluder_good_prob=*/0.2);
+    spec.roles = net::paper_roles(colluders, 3);
+    spec.detector_config = bench::sim_detector_config();
+    spec.runs = 5;
+
+    // EigenTrust series: full power-iteration reputation calculation.
+    spec.engine = net::EngineKind::kEigenTrust;
+    spec.detector = net::DetectorKind::kNone;
+    const double eigentrust = net::run_experiment(spec).avg_engine_cost;
+
+    // Detection series: hosted on the paper's weighted engine.
+    spec.engine = net::EngineKind::kWeighted;
+    spec.detector = net::DetectorKind::kBasic;
+    const double unoptimized = net::run_experiment(spec).avg_detector_cost;
+    spec.detector = net::DetectorKind::kOptimized;
+    const double optimized = net::run_experiment(spec).avg_detector_cost;
+
+    table.add_row({util::Table::num(static_cast<std::uint64_t>(colluders)),
+                   util::Table::num(eigentrust, 0),
+                   util::Table::num(unoptimized, 0),
+                   util::Table::num(optimized, 0)});
+  }
+
+  std::printf("=== Figure 13: operation cost vs #colluders ===\n%s\n",
+              table.render().c_str());
+  return 0;
+}

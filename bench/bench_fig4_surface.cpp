@@ -1,0 +1,55 @@
+// Figure 4: the reputation surface of suspected colluders — Formula (1)
+// evaluated over (N_(i,j), N_i) at the corners of the suspicious region
+// a in (T_a, 1], b in [0, T_b), i.e. the Formula (2) interval.
+//
+// The paper plots the surface of admissible R_i values; we print the
+// interval [lower, upper] over a grid, plus a containment self-check:
+// every (a, b) sample inside the region lands inside the interval.
+#include <cstdio>
+
+#include "core/formula.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace p2prep;
+
+  constexpr double kTa = 0.8;
+  constexpr double kTb = 0.2;
+
+  util::Table table({"N_i", "N_(i,j)", "R lower (2Ta*Nij-Ni)",
+                     "R upper (2Tb*(Ni-Nij)+2Nij-Ni)"});
+  for (std::uint64_t n_i : {50ull, 100ull, 200ull, 400ull, 800ull}) {
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+      const auto n_ij = static_cast<std::uint64_t>(
+          frac * static_cast<double>(n_i));
+      const core::Formula2Bounds b =
+          core::formula2_bounds(kTa, kTb, n_i, n_ij);
+      table.add_row({util::Table::num(n_i), util::Table::num(n_ij),
+                     util::Table::num(b.lower, 1),
+                     util::Table::num(b.upper, 1)});
+    }
+  }
+  std::printf("=== Figure 4: reputation bounds of suspected colluders "
+              "(T_a=%.1f, T_b=%.1f) ===\n%s\n",
+              kTa, kTb, table.render().c_str());
+
+  // Containment self-check over the suspicious region.
+  util::Rng rng(4);
+  std::size_t inside = 0;
+  constexpr std::size_t kSamples = 100000;
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    const double a = rng.uniform(kTa, 1.0);
+    const double b = rng.uniform(0.0, kTb);
+    const auto n_i =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 1000));
+    const auto n_ij = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_i)));
+    const double r = core::formula1_reputation(a, b, n_i, n_ij);
+    if (core::formula2_satisfied(r, kTa, kTb, n_i, n_ij)) ++inside;
+  }
+  std::printf("containment self-check: %zu/%zu region samples inside the "
+              "Formula (2) interval (expect all)\n",
+              inside, kSamples);
+  return inside == kSamples ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Figure 8: reputation distribution under our proposed collusion detection
+// methods alone (no pretrusted nodes; colluder ids 1-8; B = 0.2). Both
+// Unoptimized and Optimized are run; the paper notes their detection
+// results are identical, so the final reputation distributions coincide.
+//
+// Expected shape: every colluder is detected and pinned to reputation 0;
+// some normal nodes carry very high reputations (first-chosen servers keep
+// being chosen).
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace p2prep;
+
+  net::ExperimentSpec spec;
+  spec.config = bench::paper_sim_config(/*colluder_good_prob=*/0.2);
+  spec.roles = net::fig8_roles(8);
+  spec.engine = net::EngineKind::kWeighted;
+  spec.detector_config = bench::sim_detector_config();
+  spec.runs = 5;
+
+  spec.detector = net::DetectorKind::kBasic;
+  const net::ExperimentResult unoptimized = net::run_experiment(spec);
+  spec.detector = net::DetectorKind::kOptimized;
+  const net::ExperimentResult optimized = net::run_experiment(spec);
+
+  bench::print_reputation_figure(
+      "Figure 8: Unoptimized detection alone, B=0.2 (colluders 1-8)",
+      unoptimized, spec.roles);
+  bench::print_detection_summary(unoptimized);
+  bench::print_reputation_figure(
+      "Figure 8: Optimized detection alone, B=0.2 (colluders 1-8)",
+      optimized, spec.roles);
+  bench::print_detection_summary(optimized);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < unoptimized.avg_reputation.size(); ++i) {
+    if (unoptimized.avg_reputation[i] != optimized.avg_reputation[i])
+      identical = false;
+  }
+  std::printf("shape check: Unoptimized/Optimized distributions identical: "
+              "%s; colluders zeroed: recall=%.3f/%.3f\n",
+              identical ? "yes" : "no", unoptimized.avg_recall,
+              optimized.avg_recall);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks of core building blocks: rating ingestion, matrix
+// snapshotting, Formula (2) evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/formula.h"
+#include "rating/matrix.h"
+#include "rating/store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p2prep;
+
+void BM_StoreIngest(benchmark::State& state) {
+  rating::RatingStore store(1000);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto rater = static_cast<rating::NodeId>(rng.next_below(1000));
+    auto ratee = static_cast<rating::NodeId>(rng.next_below(1000));
+    if (ratee == rater) ratee = (ratee + 1) % 1000;
+    benchmark::DoNotOptimize(
+        store.ingest({rater, ratee, rating::Score::kPositive, 0}));
+  }
+}
+BENCHMARK(BM_StoreIngest);
+
+void BM_MatrixBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rating::RatingStore store(n);
+  util::Rng rng(n);
+  for (std::size_t k = 0; k < n * 30; ++k) {
+    const auto rater = static_cast<rating::NodeId>(rng.next_below(n));
+    auto ratee = static_cast<rating::NodeId>(rng.next_below(n));
+    if (ratee == rater) ratee = static_cast<rating::NodeId>((ratee + 1) % n);
+    store.ingest({rater, ratee,
+                  rng.chance(0.8) ? rating::Score::kPositive
+                                  : rating::Score::kNegative,
+                  0});
+  }
+  std::vector<double> reps(n, 0.1);
+  for (auto _ : state) {
+    auto matrix = rating::RatingMatrix::build(store, reps, 0.05);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_MatrixBuild)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Formula2(benchmark::State& state) {
+  util::Rng rng(11);
+  for (auto _ : state) {
+    const auto n_i = 1 + rng.next_below(1000);
+    const auto n_ij = rng.next_below(n_i + 1);
+    benchmark::DoNotOptimize(core::formula2_satisfied(
+        rng.uniform(-500.0, 500.0), 0.8, 0.2, n_i, n_ij));
+  }
+}
+BENCHMARK(BM_Formula2);
+
+void BM_WindowReset(benchmark::State& state) {
+  rating::RatingStore store(500);
+  util::Rng rng(5);
+  for (std::size_t k = 0; k < 20000; ++k) {
+    const auto rater = static_cast<rating::NodeId>(rng.next_below(500));
+    auto ratee = static_cast<rating::NodeId>(rng.next_below(500));
+    if (ratee == rater) ratee = (ratee + 1) % 500;
+    store.ingest({rater, ratee, rating::Score::kPositive, 0});
+  }
+  for (auto _ : state) {
+    store.reset_window();
+  }
+}
+BENCHMARK(BM_WindowReset);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Micro-benchmarks of the Chord substrate: lookup latency and hop counts
+// vs ring size, and ring (re)construction cost.
+#include <benchmark/benchmark.h>
+
+#include "dht/chord.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p2prep;
+
+dht::ChordRing make_ring(std::size_t n) {
+  dht::ChordRing ring;
+  for (rating::NodeId id = 0; id < n; ++id) ring.add_node(id);
+  ring.rebuild();
+  return ring;
+}
+
+void BM_ChordLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dht::ChordRing ring = make_ring(n);
+  util::Rng rng(n);
+  std::uint64_t hops = 0;
+  std::uint64_t lookups = 0;
+  for (auto _ : state) {
+    const auto start = static_cast<rating::NodeId>(rng.next_below(n));
+    const auto result = ring.lookup(start, rng.next());
+    hops += result.hops;
+    ++lookups;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["avg_hops"] = benchmark::Counter(
+      static_cast<double>(hops) / static_cast<double>(lookups));
+}
+BENCHMARK(BM_ChordLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ChordRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    dht::ChordRing ring;
+    for (rating::NodeId id = 0; id < n; ++id) ring.add_node(id);
+    state.ResumeTiming();
+    ring.rebuild();
+    benchmark::DoNotOptimize(ring);
+  }
+}
+BENCHMARK(BM_ChordRebuild)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ManagerOf(benchmark::State& state) {
+  const dht::ChordRing ring = make_ring(256);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.manager_of(static_cast<rating::NodeId>(rng.next_below(100000))));
+  }
+}
+BENCHMARK(BM_ManagerOf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks of the reputation engines' epoch updates: the full
+// EigenTrust power iteration (serial and thread-pool parallel) against the
+// paper's weighted variant and the eBay summation model.
+#include <benchmark/benchmark.h>
+
+#include "rating/types.h"
+#include "reputation/eigentrust.h"
+#include "reputation/summation.h"
+#include "reputation/weighted.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace p2prep;
+
+void feed(reputation::ReputationEngine& engine, std::size_t n,
+          std::size_t ratings) {
+  util::Rng rng(n * 31 + ratings);
+  engine.resize(n);
+  engine.set_pretrusted({0, 1, 2});
+  for (std::size_t k = 0; k < ratings; ++k) {
+    auto i = static_cast<rating::NodeId>(rng.next_below(n));
+    auto j = static_cast<rating::NodeId>(rng.next_below(n));
+    if (i == j) j = static_cast<rating::NodeId>((j + 1) % n);
+    engine.ingest({i, j,
+                   rng.chance(0.8) ? rating::Score::kPositive
+                                   : rating::Score::kNegative,
+                   k});
+  }
+}
+
+void BM_EigenTrustEpoch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  reputation::EigenTrustEngine engine(n);
+  feed(engine, n, n * 40);
+  for (auto _ : state) {
+    engine.update_epoch();
+    benchmark::DoNotOptimize(engine.reputations());
+  }
+  state.counters["iterations"] =
+      benchmark::Counter(static_cast<double>(engine.last_iterations()));
+}
+BENCHMARK(BM_EigenTrustEpoch)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_EigenTrustEpochParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool;
+  reputation::EigenTrustEngine engine(n, {}, &pool);
+  feed(engine, n, n * 40);
+  for (auto _ : state) {
+    engine.update_epoch();
+    benchmark::DoNotOptimize(engine.reputations());
+  }
+}
+BENCHMARK(BM_EigenTrustEpochParallel)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_WeightedEpoch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  reputation::WeightedFeedbackEngine engine(n);
+  feed(engine, n, n * 40);
+  for (auto _ : state) {
+    engine.update_epoch();
+    benchmark::DoNotOptimize(engine.reputations());
+  }
+}
+BENCHMARK(BM_WeightedEpoch)->Arg(200)->Arg(2000);
+
+void BM_SummationEpoch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  reputation::SummationEngine engine(n);
+  feed(engine, n, n * 40);
+  for (auto _ : state) {
+    engine.update_epoch();
+    benchmark::DoNotOptimize(engine.reputations());
+  }
+}
+BENCHMARK(BM_SummationEpoch)->Arg(200)->Arg(2000);
+
+void BM_EngineIngest(benchmark::State& state) {
+  reputation::WeightedFeedbackEngine engine(1000);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    engine.ingest({static_cast<rating::NodeId>(rng.next_below(1000)),
+                   static_cast<rating::NodeId>(rng.next_below(999)),
+                   rating::Score::kPositive, 0});
+  }
+}
+BENCHMARK(BM_EngineIngest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Shared helpers for the figure-regeneration harnesses. Each bench binary
+// prints the same rows/series its paper figure shows; node ids are printed
+// 1-based to match the paper's labels (its node 1 is NodeId 0).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "net/experiment.h"
+#include "net/roles.h"
+#include "util/table.h"
+
+namespace p2prep::bench {
+
+inline int paper_id(rating::NodeId id) { return static_cast<int>(id) + 1; }
+
+inline const char* type_label(const net::NodeRoles& roles, rating::NodeId id) {
+  switch (roles.type_of(id)) {
+    case net::NodeType::kPretrusted: return "pretrusted";
+    case net::NodeType::kColluder: return "colluder";
+    case net::NodeType::kNormal: return "normal";
+  }
+  return "?";
+}
+
+/// The paper's Sec. V configuration; only the colluder quality B varies
+/// between figures.
+inline net::SimConfig paper_sim_config(double colluder_good_prob) {
+  net::SimConfig config;  // defaults already encode Sec. V
+  config.colluder_good_prob = colluder_good_prob;
+  return config;
+}
+
+/// Detector thresholds used for the simulation experiments. The paper does
+/// not state the T_a/T_b values used in Sec. V (only the trace-derived
+/// Amazon values); these sit between the colluders' service quality
+/// (B <= 0.6) and normal nodes' 0.8 so that C2 discriminates (DESIGN.md).
+inline core::DetectorConfig sim_detector_config() {
+  core::DetectorConfig c;
+  c.positive_fraction_min = 0.9;
+  c.complement_fraction_max = 0.7;
+  c.frequency_min = 20;
+  c.high_rep_threshold = 0.05;
+  return c;
+}
+
+/// Prints the "(a) All nodes" + "(b) First 20 nodes" pair every reputation
+/// figure in the paper uses.
+inline void print_reputation_figure(const std::string& title,
+                                    const net::ExperimentResult& result,
+                                    const net::NodeRoles& roles,
+                                    std::size_t first_k = 20) {
+  std::printf("=== %s ===\n", title.c_str());
+
+  // (a) all nodes: compact distribution statistics + the top nodes.
+  double max_rep = 0.0;
+  double sum = 0.0;
+  rating::NodeId argmax = 0;
+  for (rating::NodeId id = 0; id < result.avg_reputation.size(); ++id) {
+    sum += result.avg_reputation[id];
+    if (result.avg_reputation[id] > max_rep) {
+      max_rep = result.avg_reputation[id];
+      argmax = id;
+    }
+  }
+  std::printf("(a) all %zu nodes: sum=%.4f max=%.4f at node %d (%s)\n",
+              result.avg_reputation.size(), sum, max_rep, paper_id(argmax),
+              type_label(roles, argmax));
+
+  // (b) first `first_k` nodes, the paper's zoomed bar chart.
+  util::Table table({"node", "type", "avg_reputation", "bar"});
+  for (rating::NodeId id = 0; id < first_k &&
+                              id < result.avg_reputation.size(); ++id) {
+    const double rep = result.avg_reputation[id];
+    std::string bar;
+    if (max_rep > 0.0) {
+      bar.assign(static_cast<std::size_t>(rep / max_rep * 40.0), '#');
+    }
+    table.add_row({std::to_string(paper_id(id)), type_label(roles, id),
+                   util::Table::num(rep, 5), bar});
+  }
+  std::printf("(b) first %zu nodes:\n%s\n", first_k, table.render().c_str());
+}
+
+inline void print_detection_summary(const net::ExperimentResult& result) {
+  std::printf(
+      "detection: recall=%.3f false_positives=%.2f  "
+      "requests-to-colluders=%.2f%%  engine_cost=%.0f detector_cost=%.0f\n\n",
+      result.avg_recall, result.avg_false_positives,
+      result.avg_percent_to_colluders, result.avg_engine_cost,
+      result.avg_detector_cost);
+}
+
+}  // namespace p2prep::bench

@@ -1,0 +1,114 @@
+// Attack lab: one run of each adversarial model against EigenTrust with
+// the Optimized collusion detector attached, summarizing who wins.
+//
+//   ./build/examples/attack_lab
+//
+// Attacks covered: the paper's pair collusion, compromised pretrusted
+// nodes, mutual and one-directional sybil boosting, score camouflage,
+// traitor oscillation, and whitewashing. See bench_ablation_* for the
+// full parameter sweeps behind each row.
+#include <cstdio>
+
+#include "core/optimized_detector.h"
+#include "net/simulator.h"
+#include "reputation/weighted.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace p2prep;
+
+struct Outcome {
+  double pct_requests = 0.0;
+  std::size_t flagged = 0;
+  std::size_t swaps = 0;
+  bool colluders_zeroed = true;
+};
+
+Outcome run(const net::SimConfig& config, const net::NodeRoles& roles,
+            bool one_sided = false) {
+  core::DetectorConfig dc;
+  dc.positive_fraction_min = 0.9;
+  dc.complement_fraction_max = 0.7;
+  dc.frequency_min = 20;
+  dc.high_rep_threshold = 0.05;
+  dc.require_mutual = !one_sided;
+
+  reputation::WeightedFeedbackEngine engine;
+  core::OptimizedCollusionDetector detector(dc);
+  net::Simulator sim(config, roles, engine, &detector);
+  sim.run();
+
+  Outcome out;
+  out.pct_requests = sim.metrics().percent_to_colluders();
+  out.flagged = sim.manager().detected().size();
+  out.swaps = sim.whitewash_count();
+  for (rating::NodeId id : sim.roles().colluders) {
+    if (engine.reputation(id) != 0.0) out.colluders_zeroed = false;
+  }
+  return out;
+}
+
+net::SimConfig base_config() {
+  net::SimConfig config;
+  config.num_nodes = 150;
+  config.sim_cycles = 12;
+  config.seed = 13524;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"attack", "% requests to attackers",
+                     "identities flagged", "live colluders zeroed"});
+  auto row = [&](const char* name, const Outcome& o) {
+    table.add_row({name, util::Table::num(o.pct_requests, 2),
+                   util::Table::num(static_cast<std::uint64_t>(o.flagged)),
+                   o.colluders_zeroed ? "yes" : "NO"});
+  };
+
+  row("pair collusion (paper Sec. V)",
+      run(base_config(), net::paper_roles(8, 3)));
+  row("compromised pretrusted (Fig. 7/11)",
+      run(base_config(), net::compromised_roles()));
+  row("sybil ring (mutual)",
+      run(base_config(), net::sybil_roles(2, 4, /*mutual=*/true)));
+  row("sybil boost (one-way), mutual-evidence detector",
+      run(base_config(), net::sybil_roles(2, 4, /*mutual=*/false)));
+  row("sybil boost (one-way), one-sided detector",
+      run(base_config(), net::sybil_roles(2, 4, /*mutual=*/false),
+          /*one_sided=*/true));
+  {
+    net::SimConfig camo = base_config();
+    camo.collusion_positive_prob = 0.85;  // ducks T_a = 0.9
+    row("pair collusion + score camouflage (a~0.85)",
+        run(camo, net::paper_roles(8, 3)));
+  }
+  {
+    net::SimConfig traitor = base_config();
+    traitor.traitor_defect_cycle = 6;
+    traitor.traitor_good_prob_after = 0.05;
+    row("traitors (defect mid-run; no collusion)",
+        run(traitor, net::traitor_roles(6, 3)));
+  }
+  {
+    net::SimConfig ww = base_config();
+    ww.whitewash_on_detection = true;
+    const Outcome o = run(ww, net::paper_roles(8, 3));
+    table.add_row({"pair collusion + whitewashing",
+                   util::Table::num(o.pct_requests, 2),
+                   util::Table::num(static_cast<std::uint64_t>(o.flagged)) +
+                       " (+" + std::to_string(o.swaps) + " swaps)",
+                   o.colluders_zeroed ? "yes" : "NO"});
+  }
+
+  std::printf("Attack lab: EigenTrust + Optimized detection, 150 nodes, "
+              "12 cycles\n\n%s\n"
+              "notes: the one-way sybil row shows the mutual-evidence "
+              "predicate's documented blind spot; score camouflage inside "
+              "(T_a, 1) evades at reduced payoff; traitors are a "
+              "reputation-dynamics problem, not a collusion one.\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "core/accomplice.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/predicates.h"
+
+namespace p2prep::core {
+
+void propagate_accomplices(const rating::RatingMatrix& matrix,
+                           const DetectorConfig& config,
+                           DetectionReport& report) {
+  if (!config.flag_accomplices || report.pairs.empty()) return;
+
+  const std::size_t n = matrix.size();
+  std::unordered_set<std::uint64_t> known_pairs;
+  std::vector<rating::NodeId> worklist;
+  std::unordered_set<rating::NodeId> queued;
+  for (const PairEvidence& e : report.pairs) {
+    known_pairs.insert(pair_key(e.first, e.second));
+    if (queued.insert(e.first).second) worklist.push_back(e.first);
+    if (queued.insert(e.second).second) worklist.push_back(e.second);
+  }
+
+  auto mutual_boosting = [&](rating::NodeId d, rating::NodeId k) {
+    const rating::PairStats& from_k = matrix.cell(d, k);
+    report.cost.add_scan();
+    report.cost.add_check();
+    if (!frequency_ok(from_k, config) ||
+        !positive_fraction_ok(from_k, config)) {
+      return false;
+    }
+    const rating::PairStats& from_d = matrix.cell(k, d);
+    report.cost.add_scan();
+    report.cost.add_check();
+    return frequency_ok(from_d, config) &&
+           positive_fraction_ok(from_d, config);
+  };
+
+  while (!worklist.empty()) {
+    const rating::NodeId d = worklist.back();
+    worklist.pop_back();
+    for (rating::NodeId k = 0; k < n; ++k) {
+      if (k == d || known_pairs.contains(pair_key(d, k))) continue;
+      if (!mutual_boosting(d, k)) continue;
+
+      PairEvidence ev;
+      ev.first = d;
+      ev.second = k;
+      ev.ratings_to_first = matrix.cell(d, k).total;
+      ev.ratings_to_second = matrix.cell(k, d).total;
+      ev.positive_fraction_first = matrix.cell(d, k).positive_fraction();
+      ev.positive_fraction_second = matrix.cell(k, d).positive_fraction();
+      ev.complement_fraction_first =
+          (matrix.totals(d) - matrix.cell(d, k)).positive_fraction();
+      ev.complement_fraction_second =
+          (matrix.totals(k) - matrix.cell(k, d)).positive_fraction();
+      ev.global_rep_first = matrix.global_reputation(d);
+      ev.global_rep_second = matrix.global_reputation(k);
+      report.pairs.push_back(ev);
+      known_pairs.insert(pair_key(d, k));
+      if (queued.insert(k).second) worklist.push_back(k);
+    }
+  }
+
+  report.canonicalize();
+}
+
+}  // namespace p2prep::core

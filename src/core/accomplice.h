@@ -1,0 +1,36 @@
+// Accomplice propagation (reproduction note, see DESIGN.md §5 and the
+// Fig. 11 entry in EXPERIMENTS.md).
+//
+// The paper claims its methods "can detect colluders even when they
+// compromise pretrusted high-reputed nodes" (Fig. 11: compromised
+// pretrusted nodes n1/n2 end with reputation 0). A compromised pretrusted
+// node, however, cannot satisfy the C2 complement condition: it serves
+// authentic files, everyone else rates it positively, so b ≈ 1 for any
+// pair it appears in. The pairwise predicate alone therefore never flags
+// it — detection of such nodes requires using the verdicts already made.
+//
+// This pass implements that as a fixpoint: once a node d is flagged, any
+// node k in a *mutual frequent mostly-positive* rating relationship with d
+// (N_(d,k) >= T_N with a >= T_a, and symmetrically N_(k,d) >= T_N with
+// a >= T_a) is flagged as d's accomplice, and propagation continues from
+// k. Mutual high-frequency positive rating with a confirmed colluder is
+// precisely the collusion signature (C3 + C4) minus the C2 evidence the
+// compromised node's good service erases. Normal client->server rating
+// edges are one-directional in the paper's model, so honest relationships
+// cannot satisfy the mutual-frequency requirement.
+#pragma once
+
+#include "core/config.h"
+#include "core/evidence.h"
+#include "rating/matrix.h"
+
+namespace p2prep::core {
+
+/// Extends `report` (in place) with accomplice pairs reachable from its
+/// currently flagged nodes. Charges scans/checks to report.cost. Does
+/// nothing when `config.flag_accomplices` is false or no pairs are flagged.
+void propagate_accomplices(const rating::RatingMatrix& matrix,
+                           const DetectorConfig& config,
+                           DetectionReport& report);
+
+}  // namespace p2prep::core

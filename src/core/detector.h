@@ -1,0 +1,38 @@
+// CollusionDetector: the common interface of the paper's two methods.
+// A detector consumes one snapshot of the manager's RatingMatrix (window
+// aggregates + global reputations) and returns the flagged pairs plus the
+// operation cost it incurred (the Figure 13 metric).
+#pragma once
+
+#include <string_view>
+
+#include "core/config.h"
+#include "core/evidence.h"
+#include "rating/matrix.h"
+
+namespace p2prep::core {
+
+class CollusionDetector {
+ public:
+  explicit CollusionDetector(DetectorConfig config) : config_(config) {}
+  virtual ~CollusionDetector() = default;
+
+  CollusionDetector(const CollusionDetector&) = delete;
+  CollusionDetector& operator=(const CollusionDetector&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Runs one detection pass. Deterministic: the returned report is
+  /// canonicalized (pairs sorted, lower id first).
+  [[nodiscard]] virtual DetectionReport detect(
+      const rating::RatingMatrix& matrix) const = 0;
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ protected:
+  DetectorConfig config_;
+};
+
+}  // namespace p2prep::core

@@ -1,0 +1,19 @@
+#include "core/evidence.h"
+
+#include <sstream>
+
+namespace p2prep::core {
+
+std::string PairEvidence::to_string() const {
+  std::ostringstream os;
+  os << "pair(" << first << ", " << second << ")"
+     << " N(i,j)=" << ratings_to_first << " a_i=" << positive_fraction_first
+     << " b_i=" << complement_fraction_first
+     << " N(j,i)=" << ratings_to_second
+     << " a_j=" << positive_fraction_second
+     << " b_j=" << complement_fraction_second << " R_i=" << global_rep_first
+     << " R_j=" << global_rep_second;
+  return os.str();
+}
+
+}  // namespace p2prep::core

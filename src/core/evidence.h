@@ -1,0 +1,94 @@
+// Detection outputs: per-pair evidence records and the report a detection
+// pass returns. Evidence carries every quantity the decision used so that
+// operators (and tests) can audit why a pair was flagged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rating/types.h"
+#include "util/cost.h"
+
+namespace p2prep::core {
+
+/// Why a pair was flagged: all the paper's quantities, both directions.
+struct PairEvidence {
+  rating::NodeId first = rating::kInvalidNode;   ///< n_i (lower id).
+  rating::NodeId second = rating::kInvalidNode;  ///< n_j (higher id).
+
+  // Direction j -> i (ratings received by `first` from `second`).
+  std::uint32_t ratings_to_first = 0;    ///< N_(i,j).
+  double positive_fraction_first = 0.0;  ///< a for n_i.
+  double complement_fraction_first = 0.0; ///< b for n_i (others' positives).
+
+  // Direction i -> j.
+  std::uint32_t ratings_to_second = 0;
+  double positive_fraction_second = 0.0;
+  double complement_fraction_second = 0.0;
+
+  double global_rep_first = 0.0;
+  double global_rep_second = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Canonical unordered-pair key for dedup/set membership.
+[[nodiscard]] constexpr std::uint64_t pair_key(rating::NodeId a,
+                                               rating::NodeId b) noexcept {
+  const auto lo = a < b ? a : b;
+  const auto hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+struct DetectionReport {
+  std::vector<PairEvidence> pairs;
+  util::CostCounter cost;
+
+  [[nodiscard]] bool contains(rating::NodeId a, rating::NodeId b) const {
+    return std::any_of(pairs.begin(), pairs.end(), [&](const PairEvidence& e) {
+      return pair_key(e.first, e.second) == pair_key(a, b);
+    });
+  }
+
+  /// All distinct nodes implicated, ascending.
+  [[nodiscard]] std::vector<rating::NodeId> colluders() const {
+    std::vector<rating::NodeId> out;
+    out.reserve(pairs.size() * 2);
+    for (const auto& e : pairs) {
+      out.push_back(e.first);
+      out.push_back(e.second);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Sorts pairs by (first, second) for deterministic output regardless of
+  /// detection order (serial vs. parallel sweeps).
+  void canonicalize() {
+    for (auto& e : pairs) {
+      if (e.first > e.second) {
+        std::swap(e.first, e.second);
+        std::swap(e.ratings_to_first, e.ratings_to_second);
+        std::swap(e.positive_fraction_first, e.positive_fraction_second);
+        std::swap(e.complement_fraction_first, e.complement_fraction_second);
+        std::swap(e.global_rep_first, e.global_rep_second);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairEvidence& x, const PairEvidence& y) {
+                return pair_key(x.first, x.second) <
+                       pair_key(y.first, y.second);
+              });
+    pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                            [](const PairEvidence& x, const PairEvidence& y) {
+                              return pair_key(x.first, x.second) ==
+                                     pair_key(y.first, y.second);
+                            }),
+                pairs.end());
+  }
+};
+
+}  // namespace p2prep::core

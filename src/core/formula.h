@@ -1,0 +1,57 @@
+// Formula (1) and Formula (2) of the paper — the closed-form relation
+// between a node's summation reputation and the positive-rating fractions
+// of one rater versus everyone else, and the detection bound derived from
+// it. These are the heart of the Optimized method.
+//
+// With N_i all ratings for n_i in window T, N_(i,j) of them from n_j,
+// a the positive fraction from n_j, b the positive fraction from others,
+// and every rating +/-1 (neutrals excluded by the model):
+//
+//   R_i = 2 b (N_i - N_(i,j)) + 2 a N_(i,j) - N_i                      (1)
+//
+// For a in (T_a, 1] and b in [0, T_b):
+//
+//   2 T_b (N_i - N_(i,j)) + 2 N_(i,j) - N_i  >  R_i  >  2 T_a N_(i,j) - N_i   (2)
+#pragma once
+
+#include <cstdint>
+
+namespace p2prep::core {
+
+/// Formula (1): summation reputation implied by (a, b, N_i, N_(i,j)).
+[[nodiscard]] constexpr double formula1_reputation(double a, double b,
+                                                   std::uint64_t n_i,
+                                                   std::uint64_t n_ij) noexcept {
+  const auto ni = static_cast<double>(n_i);
+  const auto nij = static_cast<double>(n_ij);
+  return 2.0 * b * (ni - nij) + 2.0 * a * nij - ni;
+}
+
+struct Formula2Bounds {
+  double lower = 0.0;  ///< 2 T_a N_(i,j) - N_i.
+  double upper = 0.0;  ///< 2 T_b (N_i - N_(i,j)) + 2 N_(i,j) - N_i.
+};
+
+/// The Formula (2) interval for given thresholds and counts.
+[[nodiscard]] constexpr Formula2Bounds formula2_bounds(
+    double t_a, double t_b, std::uint64_t n_i, std::uint64_t n_ij) noexcept {
+  const auto ni = static_cast<double>(n_i);
+  const auto nij = static_cast<double>(n_ij);
+  return {
+      .lower = 2.0 * t_a * nij - ni,
+      .upper = 2.0 * t_b * (ni - nij) + 2.0 * nij - ni,
+  };
+}
+
+/// Whether reputation `r_i` falls inside the Formula (2) interval.
+/// `inclusive` admits the boundary (see DetectorConfig::inclusive_bounds).
+[[nodiscard]] constexpr bool formula2_satisfied(double r_i, double t_a,
+                                                double t_b, std::uint64_t n_i,
+                                                std::uint64_t n_ij,
+                                                bool inclusive = true) noexcept {
+  const Formula2Bounds bounds = formula2_bounds(t_a, t_b, n_i, n_ij);
+  if (inclusive) return r_i >= bounds.lower && r_i <= bounds.upper;
+  return r_i > bounds.lower && r_i < bounds.upper;
+}
+
+}  // namespace p2prep::core

@@ -1,0 +1,127 @@
+#include "core/optimized_detector.h"
+
+#include <mutex>
+
+#include "core/accomplice.h"
+#include "core/formula.h"
+#include "core/predicates.h"
+
+namespace p2prep::core {
+
+bool OptimizedCollusionDetector::directional_check(
+    const rating::RatingMatrix& matrix, rating::NodeId i, rating::NodeId j,
+    util::CostCounter& cost) const {
+  const rating::PairStats& from_j = matrix.cell(i, j);
+  cost.add_scan();  // read the a_ij cell <ID_i, R_i, N_(i,j), N+_(i,j)>
+
+  cost.add_check();
+  if (from_j.total < config_.frequency_min) return false;  // C4
+
+  if (!config_.joint_complement) {
+    // Paper-literal Formula (2) on the window summation reputation: only
+    // R_i, N_i and N_(i,j) are consulted.
+    const auto r_i = static_cast<double>(matrix.window_reputation(i));
+    const std::uint64_t n_i = matrix.totals(i).total;
+    cost.add_check();
+    return formula2_satisfied(r_i, config_.positive_fraction_min,
+                              config_.complement_fraction_max, n_i,
+                              from_j.total, config_.inclusive_bounds);
+  }
+
+  // Joint-complement generalization (DetectorConfig::joint_complement):
+  // C3 from the cell's own positive count, C2 from the row's
+  // incrementally-maintained frequent-rater aggregate — still O(1) per
+  // pair, no row scan. Reduces to Formula (2)'s accept region when the
+  // pair partner is the row's only frequent rater.
+  cost.add_check();
+  if (!positive_fraction_ok(from_j, config_)) return false;
+
+  rating::PairStats frequent;
+  if (matrix.frequency_threshold() == config_.frequency_min) {
+    frequent = matrix.frequent_totals(i);
+    cost.add_scan();  // one aggregate read
+  } else {
+    // The matrix snapshot was built without (or with a different)
+    // frequency threshold: recompute the aggregate from the row. A
+    // deployed manager never takes this path; it exists so standalone
+    // matrices remain usable, and it charges its true cost.
+    const auto row = matrix.row(i);
+    for (rating::NodeId k = 0; k < row.size(); ++k) {
+      if (k == i) continue;
+      cost.add_scan();
+      if (row[k].total >= config_.frequency_min) frequent += row[k];
+    }
+  }
+  const rating::PairStats complement = matrix.totals(i) - frequent;
+  cost.add_check();
+  return complement_ok(complement, config_);
+}
+
+void OptimizedCollusionDetector::detect_rows(const rating::RatingMatrix& matrix,
+                                             std::size_t row_begin,
+                                             std::size_t row_end,
+                                             DetectionReport& out) const {
+  const std::size_t n = matrix.size();
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    const auto i = static_cast<rating::NodeId>(row);
+    out.cost.add_check();
+    if (!matrix.high_reputed(i)) continue;  // C1
+
+    for (rating::NodeId j = 0; j < n; ++j) {
+      if (j == i) continue;
+
+      if (!directional_check(matrix, i, j, out.cost)) continue;
+
+      // Symmetric side: n_j must be high-reputed, rated frequently by n_i,
+      // and satisfy Formula (2) as well (skipped in one-sided mode).
+      if (config_.require_mutual) {
+        out.cost.add_check();
+        if (!matrix.high_reputed(j)) continue;
+        if (!directional_check(matrix, j, i, out.cost)) continue;
+      }
+
+      PairEvidence ev;
+      ev.first = i;
+      ev.second = j;
+      ev.ratings_to_first = matrix.cell(i, j).total;
+      ev.ratings_to_second = matrix.cell(j, i).total;
+      ev.positive_fraction_first = matrix.cell(i, j).positive_fraction();
+      ev.positive_fraction_second = matrix.cell(j, i).positive_fraction();
+      // Evidence-only fields (not part of the method's cost): complement
+      // fractions derived from the row totals the matrix carries.
+      const auto comp_i = matrix.totals(i) - matrix.cell(i, j);
+      const auto comp_j = matrix.totals(j) - matrix.cell(j, i);
+      ev.complement_fraction_first = comp_i.positive_fraction();
+      ev.complement_fraction_second = comp_j.positive_fraction();
+      ev.global_rep_first = matrix.global_reputation(i);
+      ev.global_rep_second = matrix.global_reputation(j);
+      out.pairs.push_back(ev);
+    }
+  }
+}
+
+DetectionReport OptimizedCollusionDetector::detect(
+    const rating::RatingMatrix& matrix) const {
+  const std::size_t n = matrix.size();
+  DetectionReport report;
+
+  if (pool_ == nullptr || n < 64) {
+    detect_rows(matrix, 0, n, report);
+  } else {
+    std::mutex mu;
+    pool_->parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+      DetectionReport local;
+      detect_rows(matrix, lo, hi, local);
+      const std::lock_guard<std::mutex> lock(mu);
+      report.cost += local.cost;
+      report.pairs.insert(report.pairs.end(), local.pairs.begin(),
+                          local.pairs.end());
+    });
+  }
+
+  report.canonicalize();
+  propagate_accomplices(matrix, config_, report);
+  return report;
+}
+
+}  // namespace p2prep::core

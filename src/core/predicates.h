@@ -1,0 +1,57 @@
+// The C1-C5 threshold predicates as small pure functions over PairStats.
+// Both detectors and both manager deployments (centralized / DHT) funnel
+// through these, so the centralized and decentralized protocols flag
+// exactly the same pairs on the same data.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/formula.h"
+#include "rating/pair_stats.h"
+
+namespace p2prep::core {
+
+/// C4: rater j rated node i at least T_N times within the window.
+[[nodiscard]] constexpr bool frequency_ok(const rating::PairStats& pair,
+                                          const DetectorConfig& cfg) noexcept {
+  return pair.total >= cfg.frequency_min;
+}
+
+/// C3: fraction of positive ratings from the partner is at least T_a.
+[[nodiscard]] constexpr bool positive_fraction_ok(
+    const rating::PairStats& pair, const DetectorConfig& cfg) noexcept {
+  return pair.total > 0 &&
+         pair.positive_fraction() >= cfg.positive_fraction_min;
+}
+
+/// C2: fraction of positive ratings from everyone else is below T_b.
+/// `complement` is N_(i,-j) (totals minus the partner's contribution).
+[[nodiscard]] constexpr bool complement_ok(const rating::PairStats& complement,
+                                           const DetectorConfig& cfg) noexcept {
+  if (complement.total == 0) return cfg.empty_complement_is_suspicious;
+  return complement.positive_fraction() < cfg.complement_fraction_max;
+}
+
+/// The Basic method's full one-directional predicate (C4 && C3 && C2) for
+/// ratee i against rater j, given the pair cell and the complement row sum.
+[[nodiscard]] constexpr bool basic_directional(
+    const rating::PairStats& pair, const rating::PairStats& complement,
+    const DetectorConfig& cfg) noexcept {
+  return frequency_ok(pair, cfg) && positive_fraction_ok(pair, cfg) &&
+         complement_ok(complement, cfg);
+}
+
+/// The Optimized method's one-directional predicate: C4 plus Formula (2)
+/// evaluated on the window summation reputation r_i and totals n_i.
+[[nodiscard]] constexpr bool optimized_directional(
+    const rating::PairStats& pair, std::uint64_t n_i, std::int64_t r_i,
+    const DetectorConfig& cfg) noexcept {
+  return frequency_ok(pair, cfg) &&
+         formula2_satisfied(static_cast<double>(r_i),
+                            cfg.positive_fraction_min,
+                            cfg.complement_fraction_max, n_i, pair.total,
+                            cfg.inclusive_bounds);
+}
+
+}  // namespace p2prep::core

@@ -1,0 +1,170 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prep::dht {
+
+ChordRing::ChordRing(ChordConfig config) : config_(config) {
+  assert(config_.bits >= 1 && config_.bits <= 64);
+  mask_ = config_.bits == 64 ? ~Key{0} : ((Key{1} << config_.bits) - 1);
+}
+
+Key ChordRing::truncate(Key k) const noexcept { return k & mask_; }
+
+bool ChordRing::in_range_open_closed(Key x, Key lo, Key hi) noexcept {
+  if (lo < hi) return x > lo && x <= hi;
+  if (lo > hi) return x > lo || x <= hi;  // wraps around 0
+  return true;  // single-node ring: everything is in (n, n]
+}
+
+bool ChordRing::add_node(rating::NodeId id) {
+  if (contains(id)) return false;
+  const Key key = truncate(hash_node(id));
+  for (const auto& m : members_) {
+    if (m.key == key) return false;  // key collision
+  }
+  Member m;
+  m.id = id;
+  m.key = key;
+  members_.push_back(std::move(m));
+  if (slot_of_node_.size() <= id) slot_of_node_.resize(id + 1);
+  slot_of_node_[id] = members_.size() - 1;
+  stale_ = true;
+  return true;
+}
+
+bool ChordRing::remove_node(rating::NodeId id) {
+  if (!contains(id)) return false;
+  const std::size_t slot = *slot_of_node_[id];
+  const std::size_t last = members_.size() - 1;
+  if (slot != last) {
+    members_[slot] = std::move(members_[last]);
+    slot_of_node_[members_[slot].id] = slot;
+  }
+  members_.pop_back();
+  slot_of_node_[id].reset();
+  stale_ = true;
+  return true;
+}
+
+bool ChordRing::contains(rating::NodeId id) const {
+  return id < slot_of_node_.size() && slot_of_node_[id].has_value();
+}
+
+void ChordRing::rebuild() {
+  sorted_slots_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) sorted_slots_[i] = i;
+  std::sort(sorted_slots_.begin(), sorted_slots_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return members_[a].key < members_[b].key;
+            });
+  sorted_keys_.resize(members_.size());
+  for (std::size_t i = 0; i < sorted_slots_.size(); ++i)
+    sorted_keys_[i] = members_[sorted_slots_[i]].key;
+
+  stale_ = false;  // successor_index is usable from here on
+
+  const std::size_t n = members_.size();
+  for (std::size_t si = 0; si < n; ++si) {
+    Member& m = members_[sorted_slots_[si]];
+    // Successor list: the next `successor_list` members clockwise.
+    m.successors.clear();
+    for (std::size_t k = 1; k <= config_.successor_list && k < n + 1; ++k) {
+      m.successors.push_back(members_[sorted_slots_[(si + k) % n]].id);
+      if (m.successors.size() == config_.successor_list) break;
+    }
+    // Finger table: finger[k] = successor(key + 2^k mod 2^bits).
+    m.fingers.assign(config_.bits, rating::kInvalidNode);
+    for (std::size_t k = 0; k < config_.bits; ++k) {
+      const Key target = truncate(m.key + (Key{1} << k));
+      m.fingers[k] = members_[sorted_slots_[successor_index(target)]].id;
+    }
+  }
+}
+
+std::size_t ChordRing::successor_index(Key key) const {
+  assert(!stale_ && !sorted_keys_.empty());
+  auto it = std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(), key);
+  if (it == sorted_keys_.end()) return 0;  // wrap to the smallest key
+  return static_cast<std::size_t>(it - sorted_keys_.begin());
+}
+
+rating::NodeId ChordRing::owner_of(Key key) const {
+  return members_[sorted_slots_[successor_index(truncate(key))]].id;
+}
+
+rating::NodeId ChordRing::manager_of(rating::NodeId id) const {
+  return owner_of(hash_reputation_record(id));
+}
+
+const ChordRing::Member& ChordRing::member(rating::NodeId id) const {
+  assert(contains(id));
+  return members_[*slot_of_node_[id]];
+}
+
+Key ChordRing::key_of(rating::NodeId id) const { return member(id).key; }
+
+const std::vector<rating::NodeId>& ChordRing::fingers_of(
+    rating::NodeId id) const {
+  assert(!stale_);
+  return member(id).fingers;
+}
+
+LookupResult ChordRing::lookup(rating::NodeId start, Key key) const {
+  assert(!stale_ && contains(start));
+  key = truncate(key);
+
+  LookupResult result;
+  result.path.push_back(start);
+
+  const Member* current = &member(start);
+  // Hop cap: greedy finger routing halves the remaining distance each hop,
+  // so `bits` hops always suffice; the extra slack guards degenerate rings.
+  const std::size_t hop_cap = config_.bits + 4;
+
+  while (true) {
+    const rating::NodeId succ =
+        current->successors.empty() ? current->id : current->successors[0];
+    const Key succ_key = member(succ).key;
+    if (in_range_open_closed(key, current->key, succ_key)) {
+      result.owner = succ;
+      result.owner_key = succ_key;
+      if (succ != current->id) {
+        ++result.hops;  // final forward to the owner
+        result.path.push_back(succ);
+      }
+      break;
+    }
+    // Closest preceding finger: largest finger strictly inside
+    // (current, key).
+    const Member* next = nullptr;
+    for (std::size_t k = config_.bits; k-- > 0;) {
+      const rating::NodeId fid = current->fingers[k];
+      if (fid == rating::kInvalidNode || fid == current->id) continue;
+      const Key fkey = member(fid).key;
+      if (in_range_open_closed(fkey, current->key, key) && fkey != key) {
+        next = &member(fid);
+        break;
+      }
+    }
+    if (next == nullptr || next == current) {
+      // Fingers give no progress (tiny ring): walk to the successor.
+      next = &member(succ);
+    }
+    ++result.hops;
+    result.path.push_back(next->id);
+    current = next;
+    if (result.hops > hop_cap) {
+      // Defensive: fall back to the oracle rather than looping forever.
+      result.owner = owner_of(key);
+      result.owner_key = member(result.owner).key;
+      break;
+    }
+  }
+
+  total_messages_ += result.hops;
+  return result;
+}
+
+}  // namespace p2prep::dht

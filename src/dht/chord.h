@@ -1,0 +1,110 @@
+// Chord ring simulation (Stoica et al., the substrate of EigenTrust-style
+// decentralized reputation systems, paper Fig. 2).
+//
+// A single-process model of a Chord DHT: nodes occupy points of a 2^bits
+// circular key space, each key is owned by its successor node, and lookups
+// route greedily through per-node finger tables exactly as the protocol
+// prescribes (O(log N) hops). Message/hop accounting is exposed so the
+// decentralized detection protocol can report real communication costs.
+//
+// The ring is built/maintained explicitly (batch `rebuild()` after joins or
+// leaves) rather than via the stabilization protocol — churn dynamics are
+// out of scope for the reproduced paper, routing structure is not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dht/hash.h"
+#include "rating/types.h"
+
+namespace p2prep::dht {
+
+struct ChordConfig {
+  /// Key-space width in bits (ring size 2^bits). 1..64.
+  std::size_t bits = 32;
+  /// Successor-list length kept per node (fault tolerance bookkeeping).
+  std::size_t successor_list = 4;
+};
+
+struct LookupResult {
+  Key owner_key = 0;                 ///< Ring key of the owning node.
+  rating::NodeId owner = rating::kInvalidNode;
+  std::size_t hops = 0;              ///< Routing messages used.
+  std::vector<rating::NodeId> path;  ///< Nodes traversed, starting node first.
+};
+
+class ChordRing {
+ public:
+  explicit ChordRing(ChordConfig config = {});
+
+  [[nodiscard]] const ChordConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// Adds a node; its ring key is hash_node(id) truncated to `bits`.
+  /// Returns false on duplicate id or (vanishingly unlikely) key collision.
+  bool add_node(rating::NodeId id);
+  bool remove_node(rating::NodeId id);
+  [[nodiscard]] bool contains(rating::NodeId id) const;
+
+  /// Recomputes successors, predecessors and finger tables. Must be called
+  /// after a batch of add/remove before lookups; lookup asserts on a stale
+  /// ring in debug builds.
+  void rebuild();
+
+  /// The node owning `key` (successor of key on the ring). Ring must be
+  /// non-empty. This is the oracle answer, free of routing.
+  [[nodiscard]] rating::NodeId owner_of(Key key) const;
+
+  /// Convenience: the reputation manager of node `id` (owner of the node's
+  /// reputation-record key).
+  [[nodiscard]] rating::NodeId manager_of(rating::NodeId id) const;
+
+  /// Greedy finger routing from `start` to the owner of `key`, counting
+  /// hops. `start` must be a member.
+  [[nodiscard]] LookupResult lookup(rating::NodeId start, Key key) const;
+
+  /// Total routing messages across all lookups so far.
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return total_messages_;
+  }
+  void reset_message_count() noexcept { total_messages_ = 0; }
+
+  /// Ring keys of all members, sorted (exposed for tests/diagnostics).
+  [[nodiscard]] const std::vector<Key>& member_keys() const noexcept {
+    return sorted_keys_;
+  }
+  [[nodiscard]] Key key_of(rating::NodeId id) const;
+
+  /// Finger table of a member: entry k points at successor(key + 2^k).
+  [[nodiscard]] const std::vector<rating::NodeId>& fingers_of(
+      rating::NodeId id) const;
+
+ private:
+  struct Member {
+    rating::NodeId id = rating::kInvalidNode;
+    Key key = 0;
+    std::vector<rating::NodeId> fingers;     // bits entries
+    std::vector<rating::NodeId> successors;  // successor_list entries
+  };
+
+  [[nodiscard]] Key truncate(Key k) const noexcept;
+  /// Index into sorted members of successor(key).
+  [[nodiscard]] std::size_t successor_index(Key key) const;
+  [[nodiscard]] const Member& member(rating::NodeId id) const;
+  /// True iff x lies in the half-open circular interval (lo, hi].
+  [[nodiscard]] static bool in_range_open_closed(Key x, Key lo, Key hi) noexcept;
+
+  ChordConfig config_;
+  Key mask_;
+  std::vector<Member> members_;             // indexed by slot
+  std::vector<Key> sorted_keys_;            // rebuilt by rebuild()
+  std::vector<std::size_t> sorted_slots_;   // slot of sorted_keys_[i]
+  std::vector<std::optional<std::size_t>> slot_of_node_;  // NodeId -> slot
+  bool stale_ = true;
+  mutable std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace p2prep::dht

@@ -1,0 +1,26 @@
+#include "dht/hash.h"
+
+#include "util/rng.h"
+
+namespace p2prep::dht {
+
+Key hash_bytes(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return util::mix64(h);
+}
+
+Key hash_node(rating::NodeId id) noexcept {
+  // Domain-separated from record keys so a node's ring position and its
+  // record placement are independent, as with hashing IP vs. hashing ID.
+  return util::mix64(0x6e6f64655f6b6579ULL ^ id);
+}
+
+Key hash_reputation_record(rating::NodeId id) noexcept {
+  return util::mix64(0x7265705f7265634bULL ^ id);
+}
+
+}  // namespace p2prep::dht

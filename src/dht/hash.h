@@ -1,0 +1,29 @@
+// Consistent-hashing key derivation for the DHT layer (paper Sec. IV-A:
+// "ID_i ... is the consistent hash value of node n_i's IP address").
+// Simulated nodes have no IP addresses, so keys are derived from NodeId
+// (or any byte string) through a strong 64-bit mix; keys are then truncated
+// to the ring's bit width by ChordRing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "rating/types.h"
+
+namespace p2prep::dht {
+
+/// Ring key. The ring uses the low `bits` of this value.
+using Key = std::uint64_t;
+
+/// FNV-1a 64-bit over arbitrary bytes, finalized with a SplitMix64 round
+/// for avalanche. Deterministic across platforms.
+[[nodiscard]] Key hash_bytes(std::string_view data) noexcept;
+
+/// Key for a simulated node (stands in for hashing its IP address).
+[[nodiscard]] Key hash_node(rating::NodeId id) noexcept;
+
+/// Key under which node `id`'s reputation records are stored; the DHT owner
+/// of this key is the node's reputation manager.
+[[nodiscard]] Key hash_reputation_record(rating::NodeId id) noexcept;
+
+}  // namespace p2prep::dht

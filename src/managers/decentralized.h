@@ -1,0 +1,171 @@
+// Decentralized reputation system (paper Sec. IV-B/IV-C, the
+// EigenTrust-style deployment of Fig. 2): reputation management is split
+// across a set of manager nodes arranged in a Chord DHT. The manager of
+// node n_i is the DHT owner of n_i's record key; raters publish ratings
+// with Insert(ID_i, r_i) routed through the ring, and managers run the
+// detection protocol shard-locally, contacting the partner's manager with a
+// check request (another DHT-routed message) when a suspected pair spans
+// two managers.
+//
+// Reputations here are the window summation values R_i = N+_i - N-_i the
+// paper's Sec. IV-A model prescribes, so DetectorConfig::high_rep_threshold
+// is interpreted in raw rating units (a node is high-reputed when its
+// window sum exceeds it), and Formula (2) applies exactly.
+//
+// Message accounting: every DHT routing hop is one message; a check
+// response returns directly to the requesting manager (its address is known
+// from the request) and costs one message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/evidence.h"
+#include "dht/chord.h"
+#include "rating/store.h"
+
+namespace p2prep::managers {
+
+enum class DetectionMethod {
+  kBasic,      ///< Sec. IV-B: complement via explicit row scan.
+  kOptimized,  ///< Sec. IV-C: complement via Formula (2).
+};
+
+class DecentralizedReputationSystem {
+ public:
+  struct Config {
+    std::size_t num_nodes = 0;
+    dht::ChordConfig chord{};
+    core::DetectorConfig detector{};
+  };
+
+  /// `manager_ids`: the high-reputed "power nodes" forming the DHT; if
+  /// empty, every node is a manager (a flat DHT).
+  explicit DecentralizedReputationSystem(
+      Config config, std::vector<rating::NodeId> manager_ids = {});
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return config_.num_nodes;
+  }
+  [[nodiscard]] std::size_t num_managers() const noexcept {
+    return ring_.size();
+  }
+
+  /// Which manager owns node `id`'s reputation records.
+  [[nodiscard]] rating::NodeId manager_of(rating::NodeId id) const {
+    return ring_.manager_of(id);
+  }
+
+  /// Publishes a rating: DHT-routes Insert(ID_ratee, r) from the rater (or
+  /// its closest manager if the rater is not on the ring) to the ratee's
+  /// manager. Returns false for invalid ratings.
+  bool ingest(const rating::Rating& r);
+
+  /// A client queries a node's reputation with Lookup(ID): routed through
+  /// the ring, hop-counted. Suppressed nodes report 0.
+  struct ReputationAnswer {
+    std::int64_t reputation = 0;
+    std::size_t hops = 0;
+    rating::NodeId manager = rating::kInvalidNode;
+  };
+  [[nodiscard]] ReputationAnswer query_reputation(rating::NodeId requester,
+                                                  rating::NodeId target);
+
+  /// Oracle (no routing): window summation reputation of `id`.
+  [[nodiscard]] std::int64_t reputation(rating::NodeId id) const;
+
+  /// Starts a new detection window on every shard.
+  void reset_window();
+
+  // --- Manager churn (join/leave with shard handoff) ---
+
+  struct HandoffStats {
+    std::size_t reassigned_nodes = 0;    ///< Nodes whose manager changed.
+    std::uint64_t transferred_ratings = 0;  ///< Lifetime ratings moved.
+    std::uint64_t transfer_messages = 0; ///< Bulk row transfers (1/node).
+  };
+
+  /// A node joins the management overlay: it takes ownership of the key
+  /// range between its predecessor and itself, and the affected rows move
+  /// from their previous managers. Returns nullopt if `id` is invalid or
+  /// already a manager.
+  std::optional<HandoffStats> add_manager(rating::NodeId id);
+
+  /// A manager leaves; its rows move to the new owners. Refused (nullopt)
+  /// for the last manager or a non-member.
+  std::optional<HandoffStats> remove_manager(rating::NodeId id);
+
+  struct DetectionOutcome {
+    core::DetectionReport report;
+    std::uint64_t check_requests = 0;   ///< Manager-to-manager queries sent.
+    std::uint64_t check_responses = 0;  ///< Positive/negative replies.
+    std::uint64_t request_hops = 0;     ///< DHT routing messages for requests.
+    std::uint64_t local_checks = 0;     ///< Pair checks resolved shard-locally.
+  };
+
+  /// Runs the full decentralized detection round: every manager scans its
+  /// responsible nodes and the cross-manager protocol resolves remote
+  /// partners. When `suppress` is true, flagged nodes' reputations are
+  /// pinned to 0 for subsequent queries.
+  DetectionOutcome run_detection(DetectionMethod method, bool suppress = true);
+
+  /// Observer invoked for every cross-manager check request the detection
+  /// protocol sends (requesting manager, target manager, routing hops).
+  /// Used by the latency harness (managers/latency.h); null disables.
+  using CrossCheckObserver = std::function<void(
+      rating::NodeId from_manager, rating::NodeId to_manager,
+      std::size_t hops)>;
+  void set_cross_check_observer(CrossCheckObserver observer) {
+    cross_check_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const dht::ChordRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const rating::RatingStore& shard(rating::NodeId manager) const {
+    return shards_.at(manager);
+  }
+  [[nodiscard]] const std::unordered_set<rating::NodeId>& detected()
+      const noexcept {
+    return detected_;
+  }
+  /// Cumulative Insert/Lookup routing messages (excludes detection).
+  [[nodiscard]] std::uint64_t transport_messages() const noexcept {
+    return transport_messages_;
+  }
+
+ private:
+  /// Recomputes node->manager assignments after a ring change and moves
+  /// every reassigned row to its new shard.
+  HandoffStats reassign_shards();
+
+  /// One-directional deep check evaluated by `i`'s manager on its own
+  /// shard. Fills fraction outputs; charges `cost`.
+  [[nodiscard]] bool local_directional_check(const rating::RatingStore& shard,
+                                             rating::NodeId i,
+                                             rating::NodeId j,
+                                             DetectionMethod method,
+                                             double& positive_fraction,
+                                             double& complement_fraction,
+                                             util::CostCounter& cost) const;
+
+  /// Sorted list of raters of `i` in `shard`'s current window
+  /// (deterministic iteration order for reproducible reports).
+  [[nodiscard]] static std::vector<rating::NodeId> sorted_raters(
+      const rating::RatingStore& shard, rating::NodeId i);
+
+  Config config_;
+  CrossCheckObserver cross_check_observer_;
+  dht::ChordRing ring_;
+  /// manager id -> that manager's shard ledger (rows of responsible nodes).
+  std::map<rating::NodeId, rating::RatingStore> shards_;
+  /// node id -> manager id (fixed after construction; no churn modeled).
+  std::vector<rating::NodeId> manager_index_;
+  std::unordered_set<rating::NodeId> detected_;
+  std::uint64_t transport_messages_ = 0;
+};
+
+}  // namespace p2prep::managers

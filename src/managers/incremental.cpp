@@ -1,0 +1,63 @@
+#include "managers/incremental.h"
+
+namespace p2prep::managers {
+
+IncrementalCentralizedManager::IncrementalCentralizedManager(
+    std::size_t num_nodes, reputation::ReputationEngine& engine,
+    core::DetectorConfig detector_config)
+    : num_nodes_(num_nodes),
+      engine_(engine),
+      detector_config_(detector_config),
+      matrix_(num_nodes) {
+  engine_.resize(num_nodes);
+  matrix_.set_frequency_threshold(detector_config_.frequency_min);
+}
+
+bool IncrementalCentralizedManager::ingest(const rating::Rating& r) {
+  if (r.rater == r.ratee || r.rater >= num_nodes_ || r.ratee >= num_nodes_)
+    return false;
+  matrix_.add_rating(r.ratee, r.rater, r.score);
+  engine_.ingest(r);
+  return true;
+}
+
+void IncrementalCentralizedManager::refresh_reputations() {
+  for (rating::NodeId i = 0; i < num_nodes_; ++i) {
+    matrix_.set_global_reputation(i, engine_.detection_reputation(i),
+                                  detector_config_.high_rep_threshold);
+  }
+}
+
+void IncrementalCentralizedManager::update_reputations() {
+  engine_.update_epoch();
+  refresh_reputations();
+}
+
+void IncrementalCentralizedManager::reset_window() {
+  rating::RatingMatrix fresh(num_nodes_);
+  fresh.set_frequency_threshold(detector_config_.frequency_min);
+  matrix_ = std::move(fresh);
+  refresh_reputations();
+}
+
+core::DetectionReport IncrementalCentralizedManager::run_detection(
+    const core::CollusionDetector& detector,
+    CentralizedManager::SuppressionMode mode) {
+  core::DetectionReport report = detector.detect(matrix_);
+  if (mode != CentralizedManager::SuppressionMode::kNone) {
+    for (rating::NodeId id : report.colluders()) {
+      detected_.insert(id);
+      if (mode == CentralizedManager::SuppressionMode::kPin)
+        engine_.suppress(id);
+      else
+        engine_.reset_reputation(id);
+    }
+    if (!report.pairs.empty()) {
+      engine_.update_epoch();
+      refresh_reputations();
+    }
+  }
+  return report;
+}
+
+}  // namespace p2prep::managers

@@ -1,0 +1,86 @@
+// Simulation parameters, one field per knob in the paper's Sec. V setup.
+// Defaults reproduce the evaluation configuration exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2prep::net {
+
+struct SimConfig {
+  /// Network size (paper: unstructured P2P network with 200 nodes).
+  std::size_t num_nodes = 200;
+
+  /// Interest categories in the system (paper: 20; ratio of per-node
+  /// interests to categories mirrors Overstock).
+  std::size_t num_interests = 20;
+  /// Per-node interest count is uniform in [min, max] (paper: [1, 5]).
+  std::size_t min_interests_per_node = 1;
+  std::size_t max_interests_per_node = 5;
+
+  /// Requests a node can serve simultaneously per query cycle (paper: 50).
+  std::uint32_t node_capacity = 50;
+
+  /// Per-node activity probability is uniform in [min, max] (paper:
+  /// [0.3, 0.8]); drawn once per node, applied each query cycle.
+  double min_active_prob = 0.3;
+  double max_active_prob = 0.8;
+
+  /// Query cycles per simulation cycle (paper: 20).
+  std::size_t query_cycles_per_sim_cycle = 20;
+  /// Simulation cycles per run (paper: 20). Reputations update once per
+  /// simulation cycle; the detection window T is one simulation cycle.
+  std::size_t sim_cycles = 20;
+
+  /// Probability of serving an authentic file ("good behavior" B).
+  double normal_good_prob = 0.8;      ///< Paper: normal nodes 80%.
+  double pretrusted_good_prob = 1.0;  ///< Paper: pretrusted always good.
+  double colluder_good_prob = 0.2;    ///< Paper: B in {0.2, 0.6}.
+
+  /// Positive ratings each colluder sends its partner per query cycle
+  /// (paper: "rate each other 10 times per query cycle").
+  std::size_t collusion_ratings_per_query_cycle = 10;
+
+  /// Camouflage: probability a collusion rating is positive (1.0 = the
+  /// paper's model). Colluders can mix negatives into their mutual
+  /// ratings to duck under T_a — sacrificing boost for stealth
+  /// (bench_ablation_evasion quantifies the trade).
+  double collusion_positive_prob = 1.0;
+
+  /// Traitor behaviour (NodeRoles::traitors): honest until this simulation
+  /// cycle, then defecting to `traitor_good_prob_after`.
+  std::size_t traitor_defect_cycle = 10;
+  double traitor_good_prob_after = 0.1;
+
+  /// Whitewashing: when a detected colluder's reputation is zeroed, the
+  /// attacker abandons that identity and re-enters under a fresh one
+  /// (drawn from the unused top of the id space), resuming the same
+  /// collusion edges. Models the classic cheap-identity attack; windowed
+  /// detection re-catches each generation within one period, but the
+  /// identity itself escapes lasting damage (bench_ablation_whitewash).
+  bool whitewash_on_detection = false;
+
+  /// Network churn, evaluated at every simulation-cycle boundary: an
+  /// online NORMAL node goes offline with `churn_leave_prob`; an offline
+  /// node returns with `churn_rejoin_prob`. Offline nodes neither query
+  /// nor serve nor rate. Pretrusted nodes and colluders stay online
+  /// (colluders are financially motivated; the paper holds special nodes
+  /// fixed). Defaults reproduce the paper's churn-free setting.
+  double churn_leave_prob = 0.0;
+  double churn_rejoin_prob = 0.0;
+
+  /// Master seed; every run derives independent substreams from it.
+  std::uint64_t seed = 20120910;  // ICPP 2012 opening day
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return num_nodes >= 2 && num_interests >= 1 &&
+           min_interests_per_node >= 1 &&
+           min_interests_per_node <= max_interests_per_node &&
+           max_interests_per_node <= num_interests &&
+           min_active_prob >= 0.0 && max_active_prob <= 1.0 &&
+           min_active_prob <= max_active_prob && node_capacity > 0 &&
+           query_cycles_per_sim_cycle > 0 && sim_cycles > 0;
+  }
+};
+
+}  // namespace p2prep::net

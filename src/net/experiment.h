@@ -1,0 +1,73 @@
+// Multi-run experiment harness (paper: "Each experiment is run 5 times and
+// the average of the results is the final result"). Builds a fresh engine,
+// detector and simulator per run with a derived seed, runs it, and averages
+// reputations, request shares, costs and detection quality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "net/config.h"
+#include "net/roles.h"
+#include "util/cost.h"
+
+namespace p2prep::net {
+
+enum class EngineKind {
+  kWeighted,     ///< Paper Sec. V configuration (w_N = 0.2, w_P = 0.5).
+  kEigenTrust,   ///< Full power-iteration EigenTrust.
+  kSummation,    ///< eBay summation model.
+  kPeerTrust,    ///< Credibility-weighted feedback (related work).
+  kGossipTrust,  ///< Gossip-aggregated EigenTrust (related work).
+  kTrustGuard,   ///< History + fluctuation penalty (related work).
+};
+
+enum class DetectorKind {
+  kNone,       ///< Baseline: host reputation system only.
+  kBasic,      ///< + Unoptimized collusion detection.
+  kOptimized,  ///< + Optimized collusion detection.
+};
+
+[[nodiscard]] std::string to_string(EngineKind k);
+[[nodiscard]] std::string to_string(DetectorKind k);
+
+struct ExperimentSpec {
+  SimConfig config{};
+  NodeRoles roles{};
+  EngineKind engine = EngineKind::kWeighted;
+  DetectorKind detector = DetectorKind::kNone;
+  /// Detector thresholds; high_rep_threshold doubles as the engine-side
+  /// T_R. Defaults follow the paper (T_R = 0.05, T_N = 20).
+  core::DetectorConfig detector_config{};
+  std::size_t runs = 5;
+};
+
+struct ExperimentResult {
+  std::size_t runs = 0;
+  /// Final published reputation per node, averaged over runs.
+  std::vector<double> avg_reputation;
+  /// % of file requests routed to designated colluders (Fig. 12 metric).
+  double avg_percent_to_colluders = 0.0;
+  double avg_total_requests = 0.0;
+  /// Mean per-run operation cost (Fig. 13 metric): reputation-engine cost
+  /// and detector cost, in abstract work units.
+  double avg_engine_cost = 0.0;
+  double avg_detector_cost = 0.0;
+  /// Detection quality against the ground-truth collusion edge set (the
+  /// spec's ORIGINAL roles — under whitewashing, flagged replacement
+  /// identities count as false positives here even though they are
+  /// guilty; use Simulator::whitewash_count() to interpret such runs).
+  double avg_recall = 0.0;           ///< Detected true colluders / true colluders.
+  double avg_false_positives = 0.0;  ///< Flagged nodes outside the truth set.
+  /// Detected-node indicator averaged over runs (1.0 = always detected).
+  std::vector<double> detection_rate;
+  /// Mean simulation cycles (1-based) until a true colluder was first
+  /// flagged, averaged over all detections across runs; 0 when none.
+  double avg_detection_latency = 0.0;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace p2prep::net

@@ -1,0 +1,34 @@
+// Run metrics the evaluation figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rating/types.h"
+
+namespace p2prep::net {
+
+struct Metrics {
+  /// File requests issued (every served query).
+  std::uint64_t total_requests = 0;
+  /// Requests whose selected server is a designated colluder (Fig. 12).
+  std::uint64_t requests_to_colluders = 0;
+  /// Authentic / inauthentic deliveries.
+  std::uint64_t authentic_files = 0;
+  std::uint64_t inauthentic_files = 0;
+  /// Collusion ratings injected by colluding pairs.
+  std::uint64_t collusion_ratings = 0;
+  /// Queries skipped because no neighbor had capacity (or no neighbors).
+  std::uint64_t unserved_queries = 0;
+  /// Requests served per node, indexed by NodeId.
+  std::vector<std::uint64_t> requests_served;
+
+  [[nodiscard]] double percent_to_colluders() const noexcept {
+    return total_requests == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(requests_to_colluders) /
+                     static_cast<double>(total_requests);
+  }
+};
+
+}  // namespace p2prep::net

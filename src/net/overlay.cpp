@@ -1,0 +1,38 @@
+#include "net/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prep::net {
+
+InterestOverlay::InterestOverlay(const SimConfig& config, util::Rng& rng) {
+  assert(config.valid());
+  interests_of_.resize(config.num_nodes);
+  clusters_.resize(config.num_interests);
+
+  for (rating::NodeId id = 0; id < config.num_nodes; ++id) {
+    const auto want = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_interests_per_node),
+        static_cast<std::int64_t>(config.max_interests_per_node)));
+    // Sample `want` distinct interests (partial Fisher-Yates over a small
+    // scratch permutation keeps this exact and unbiased).
+    std::vector<InterestId> all(config.num_interests);
+    for (InterestId c = 0; c < config.num_interests; ++c) all[c] = c;
+    for (std::size_t k = 0; k < want; ++k) {
+      const auto pick =
+          k + static_cast<std::size_t>(rng.next_below(all.size() - k));
+      std::swap(all[k], all[pick]);
+    }
+    auto& mine = interests_of_[id];
+    mine.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(want));
+    std::sort(mine.begin(), mine.end());
+    for (InterestId cat : mine) clusters_[cat].push_back(id);
+  }
+}
+
+bool InterestOverlay::has_interest(rating::NodeId id, InterestId cat) const {
+  const auto& mine = interests_of_.at(id);
+  return std::binary_search(mine.begin(), mine.end(), cat);
+}
+
+}  // namespace p2prep::net

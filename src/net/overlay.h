@@ -1,0 +1,50 @@
+// Interest-clustered unstructured overlay (paper Sec. V network model):
+// each node holds 1-5 of the 20 interest categories; all nodes sharing an
+// interest form a fully connected cluster, and a node with m interests
+// belongs to m clusters. Queries for a file in an interest go to the
+// members of that interest's cluster.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/config.h"
+#include "rating/types.h"
+#include "util/rng.h"
+
+namespace p2prep::net {
+
+using InterestId = std::uint32_t;
+
+class InterestOverlay {
+ public:
+  /// Assigns interests to all nodes from `rng` per the SimConfig bounds.
+  InterestOverlay(const SimConfig& config, util::Rng& rng);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return interests_of_.size();
+  }
+  [[nodiscard]] std::size_t num_interests() const noexcept {
+    return clusters_.size();
+  }
+
+  /// Interests node `id` holds (1..max per config), ascending.
+  [[nodiscard]] std::span<const InterestId> interests_of(
+      rating::NodeId id) const {
+    return interests_of_.at(id);
+  }
+
+  /// All members of interest `cat`'s cluster, ascending node id.
+  [[nodiscard]] std::span<const rating::NodeId> cluster(InterestId cat) const {
+    return clusters_.at(cat);
+  }
+
+  [[nodiscard]] bool has_interest(rating::NodeId id, InterestId cat) const;
+
+ private:
+  std::vector<std::vector<InterestId>> interests_of_;
+  std::vector<std::vector<rating::NodeId>> clusters_;
+};
+
+}  // namespace p2prep::net

@@ -1,0 +1,71 @@
+#include "net/roles.h"
+
+#include <cassert>
+
+namespace p2prep::net {
+
+namespace {
+/// 1-based paper id -> 0-based NodeId.
+constexpr rating::NodeId from_paper_id(std::size_t paper_id) {
+  return static_cast<rating::NodeId>(paper_id - 1);
+}
+}  // namespace
+
+NodeRoles paper_roles(std::size_t num_colluders, std::size_t num_pretrusted) {
+  assert(num_colluders % 2 == 0);
+  NodeRoles roles;
+  for (std::size_t p = 1; p <= num_pretrusted; ++p)
+    roles.pretrusted.push_back(from_paper_id(p));
+  const std::size_t first = num_pretrusted + 1;  // paper id of colluder 1
+  for (std::size_t c = 0; c < num_colluders; ++c)
+    roles.colluders.push_back(from_paper_id(first + c));
+  for (std::size_t c = 0; c < num_colluders; c += 2) {
+    roles.collusion_edges.emplace_back(from_paper_id(first + c),
+                                       from_paper_id(first + c + 1));
+  }
+  return roles;
+}
+
+NodeRoles fig8_roles(std::size_t num_colluders) {
+  return paper_roles(num_colluders, 0);
+}
+
+NodeRoles sybil_roles(std::size_t num_targets, std::size_t sybils_per_target,
+                      bool mutual, std::size_t num_pretrusted) {
+  NodeRoles roles;
+  for (std::size_t p = 1; p <= num_pretrusted; ++p)
+    roles.pretrusted.push_back(from_paper_id(p));
+  const std::size_t first_target = num_pretrusted + 1;  // paper id
+  const std::size_t first_sybil = first_target + num_targets;
+  for (std::size_t t = 0; t < num_targets; ++t) {
+    const rating::NodeId target = from_paper_id(first_target + t);
+    roles.colluders.push_back(target);
+    for (std::size_t s = 0; s < sybils_per_target; ++s) {
+      const rating::NodeId sybil =
+          from_paper_id(first_sybil + t * sybils_per_target + s);
+      roles.colluders.push_back(sybil);
+      if (mutual) roles.collusion_edges.emplace_back(sybil, target);
+      else roles.boost_edges.emplace_back(sybil, target);
+    }
+  }
+  return roles;
+}
+
+NodeRoles traitor_roles(std::size_t num_traitors, std::size_t num_pretrusted) {
+  NodeRoles roles;
+  for (std::size_t p = 1; p <= num_pretrusted; ++p)
+    roles.pretrusted.push_back(from_paper_id(p));
+  for (std::size_t t = 0; t < num_traitors; ++t)
+    roles.traitors.push_back(from_paper_id(num_pretrusted + 1 + t));
+  return roles;
+}
+
+NodeRoles compromised_roles() {
+  NodeRoles roles = paper_roles(8, 3);
+  // Pretrusted n1 colludes with n4; pretrusted n2 with n6 (1-based ids).
+  roles.collusion_edges.emplace_back(from_paper_id(1), from_paper_id(4));
+  roles.collusion_edges.emplace_back(from_paper_id(2), from_paper_id(6));
+  return roles;
+}
+
+}  // namespace p2prep::net

@@ -1,0 +1,86 @@
+// Node role assignment: which nodes are pretrusted, which collude, and the
+// collusion edge set (paper Sec. V node model). Node ids here are 0-based;
+// the paper's figures use 1-based ids (its "node 1" is our node 0) and the
+// figure harnesses translate when printing.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rating/types.h"
+
+namespace p2prep::net {
+
+enum class NodeType : std::uint8_t { kNormal, kPretrusted, kColluder };
+
+struct NodeRoles {
+  std::vector<rating::NodeId> pretrusted;
+  /// Designated colluders (for metrics such as "% of requests sent to
+  /// colluders"); every node appearing in collusion_edges that is not
+  /// pretrusted should be listed here.
+  std::vector<rating::NodeId> colluders;
+  /// Mutual collusion relationships: each edge's endpoints rate each other
+  /// positively `collusion_ratings_per_query_cycle` times per query cycle.
+  /// A node may appear in several edges (e.g. a compromised pretrusted node
+  /// boosting a colluder that also has its own partner).
+  std::vector<std::pair<rating::NodeId, rating::NodeId>> collusion_edges;
+
+  /// One-directional boost relationships (Sybil-style): `first` rates
+  /// `second` positively every query cycle but is never rated back —
+  /// throwaway identities inflating a beneficiary. Evades the paper's
+  /// mutual-frequency predicate (see DetectorConfig::require_mutual).
+  std::vector<std::pair<rating::NodeId, rating::NodeId>> boost_edges;
+
+  /// Traitors (TrustGuard's motivating behaviour): serve honestly until
+  /// SimConfig::traitor_defect_cycle, then defect to
+  /// SimConfig::traitor_good_prob_after.
+  std::vector<rating::NodeId> traitors;
+
+  [[nodiscard]] NodeType type_of(rating::NodeId id) const {
+    for (rating::NodeId p : pretrusted)
+      if (p == id) return NodeType::kPretrusted;
+    for (rating::NodeId c : colluders)
+      if (c == id) return NodeType::kColluder;
+    return NodeType::kNormal;
+  }
+
+  [[nodiscard]] std::unordered_set<rating::NodeId> colluder_set() const {
+    return {colluders.begin(), colluders.end()};
+  }
+};
+
+/// The paper's standard evaluation cast: pretrusted nodes with (1-based)
+/// ids 1..3 and `num_colluders` colluders with ids 4, 5, ... paired up
+/// consecutively ((4,5), (6,7), ...). `num_colluders` must be even.
+[[nodiscard]] NodeRoles paper_roles(std::size_t num_colluders = 8,
+                                    std::size_t num_pretrusted = 3);
+
+/// The Fig. 8 cast (our methods alone, no pretrusted nodes): colluders with
+/// 1-based ids 1..8, paired consecutively.
+[[nodiscard]] NodeRoles fig8_roles(std::size_t num_colluders = 8);
+
+/// The Fig. 7 / Fig. 11 cast: paper_roles(8, 3) plus compromised pretrusted
+/// nodes — pretrusted n1 colludes with colluder n4 and pretrusted n2 with
+/// colluder n6 (1-based ids).
+[[nodiscard]] NodeRoles compromised_roles();
+
+/// Sybil attack cast (the paper's future-work threat): `num_targets`
+/// beneficiaries, each boosted by `sybils_per_target` dedicated throwaway
+/// identities. When `mutual` is true the ring rates back and forth (a
+/// collusion collective the detectors catch); when false the boost is
+/// one-directional (evades the mutual-frequency predicate unless
+/// DetectorConfig::require_mutual is relaxed). Targets take the lowest
+/// ids; sybils follow them.
+[[nodiscard]] NodeRoles sybil_roles(std::size_t num_targets,
+                                    std::size_t sybils_per_target,
+                                    bool mutual,
+                                    std::size_t num_pretrusted = 3);
+
+/// Traitor cast: `num_traitors` nodes (lowest ids after the pretrusted)
+/// that defect mid-run; no collusion edges at all.
+[[nodiscard]] NodeRoles traitor_roles(std::size_t num_traitors,
+                                      std::size_t num_pretrusted = 3);
+
+}  // namespace p2prep::net

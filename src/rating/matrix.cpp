@@ -1,0 +1,80 @@
+#include "rating/matrix.h"
+
+#include <cassert>
+
+namespace p2prep::rating {
+
+RatingMatrix::RatingMatrix(std::size_t num_nodes)
+    : cells_(num_nodes, num_nodes),
+      meta_(num_nodes),
+      checked_(num_nodes * num_nodes, 0) {}
+
+RatingMatrix RatingMatrix::build(const RatingStore& store,
+                                 std::span<const double> global_reps,
+                                 double high_rep_threshold,
+                                 std::uint32_t frequency_threshold) {
+  const std::size_t n = store.num_nodes();
+  assert(global_reps.size() == n);
+  RatingMatrix m(n);
+  m.frequency_threshold_ = frequency_threshold;
+  for (NodeId i = 0; i < n; ++i) {
+    auto& meta = m.meta_[i];
+    meta.global_rep = global_reps[i];
+    meta.totals = store.window_totals(i);
+    meta.high_reputed = global_reps[i] > high_rep_threshold;
+    if (meta.high_reputed) ++m.high_count_;
+    store.for_each_window_rater(
+        i, [&m, i, frequency_threshold, &meta](NodeId rater,
+                                               const PairStats& stats) {
+          m.cells_(i, rater) = stats;
+          if (frequency_threshold > 0 && stats.total >= frequency_threshold)
+            meta.frequent_totals += stats;
+        });
+  }
+  return m;
+}
+
+void RatingMatrix::set_global_reputation(NodeId i, double rep,
+                                         double high_rep_threshold) {
+  auto& meta = meta_.at(i);
+  const bool was_high = meta.high_reputed;
+  meta.global_rep = rep;
+  meta.high_reputed = rep > high_rep_threshold;
+  if (meta.high_reputed && !was_high) ++high_count_;
+  if (!meta.high_reputed && was_high) --high_count_;
+}
+
+void RatingMatrix::add_rating(NodeId ratee, NodeId rater, Score score) {
+  assert(ratee < size() && rater < size() && ratee != rater);
+  PairStats& cell = cells_(ratee, rater);
+  cell.add(score);
+  meta_[ratee].totals.add(score);
+  // Incremental frequent-rater aggregate: when a cell crosses the
+  // threshold its whole history joins the aggregate; afterwards each new
+  // rating is added directly. This is exactly how a deployed manager
+  // keeps the joint-complement state at O(1) per rating.
+  if (frequency_threshold_ > 0 && cell.total >= frequency_threshold_) {
+    if (cell.total == frequency_threshold_) {
+      meta_[ratee].frequent_totals += cell;
+    } else {
+      meta_[ratee].frequent_totals.add(score);
+    }
+  }
+}
+
+bool RatingMatrix::checked(NodeId i, NodeId j) const {
+  assert(i < size() && j < size());
+  return checked_[static_cast<std::size_t>(i) * size() + j] != 0;
+}
+
+void RatingMatrix::mark_checked(NodeId i, NodeId j) {
+  assert(i < size() && j < size());
+  checked_[static_cast<std::size_t>(i) * size() + j] = 1;
+  checked_[static_cast<std::size_t>(j) * size() + i] = 1;
+}
+
+void RatingMatrix::clear_marks() {
+  checked_.assign(checked_.size(), 0);
+}
+
+}  // namespace p2prep::rating

@@ -1,0 +1,120 @@
+// The reputation manager's dense n x n rating matrix (paper Sec. IV-B).
+//
+// Row i describes ratee n_i; cell (i, j) holds the PairStats of rater n_j
+// for n_i over the current update window T — exactly the paper's
+// a_ij = <ID_i, R_i, N_(i,j), N+_(i,j)>. Per the paper, rows are only
+// "non-empty" for high-reputed nodes (R_i > T_R); we keep all rows
+// allocated but flag which are live, which is equivalent and lets the
+// detectors charge the same costs the paper's algorithm would.
+//
+// Two reputation views coexist on purpose:
+//  * `global_reputation` — whatever the host reputation system computed
+//    (e.g. EigenTrust scores). This is what T_R filters on (C1).
+//  * `window_reputation` — the summation value R_i = N+_i - N-_i over the
+//    same window the cells cover. Formula (1)/(2) of the paper is derived
+//    under this model, so the Optimized detector evaluates its bound
+//    against this view; quantities stay self-consistent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rating/pair_stats.h"
+#include "rating/store.h"
+#include "rating/types.h"
+#include "util/matrix.h"
+
+namespace p2prep::rating {
+
+class RatingMatrix {
+ public:
+  RatingMatrix() = default;
+  explicit RatingMatrix(std::size_t num_nodes);
+
+  /// Snapshots the window horizon of `store` into a dense matrix.
+  /// `global_reps[i]` is the host system's reputation for node i (its size
+  /// must equal store.num_nodes()); rows with global_reps[i] > high_rep_threshold
+  /// are flagged live. When `frequency_threshold` > 0, each row also
+  /// carries the aggregate of its frequent raters' cells (every rater with
+  /// N_(i,k) >= frequency_threshold) — the state a deployed manager keeps
+  /// incrementally and the Optimized detector's joint-complement test
+  /// reads in O(1).
+  static RatingMatrix build(const RatingStore& store,
+                            std::span<const double> global_reps,
+                            double high_rep_threshold,
+                            std::uint32_t frequency_threshold = 0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return meta_.size(); }
+
+  /// Number of live (high-reputed) rows — the paper's m.
+  [[nodiscard]] std::size_t high_reputed_count() const noexcept {
+    return high_count_;
+  }
+
+  [[nodiscard]] bool high_reputed(NodeId i) const {
+    return meta_.at(i).high_reputed;
+  }
+  [[nodiscard]] double global_reputation(NodeId i) const {
+    return meta_.at(i).global_rep;
+  }
+  /// Window totals N_i / N+_i / N-_i for ratee i.
+  [[nodiscard]] const PairStats& totals(NodeId i) const {
+    return meta_.at(i).totals;
+  }
+  /// Summation reputation over the window: N+_i - N-_i.
+  [[nodiscard]] std::int64_t window_reputation(NodeId i) const {
+    return meta_.at(i).totals.reputation_delta();
+  }
+
+  /// Aggregate over row i's frequent raters (N_(i,k) >= the matrix's
+  /// frequency threshold). Zero stats when no threshold was configured.
+  [[nodiscard]] const PairStats& frequent_totals(NodeId i) const {
+    return meta_.at(i).frequent_totals;
+  }
+  /// The frequency threshold the frequent aggregates were built with
+  /// (0 = none).
+  [[nodiscard]] std::uint32_t frequency_threshold() const noexcept {
+    return frequency_threshold_;
+  }
+
+  [[nodiscard]] const PairStats& cell(NodeId ratee, NodeId rater) const {
+    return cells_(ratee, rater);
+  }
+  [[nodiscard]] std::span<const PairStats> row(NodeId ratee) const {
+    return cells_.row(ratee);
+  }
+
+  // --- Direct mutation (for tests and incremental managers) ---
+
+  void set_global_reputation(NodeId i, double rep, double high_rep_threshold);
+  void add_rating(NodeId ratee, NodeId rater, Score score);
+  /// Configures the frequency threshold for the incremental frequent
+  /// aggregates. Call before the first add_rating.
+  void set_frequency_threshold(std::uint32_t t) noexcept {
+    frequency_threshold_ = t;
+  }
+
+  // --- Checked-pair marking (paper: "the manager marks a_ij and a_ji") ---
+
+  [[nodiscard]] bool checked(NodeId i, NodeId j) const;
+  /// Marks the unordered pair {i, j}: both a_ij and a_ji.
+  void mark_checked(NodeId i, NodeId j);
+  void clear_marks();
+
+ private:
+  struct RowMeta {
+    double global_rep = 0.0;
+    PairStats totals;
+    PairStats frequent_totals;
+    bool high_reputed = false;
+  };
+
+  util::Matrix<PairStats> cells_;
+  std::vector<RowMeta> meta_;
+  std::vector<std::uint8_t> checked_;  // n*n flags for pair marking
+  std::size_t high_count_ = 0;
+  std::uint32_t frequency_threshold_ = 0;
+};
+
+}  // namespace p2prep::rating

@@ -1,0 +1,70 @@
+// Per-(rater, ratee) aggregate over the current reputation-update window T.
+// These four counters are exactly the per-pair state the paper's reputation
+// manager keeps in its matrix cells (Table I: N_(i,j), N+_(i,j), N-_(i,j)).
+#pragma once
+
+#include <cstdint>
+
+#include "rating/types.h"
+
+namespace p2prep::rating {
+
+struct PairStats {
+  std::uint32_t total = 0;     ///< N_(i,j): all ratings from j for i in T.
+  std::uint32_t positive = 0;  ///< N+_(i,j).
+  std::uint32_t negative = 0;  ///< N-_(i,j).
+
+  constexpr void add(Score s) noexcept {
+    ++total;
+    if (s == Score::kPositive) ++positive;
+    else if (s == Score::kNegative) ++negative;
+  }
+
+  /// Neutral ratings count toward total but neither sign.
+  [[nodiscard]] constexpr std::uint32_t neutral() const noexcept {
+    return total - positive - negative;
+  }
+
+  /// `a` (or `b` for the complement aggregate): fraction of positive
+  /// ratings among all ratings. 0 when empty.
+  [[nodiscard]] constexpr double positive_fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(positive) / static_cast<double>(total);
+  }
+
+  /// Contribution to the summation reputation: N+ - N-.
+  [[nodiscard]] constexpr std::int64_t reputation_delta() const noexcept {
+    return static_cast<std::int64_t>(positive) -
+           static_cast<std::int64_t>(negative);
+  }
+
+  constexpr PairStats& operator+=(const PairStats& o) noexcept {
+    total += o.total;
+    positive += o.positive;
+    negative += o.negative;
+    return *this;
+  }
+
+  /// Removes `o` from this aggregate (used to form the "-j" complement
+  /// N_(i,-j) = N_i - N_(i,j) without a row scan). Caller guarantees o is a
+  /// sub-aggregate of *this.
+  constexpr PairStats& operator-=(const PairStats& o) noexcept {
+    total -= o.total;
+    positive -= o.positive;
+    negative -= o.negative;
+    return *this;
+  }
+
+  friend constexpr PairStats operator+(PairStats a, const PairStats& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend constexpr PairStats operator-(PairStats a, const PairStats& b) noexcept {
+    a -= b;
+    return a;
+  }
+
+  friend constexpr bool operator==(const PairStats&, const PairStats&) = default;
+};
+
+}  // namespace p2prep::rating

@@ -1,0 +1,111 @@
+#include "rating/store.h"
+
+#include <cassert>
+
+namespace p2prep::rating {
+
+namespace {
+const PairStats kEmptyStats{};
+}
+
+void RatingStore::resize(std::size_t num_nodes) {
+  assert(num_nodes >= per_ratee_.size());
+  per_ratee_.resize(num_nodes);
+  window_totals_.resize(num_nodes);
+  lifetime_totals_.resize(num_nodes);
+}
+
+bool RatingStore::ingest(const Rating& r) {
+  if (r.rater == r.ratee) return false;
+  if (r.ratee >= per_ratee_.size() || r.rater >= per_ratee_.size())
+    return false;
+  Entry& e = per_ratee_[r.ratee][r.rater];
+  e.window.add(r.score);
+  e.lifetime.add(r.score);
+  window_totals_[r.ratee].add(r.score);
+  lifetime_totals_[r.ratee].add(r.score);
+  ++events_;
+  return true;
+}
+
+void RatingStore::reset_window() {
+  for (auto& raters : per_ratee_) {
+    // Drop entries whose lifetime is only window history? No: lifetime
+    // persists; just zero the window part. Entries with empty windows are
+    // kept so lifetime pair queries remain O(1).
+    for (auto& [rater, entry] : raters) entry.window = PairStats{};
+  }
+  for (auto& t : window_totals_) t = PairStats{};
+}
+
+PairStats RatingStore::window_pair(NodeId ratee, NodeId rater) const {
+  const auto& raters = per_ratee_.at(ratee);
+  auto it = raters.find(rater);
+  return it == raters.end() ? PairStats{} : it->second.window;
+}
+
+const PairStats& RatingStore::window_totals(NodeId ratee) const {
+  return ratee < window_totals_.size() ? window_totals_[ratee] : kEmptyStats;
+}
+
+PairStats RatingStore::window_complement(NodeId ratee, NodeId rater) const {
+  return window_totals(ratee) - window_pair(ratee, rater);
+}
+
+void RatingStore::for_each_window_rater(
+    NodeId ratee,
+    const std::function<void(NodeId, const PairStats&)>& fn) const {
+  for (const auto& [rater, entry] : per_ratee_.at(ratee)) {
+    if (entry.window.total > 0) fn(rater, entry.window);
+  }
+}
+
+std::size_t RatingStore::window_rater_count(NodeId ratee) const {
+  std::size_t count = 0;
+  for (const auto& [rater, entry] : per_ratee_.at(ratee)) {
+    if (entry.window.total > 0) ++count;
+  }
+  return count;
+}
+
+void RatingStore::transfer_ratee(RatingStore& to, NodeId ratee) {
+  assert(ratee < per_ratee_.size() && ratee < to.per_ratee_.size());
+  if (&to == this) return;
+  auto& src = per_ratee_[ratee];
+  auto& dst = to.per_ratee_[ratee];
+  for (auto& [rater, entry] : src) {
+    Entry& target = dst[rater];
+    target.window += entry.window;
+    target.lifetime += entry.lifetime;
+  }
+  src.clear();
+  to.window_totals_[ratee] += window_totals_[ratee];
+  to.lifetime_totals_[ratee] += lifetime_totals_[ratee];
+  window_totals_[ratee] = PairStats{};
+  lifetime_totals_[ratee] = PairStats{};
+}
+
+void RatingStore::for_each_lifetime_rater(
+    NodeId ratee,
+    const std::function<void(NodeId, const PairStats&)>& fn) const {
+  for (const auto& [rater, entry] : per_ratee_.at(ratee)) {
+    if (entry.lifetime.total > 0) fn(rater, entry.lifetime);
+  }
+}
+
+PairStats RatingStore::lifetime_pair(NodeId ratee, NodeId rater) const {
+  const auto& raters = per_ratee_.at(ratee);
+  auto it = raters.find(rater);
+  return it == raters.end() ? PairStats{} : it->second.lifetime;
+}
+
+const PairStats& RatingStore::lifetime_totals(NodeId ratee) const {
+  return ratee < lifetime_totals_.size() ? lifetime_totals_[ratee]
+                                         : kEmptyStats;
+}
+
+std::int64_t RatingStore::reputation(NodeId ratee) const {
+  return lifetime_totals(ratee).reputation_delta();
+}
+
+}  // namespace p2prep::rating

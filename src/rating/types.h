@@ -1,0 +1,52 @@
+// Fundamental rating vocabulary shared by every layer: node identifiers,
+// the three-level local rating used by eBay/EigenTrust (-1 / 0 / +1), the
+// five-star marketplace score used by the Amazon/Overstock trace layer, and
+// the timestamped rating event.
+#pragma once
+
+#include <cstdint>
+
+namespace p2prep::rating {
+
+/// Dense node identifier. Simulated networks index nodes 0..n-1; the DHT
+/// layer derives ring keys from NodeId by hashing (paper Sec. IV-A).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Discrete simulation time. The net simulator counts query cycles; the
+/// trace layer counts days. Both are just monotone ticks to this module.
+using Tick = std::uint64_t;
+
+/// Local reputation rating for one interaction (paper Sec. IV-A): -1
+/// negative, 0 neutral, +1 positive. Systems with other scales are mapped
+/// onto this one before detection (ratings >= T_R become +1, else -1).
+enum class Score : std::int8_t {
+  kNegative = -1,
+  kNeutral = 0,
+  kPositive = 1,
+};
+
+[[nodiscard]] constexpr int score_value(Score s) noexcept {
+  return static_cast<int>(s);
+}
+
+/// Amazon's published mapping (paper Sec. III): stars 1-2 -> negative,
+/// 3 -> neutral, 4-5 -> positive. Star values outside [1,5] are clamped.
+[[nodiscard]] constexpr Score score_from_stars(int stars) noexcept {
+  if (stars <= 2) return Score::kNegative;
+  if (stars == 3) return Score::kNeutral;
+  return Score::kPositive;
+}
+
+/// One rating event: `rater` rated `ratee` with `score` at time `time`.
+struct Rating {
+  NodeId rater = kInvalidNode;
+  NodeId ratee = kInvalidNode;
+  Score score = Score::kNeutral;
+  Tick time = 0;
+
+  friend constexpr bool operator==(const Rating&, const Rating&) = default;
+};
+
+}  // namespace p2prep::rating

@@ -1,0 +1,116 @@
+#include "reputation/eigentrust.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p2prep::reputation {
+
+EigenTrustEngine::EigenTrustEngine(std::size_t n, EigenTrustConfig config,
+                                   util::ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  resize(n);
+}
+
+void EigenTrustEngine::resize(std::size_t n) {
+  if (n <= trust_.size()) return;
+  local_.resize(n, n);
+  const double uniform = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  trust_.assign(n, uniform);
+}
+
+void EigenTrustEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= trust_.size() || r.rater >= trust_.size())
+    resize(std::max(r.ratee, r.rater) + 1);
+  // s_ij: rater i's accumulated experience with ratee j.
+  local_(r.rater, r.ratee) += rating::score_value(r.score);
+  cost_.add_arith();
+}
+
+void EigenTrustEngine::normalize_local(std::vector<double>& c) const {
+  const std::size_t n = trust_.size();
+  // Pretrusted restart distribution p.
+  std::vector<double> p(n, 0.0);
+  if (!pretrusted_.empty()) {
+    const double share = 1.0 / static_cast<double>(pretrusted_.size());
+    for (rating::NodeId i : pretrusted_)
+      if (i < n) p[i] = share;
+  } else if (n > 0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    const auto row = local_.row(i);
+    for (std::size_t j = 0; j < n; ++j)
+      row_sum += static_cast<double>(std::max<std::int64_t>(row[j], 0));
+    if (row_sum > 0.0) {
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] =
+            static_cast<double>(std::max<std::int64_t>(row[j], 0)) / row_sum;
+    } else {
+      // No positive experience: trust the pretrusted distribution.
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] = p[j];
+    }
+  }
+}
+
+void EigenTrustEngine::update_epoch() {
+  const std::size_t n = trust_.size();
+  if (n == 0) return;
+
+  std::vector<double> c(n * n);
+  normalize_local(c);
+  cost_.add_arith(2 * n * n);  // row-sum + divide passes
+
+  std::vector<double> p(n, 0.0);
+  if (!pretrusted_.empty()) {
+    const double share = 1.0 / static_cast<double>(pretrusted_.size());
+    for (rating::NodeId i : pretrusted_)
+      if (i < n) p[i] = share;
+  } else {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+  }
+
+  std::vector<double> t = p;  // standard EigenTrust initialization
+  std::vector<double> next(n, 0.0);
+
+  std::size_t iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    // next = (1 - alpha) * C^T t + alpha * p
+    auto column_chunk = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) acc += c[i * n + j] * t[i];
+        next[j] = (1.0 - config_.alpha) * acc + config_.alpha * p[j];
+      }
+    };
+    if (pool_ != nullptr && n >= 64) {
+      pool_->parallel_for_chunked(0, n, column_chunk);
+    } else {
+      column_chunk(0, n);
+    }
+    cost_.add_arith(n * n);
+
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) delta += std::abs(next[j] - t[j]);
+    cost_.add_arith(n);
+    t.swap(next);
+    if (delta < config_.epsilon) {
+      ++iter;
+      break;
+    }
+  }
+  last_iterations_ = iter;
+
+  trust_ = std::move(t);
+  for (rating::NodeId i : suppressed_) {
+    if (i < trust_.size()) trust_[i] = 0.0;
+  }
+}
+
+double EigenTrustEngine::reputation(rating::NodeId i) const {
+  return trust_.at(i);
+}
+
+}  // namespace p2prep::reputation

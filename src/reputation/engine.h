@@ -1,0 +1,94 @@
+// ReputationEngine: the host-reputation-system abstraction the collusion
+// detectors plug into (paper: "our proposed methods can be built on any
+// reputation system").
+//
+// Lifecycle: ratings stream in via ingest(); once per simulation cycle the
+// caller invokes update_epoch(), after which reputations() reflects the new
+// global values. suppress(node) is the detection action the paper applies
+// ("after the methods detect the colluders, they set their reputations to
+// 0") — it pins a node's published reputation to zero across future epochs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "rating/types.h"
+#include "util/cost.h"
+
+namespace p2prep::reputation {
+
+class ReputationEngine {
+ public:
+  virtual ~ReputationEngine() = default;
+
+  /// Human-readable engine name for reports.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Grows to `n` nodes (never shrinks).
+  virtual void resize(std::size_t n) = 0;
+  [[nodiscard]] virtual std::size_t num_nodes() const noexcept = 0;
+
+  /// Feeds one rating event into the engine's aggregates.
+  virtual void ingest(const rating::Rating& r) = 0;
+
+  /// Recomputes global reputations from the aggregates. Charges the
+  /// engine's cost counter with the work performed.
+  virtual void update_epoch() = 0;
+
+  /// Published global reputation of node i (valid after update_epoch()).
+  [[nodiscard]] virtual double reputation(rating::NodeId i) const = 0;
+  [[nodiscard]] virtual std::span<const double> reputations() const = 0;
+
+  /// Reputation view the collusion detectors filter on (the paper's T_R
+  /// is an absolute threshold, e.g. 0.05). Defaults to the published
+  /// value; engines that normalize their published values for display
+  /// (so that thresholds would dilute as the population grows) override
+  /// this to expose the raw accumulated score. Suppressed nodes report 0.
+  [[nodiscard]] virtual double detection_reputation(rating::NodeId i) const {
+    return is_suppressed(i) ? 0.0 : reputation(i);
+  }
+
+  /// Marks the set of pretrusted nodes. Engines that have no notion of
+  /// pretrust may ignore this; the default stores the set for subclasses.
+  virtual void set_pretrusted(std::vector<rating::NodeId> nodes) {
+    pretrusted_.clear();
+    pretrusted_.insert(nodes.begin(), nodes.end());
+  }
+  [[nodiscard]] bool is_pretrusted(rating::NodeId i) const {
+    return pretrusted_.contains(i);
+  }
+  [[nodiscard]] std::size_t pretrusted_count() const noexcept {
+    return pretrusted_.size();
+  }
+
+  /// Detection action, paper semantics: zeroes node i's accumulated
+  /// reputation *now* but lets future ratings accumulate again (so a
+  /// still-colluding node is re-detected and re-zeroed every period —
+  /// the dynamic behind Fig. 13's cost growth). Engines override to clear
+  /// their accumulators.
+  virtual void reset_reputation(rating::NodeId i) { (void)i; }
+
+  /// Detection action, permanent variant: pins node i's published
+  /// reputation to 0 from now on.
+  virtual void suppress(rating::NodeId i) { suppressed_.insert(i); }
+  [[nodiscard]] bool is_suppressed(rating::NodeId i) const {
+    return suppressed_.contains(i);
+  }
+  [[nodiscard]] std::size_t suppressed_count() const noexcept {
+    return suppressed_.size();
+  }
+
+  /// Cumulative computation cost of all update_epoch() calls.
+  [[nodiscard]] const util::CostCounter& cost() const noexcept { return cost_; }
+  void reset_cost() noexcept { cost_ = {}; }
+
+ protected:
+  util::CostCounter cost_;
+  std::unordered_set<rating::NodeId> pretrusted_;
+  std::unordered_set<rating::NodeId> suppressed_;
+};
+
+}  // namespace p2prep::reputation

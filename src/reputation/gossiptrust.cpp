@@ -1,0 +1,126 @@
+#include "reputation/gossiptrust.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prep::reputation {
+
+GossipTrustEngine::GossipTrustEngine(std::size_t n, GossipTrustConfig config)
+    : config_(config), rng_(config.seed) {
+  resize(n);
+}
+
+void GossipTrustEngine::resize(std::size_t n) {
+  if (n <= trust_.size()) return;
+  local_.resize(n, n);
+  const double uniform = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  trust_.assign(n, uniform);
+}
+
+void GossipTrustEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= trust_.size() || r.rater >= trust_.size())
+    resize(std::max(r.ratee, r.rater) + 1);
+  local_(r.rater, r.ratee) += rating::score_value(r.score);
+  cost_.add_arith();
+}
+
+double GossipTrustEngine::push_sum_average(std::vector<double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  std::vector<double> weights(n, 1.0);
+  for (std::size_t round = 0; round < config_.gossip_rounds; ++round) {
+    // Synchronous push-sum: every node pushes half its (value, weight) to
+    // one uniformly random peer; deliveries are accumulated then applied.
+    std::vector<double> value_in(n, 0.0);
+    std::vector<double> weight_in(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto peer = static_cast<std::size_t>(rng_.next_below(n));
+      if (peer == i) peer = (peer + 1) % n;
+      values[i] *= 0.5;
+      weights[i] *= 0.5;
+      value_in[peer] += values[i];
+      weight_in[peer] += weights[i];
+      ++gossip_messages_;
+      cost_.add_message();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] += value_in[i];
+      weights[i] += weight_in[i];
+    }
+    cost_.add_arith(2 * n);
+  }
+  // Mass conservation: sum(values)/sum(weights) is exact; individual
+  // nodes' estimates carry the residual error of finite rounds. Report
+  // node 0's estimate, as a real deployment would use a node-local value.
+  return weights[0] > 0.0 ? values[0] / weights[0] : 0.0;
+}
+
+void GossipTrustEngine::update_epoch() {
+  const std::size_t n = trust_.size();
+  if (n == 0) return;
+
+  // Restart distribution.
+  std::vector<double> p(n, 0.0);
+  if (!pretrusted_.empty()) {
+    const double share = 1.0 / static_cast<double>(pretrusted_.size());
+    for (rating::NodeId i : pretrusted_)
+      if (i < n) p[i] = share;
+  } else {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+  }
+
+  // Row-normalized local trust.
+  std::vector<double> c(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      row_sum += static_cast<double>(
+          std::max<std::int64_t>(local_(i, j), 0));
+    for (std::size_t j = 0; j < n; ++j) {
+      c[i * n + j] =
+          row_sum > 0.0 ? static_cast<double>(std::max<std::int64_t>(
+                              local_(i, j), 0)) /
+                              row_sum
+                        : p[j];
+    }
+  }
+  cost_.add_arith(2 * n * n);
+
+  std::vector<double> t = p;
+  std::vector<double> next(n);
+  std::vector<double> scratch(n);
+  for (std::size_t iter = 0; iter < config_.power_iterations; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // t'_j = n * avg_i(c_ij * t_i), the average computed by gossip.
+      for (std::size_t i = 0; i < n; ++i) scratch[i] = c[i * n + j] * t[i];
+      cost_.add_arith(n);
+      const double avg = push_sum_average(scratch);
+      next[j] = (1.0 - config_.alpha) * avg * static_cast<double>(n) +
+                config_.alpha * p[j];
+    }
+    t = next;
+  }
+
+  // Gossip noise can leave tiny negatives / drift; publish a clean
+  // distribution.
+  double sum = 0.0;
+  for (auto& x : t) {
+    x = std::max(0.0, x);
+    sum += x;
+  }
+  if (sum > 0.0) {
+    for (auto& x : t) x /= sum;
+  }
+  cost_.add_arith(2 * n);
+
+  trust_ = std::move(t);
+  for (rating::NodeId i : suppressed_) {
+    if (i < trust_.size()) trust_[i] = 0.0;
+  }
+}
+
+double GossipTrustEngine::reputation(rating::NodeId i) const {
+  return trust_.at(i);
+}
+
+}  // namespace p2prep::reputation

@@ -1,0 +1,88 @@
+#include "reputation/peertrust.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2prep::reputation {
+
+PeerTrustEngine::PeerTrustEngine(std::size_t n, PeerTrustConfig config)
+    : config_(config) {
+  resize(n);
+}
+
+void PeerTrustEngine::resize(std::size_t n) {
+  if (n <= trust_.size()) return;
+  received_.resize(n);
+  totals_.resize(n);
+  trust_.resize(n, config_.prior);
+  credibility_.resize(n, 1.0);
+}
+
+void PeerTrustEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= trust_.size() || r.rater >= trust_.size())
+    resize(std::max(r.ratee, r.rater) + 1);
+  received_[r.ratee][r.rater].add(r.score);
+  totals_[r.ratee].add(r.score);
+  cost_.add_arith();
+}
+
+void PeerTrustEngine::update_epoch() {
+  const std::size_t n = trust_.size();
+
+  // Consensus positive fraction per ratee.
+  std::vector<double> consensus(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u)
+    consensus[u] = totals_[u].positive_fraction();
+  cost_.add_arith(n);
+
+  // Credibility: 1 - RMS deviation of each rater's opinions from the
+  // consensus about the nodes it rated.
+  std::vector<double> sq_dev(n, 0.0);
+  std::vector<std::uint32_t> rated(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& [rater, stats] : received_[u]) {
+      const double diff = stats.positive_fraction() - consensus[u];
+      sq_dev[rater] += diff * diff;
+      ++rated[rater];
+      cost_.add_arith();
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    credibility_[v] =
+        rated[v] == 0
+            ? 1.0
+            : std::max(config_.min_credibility,
+                       1.0 - std::sqrt(sq_dev[v] /
+                                       static_cast<double>(rated[v])));
+  }
+  cost_.add_arith(n);
+
+  // Trust: credibility-weighted positive fractions.
+  for (std::size_t u = 0; u < n; ++u) {
+    double weighted = 0.0;
+    double weight = 0.0;
+    for (const auto& [rater, stats] : received_[u]) {
+      weighted += stats.positive_fraction() * credibility_[rater];
+      weight += credibility_[rater];
+      cost_.add_arith(2);
+    }
+    trust_[u] = weight == 0.0 ? config_.prior : weighted / weight;
+  }
+
+  for (rating::NodeId i : suppressed_) {
+    if (i < trust_.size()) trust_[i] = 0.0;
+  }
+}
+
+double PeerTrustEngine::reputation(rating::NodeId i) const {
+  return trust_.at(i);
+}
+
+void PeerTrustEngine::reset_reputation(rating::NodeId i) {
+  if (i >= trust_.size()) return;
+  received_[i].clear();
+  totals_[i] = rating::PairStats{};
+  trust_[i] = 0.0;
+}
+
+}  // namespace p2prep::reputation

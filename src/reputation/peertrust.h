@@ -1,0 +1,68 @@
+// PeerTrust-inspired engine (Xiong & Liu, TKDE'04 — paper Sec. II related
+// work): a node's trust is the credibility-weighted average of the
+// feedback it received, where a rater's credibility derives from how well
+// its opinions agree with the community consensus (the "personalized
+// similarity measure" PSM, collapsed to the global consensus for a single
+// manager).
+//
+//   T(u)  = sum_v a(v->u) * Cr(v) / sum_v Cr(v)
+//   Cr(v) = 1 - RMS_{w rated by v} ( a(v->w) - consensus(w) )
+//
+// with a(v->u) the positive fraction of v's ratings for u and
+// consensus(w) the all-raters positive fraction for w. Colluders rating
+// each other 100% positive while the community rates them negatively get
+// low credibility, damping (though not eliminating) collusion — which is
+// why the paper classifies credibility weighting as mitigation, not
+// detection. Included as a second baseline beside EigenTrust.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rating/pair_stats.h"
+#include "reputation/engine.h"
+
+namespace p2prep::reputation {
+
+struct PeerTrustConfig {
+  /// Trust assigned to nodes nobody rated yet.
+  double prior = 0.0;
+  /// Floor for credibility so a disagreeing rater is damped, not erased.
+  double min_credibility = 0.05;
+};
+
+class PeerTrustEngine final : public ReputationEngine {
+ public:
+  explicit PeerTrustEngine(std::size_t n = 0, PeerTrustConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "PeerTrust";
+  }
+  void resize(std::size_t n) override;
+  [[nodiscard]] std::size_t num_nodes() const noexcept override {
+    return trust_.size();
+  }
+  void ingest(const rating::Rating& r) override;
+  void update_epoch() override;
+  [[nodiscard]] double reputation(rating::NodeId i) const override;
+  [[nodiscard]] std::span<const double> reputations() const override {
+    return trust_;
+  }
+
+  /// Credibility of rater v after the last epoch (1 = fully consensual).
+  [[nodiscard]] double credibility(rating::NodeId v) const {
+    return credibility_.at(v);
+  }
+
+  void reset_reputation(rating::NodeId i) override;
+
+ private:
+  PeerTrustConfig config_;
+  /// received_[u]: rater -> aggregate of ratings for u.
+  std::vector<std::unordered_map<rating::NodeId, rating::PairStats>> received_;
+  std::vector<rating::PairStats> totals_;  // consensus inputs per ratee
+  std::vector<double> trust_;
+  std::vector<double> credibility_;
+};
+
+}  // namespace p2prep::reputation

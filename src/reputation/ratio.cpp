@@ -1,0 +1,39 @@
+#include "reputation/ratio.h"
+
+namespace p2prep::reputation {
+
+RatioEngine::RatioEngine(std::size_t n) { resize(n); }
+
+void RatioEngine::resize(std::size_t n) {
+  if (n <= agg_.size()) return;
+  agg_.resize(n);
+  published_.resize(n, prior_);
+}
+
+void RatioEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= agg_.size()) resize(r.ratee + 1);
+  agg_[r.ratee].add(r.score);
+  cost_.add_arith();
+}
+
+void RatioEngine::update_epoch() {
+  for (std::size_t i = 0; i < agg_.size(); ++i) {
+    // Amazon counts positives over positives+negatives; neutral ratings do
+    // not move the ratio.
+    const auto signed_total = agg_[i].positive + agg_[i].negative;
+    published_[i] = signed_total == 0
+                        ? prior_
+                        : static_cast<double>(agg_[i].positive) /
+                              static_cast<double>(signed_total);
+  }
+  cost_.add_arith(agg_.size());
+  for (rating::NodeId i : suppressed_) {
+    if (i < published_.size()) published_[i] = 0.0;
+  }
+}
+
+double RatioEngine::reputation(rating::NodeId i) const {
+  return published_.at(i);
+}
+
+}  // namespace p2prep::reputation

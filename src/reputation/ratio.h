@@ -1,0 +1,52 @@
+// Amazon-style ratio reputation (paper Sec. III): a seller's reputation is
+// the number of positive ratings divided by the count of all (non-neutral)
+// ratings, in [0, 1]. Used by the trace-analysis layer to reproduce the
+// Figure 1 seller-reputation bands.
+#pragma once
+
+#include <vector>
+
+#include "rating/pair_stats.h"
+#include "reputation/engine.h"
+
+namespace p2prep::reputation {
+
+class RatioEngine final : public ReputationEngine {
+ public:
+  explicit RatioEngine(std::size_t n = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Ratio";
+  }
+  void resize(std::size_t n) override;
+  [[nodiscard]] std::size_t num_nodes() const noexcept override {
+    return agg_.size();
+  }
+  void ingest(const rating::Rating& r) override;
+  void update_epoch() override;
+  [[nodiscard]] double reputation(rating::NodeId i) const override;
+  [[nodiscard]] std::span<const double> reputations() const override {
+    return published_;
+  }
+
+  [[nodiscard]] const rating::PairStats& aggregate(rating::NodeId i) const {
+    return agg_.at(i);
+  }
+
+  /// Reputation of nodes with no ratings yet (default 0.5, "unknown").
+  void set_prior(double prior) noexcept { prior_ = prior; }
+
+  void reset_reputation(rating::NodeId i) override {
+    if (i < agg_.size()) {
+      agg_[i] = rating::PairStats{};
+      published_[i] = 0.0;
+    }
+  }
+
+ private:
+  std::vector<rating::PairStats> agg_;
+  std::vector<double> published_;
+  double prior_ = 0.5;
+};
+
+}  // namespace p2prep::reputation

@@ -1,0 +1,51 @@
+#include "reputation/summation.h"
+
+#include <algorithm>
+
+namespace p2prep::reputation {
+
+SummationEngine::SummationEngine(std::size_t n, bool normalize)
+    : normalize_(normalize) {
+  resize(n);
+}
+
+void SummationEngine::resize(std::size_t n) {
+  if (n <= sums_.size()) return;
+  sums_.resize(n, 0);
+  published_.resize(n, 0.0);
+}
+
+void SummationEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= sums_.size()) resize(r.ratee + 1);
+  sums_[r.ratee] += rating::score_value(r.score);
+  cost_.add_arith();
+}
+
+void SummationEngine::update_epoch() {
+  const std::size_t n = sums_.size();
+  if (normalize_) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      published_[i] = std::max<double>(0.0, static_cast<double>(sums_[i]));
+      total += published_[i];
+    }
+    cost_.add_arith(2 * n);
+    if (total > 0.0) {
+      for (auto& p : published_) p /= total;
+      cost_.add_arith(n);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      published_[i] = static_cast<double>(sums_[i]);
+    cost_.add_arith(n);
+  }
+  for (rating::NodeId i : suppressed_) {
+    if (i < published_.size()) published_[i] = 0.0;
+  }
+}
+
+double SummationEngine::reputation(rating::NodeId i) const {
+  return published_.at(i);
+}
+
+}  // namespace p2prep::reputation

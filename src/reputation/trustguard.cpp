@@ -1,0 +1,96 @@
+#include "reputation/trustguard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2prep::reputation {
+
+TrustGuardEngine::TrustGuardEngine(std::size_t n, TrustGuardConfig config)
+    : config_(config) {
+  resize(n);
+}
+
+void TrustGuardEngine::resize(std::size_t n) {
+  if (n <= trust_.size()) return;
+  window_.resize(n);
+  history_.resize(n);
+  ever_rated_.resize(n, false);
+  trust_.resize(n, config_.prior);
+}
+
+void TrustGuardEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= trust_.size() || r.rater >= trust_.size())
+    resize(std::max(r.ratee, r.rater) + 1);
+  window_[r.ratee].add(r.score);
+  ever_rated_[r.ratee] = true;
+  cost_.add_arith();
+}
+
+double TrustGuardEngine::last_window_score(rating::NodeId i) const {
+  const auto& h = history_.at(i);
+  return h.empty() ? config_.prior : h.back();
+}
+
+void TrustGuardEngine::update_epoch() {
+  const std::size_t n = trust_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Close the window. A window with no ratings repeats the previous
+    // score (no evidence either way) once the node has any history.
+    double current;
+    if (window_[i].total > 0) {
+      current = window_[i].positive_fraction();
+    } else if (!history_[i].empty()) {
+      current = history_[i].back();
+    } else {
+      current = config_.prior;
+    }
+    auto& h = history_[i];
+    h.push_back(current);
+    if (h.size() > config_.history_windows) h.pop_front();
+    window_[i] = rating::PairStats{};
+
+    if (!ever_rated_[i]) {
+      trust_[i] = config_.prior;
+      continue;
+    }
+
+    // History statistics exclude the just-closed window (it is the
+    // "current" term); with only one window, history collapses onto it.
+    double hist_mean = current;
+    double hist_var = 0.0;
+    if (h.size() > 1) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k + 1 < h.size(); ++k) sum += h[k];
+      hist_mean = sum / static_cast<double>(h.size() - 1);
+      // Fluctuation over the whole recorded history including current.
+      double mean_all = (sum + current) / static_cast<double>(h.size());
+      double sq = 0.0;
+      for (double v : h) sq += (v - mean_all) * (v - mean_all);
+      hist_var = sq / static_cast<double>(h.size());
+    }
+    cost_.add_arith(h.size() * 2);
+
+    trust_[i] = std::max(
+        0.0, config_.current_weight * current +
+                 config_.history_weight * hist_mean -
+                 config_.fluctuation_weight * std::sqrt(hist_var));
+  }
+
+  for (rating::NodeId i : suppressed_) {
+    if (i < trust_.size()) trust_[i] = 0.0;
+  }
+}
+
+double TrustGuardEngine::reputation(rating::NodeId i) const {
+  return trust_.at(i);
+}
+
+void TrustGuardEngine::reset_reputation(rating::NodeId i) {
+  if (i >= trust_.size()) return;
+  window_[i] = rating::PairStats{};
+  history_[i].clear();
+  ever_rated_[i] = false;
+  trust_[i] = 0.0;
+}
+
+}  // namespace p2prep::reputation

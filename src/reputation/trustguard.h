@@ -1,0 +1,73 @@
+// TrustGuard-inspired engine (Srivatsa, Xiong, Liu, WWW'05 — paper Sec. II
+// related work): trustworthiness estimated from the node's reputation
+// *history* and penalized for behavioural fluctuation, which blunts the
+// classic oscillation attack (build reputation honestly, then milk it —
+// the "traitor" behaviour NodeRoles::traitors simulates).
+//
+//   R(t) = w_cur * r(t) + w_hist * avg(r(t-1..t-H)) - w_fluct * sigma(r)
+//
+// where r(t) is the window's positive fraction, the history average spans
+// the last H windows, and sigma is their standard deviation. A traitor's
+// defection drags r(t) down immediately and the fluctuation penalty keeps
+// the historical average from shielding it.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "rating/pair_stats.h"
+#include "reputation/engine.h"
+
+namespace p2prep::reputation {
+
+struct TrustGuardConfig {
+  double current_weight = 0.5;      ///< w_cur.
+  double history_weight = 0.5;      ///< w_hist.
+  double fluctuation_weight = 0.5;  ///< w_fluct (penalty scale).
+  std::size_t history_windows = 8;  ///< H.
+  /// Score for nodes with no ratings in any window ("unknown").
+  double prior = 0.0;
+};
+
+class TrustGuardEngine final : public ReputationEngine {
+ public:
+  explicit TrustGuardEngine(std::size_t n = 0, TrustGuardConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "TrustGuard";
+  }
+  void resize(std::size_t n) override;
+  [[nodiscard]] std::size_t num_nodes() const noexcept override {
+    return trust_.size();
+  }
+  void ingest(const rating::Rating& r) override;
+  /// Closes the current window: pushes its positive fraction into the
+  /// history ring and recomputes R(t).
+  void update_epoch() override;
+  [[nodiscard]] double reputation(rating::NodeId i) const override;
+  [[nodiscard]] std::span<const double> reputations() const override {
+    return trust_;
+  }
+
+  /// The last closed window's positive fraction for node i.
+  [[nodiscard]] double last_window_score(rating::NodeId i) const;
+  /// Number of closed windows recorded for node i (capped at H).
+  [[nodiscard]] std::size_t history_depth(rating::NodeId i) const {
+    return history_.at(i).size();
+  }
+
+  void reset_reputation(rating::NodeId i) override;
+
+  [[nodiscard]] const TrustGuardConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  TrustGuardConfig config_;
+  std::vector<rating::PairStats> window_;       // current window aggregates
+  std::vector<std::deque<double>> history_;     // closed window scores
+  std::vector<bool> ever_rated_;
+  std::vector<double> trust_;
+};
+
+}  // namespace p2prep::reputation

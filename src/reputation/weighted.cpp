@@ -1,0 +1,49 @@
+#include "reputation/weighted.h"
+
+#include <algorithm>
+
+namespace p2prep::reputation {
+
+WeightedFeedbackEngine::WeightedFeedbackEngine(std::size_t n,
+                                               WeightedFeedbackConfig config)
+    : config_(config) {
+  resize(n);
+}
+
+void WeightedFeedbackEngine::resize(std::size_t n) {
+  if (n <= raw_.size()) return;
+  raw_.resize(n, 0.0);
+  published_.resize(n, 0.0);
+}
+
+void WeightedFeedbackEngine::ingest(const rating::Rating& r) {
+  if (r.ratee >= raw_.size() || r.rater >= raw_.size())
+    resize(std::max(r.ratee, r.rater) + 1);
+  const double w = is_pretrusted(r.rater) ? config_.pretrusted_weight
+                                          : config_.normal_weight;
+  raw_[r.ratee] += w * rating::score_value(r.score);
+  cost_.add_arith(2);
+}
+
+void WeightedFeedbackEngine::update_epoch() {
+  const std::size_t n = raw_.size();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    published_[i] = std::max(0.0, raw_[i]);
+    total += published_[i];
+  }
+  cost_.add_arith(2 * n);
+  if (total > 0.0) {
+    for (auto& p : published_) p /= total;
+    cost_.add_arith(n);
+  }
+  for (rating::NodeId i : suppressed_) {
+    if (i < published_.size()) published_[i] = 0.0;
+  }
+}
+
+double WeightedFeedbackEngine::reputation(rating::NodeId i) const {
+  return published_.at(i);
+}
+
+}  // namespace p2prep::reputation

@@ -1,0 +1,126 @@
+#include "trace/amazon.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/distributions.h"
+
+namespace p2prep::trace {
+
+namespace {
+
+/// Star value for one organic transaction with a seller of quality q.
+std::int8_t organic_stars(util::Rng& rng, double quality, double neutral_prob) {
+  if (rng.chance(neutral_prob)) return 3;
+  if (rng.chance(quality)) return rng.chance(0.7) ? 5 : 4;
+  return rng.chance(0.6) ? 1 : 2;
+}
+
+}  // namespace
+
+AmazonTrace generate_amazon_trace(const AmazonTraceConfig& config) {
+  assert(config.num_sellers > 0 && config.num_buyers > 0 && config.days > 0);
+  util::Rng rng(config.seed);
+
+  AmazonTrace out;
+  out.num_sellers = config.num_sellers;
+  out.num_buyers = config.num_buyers;
+  out.days = config.days;
+  out.seller_quality.resize(config.num_sellers);
+
+  const auto first_buyer = static_cast<UserId>(config.num_sellers);
+
+  // Band assignment: sellers [0, high) high, [high, high+med) medium,
+  // the rest low. Suspicious sellers are drawn from the medium band —
+  // their *displayed* reputation will be lifted into [0.94, 0.97] by
+  // partner ratings, which is exactly the paper's tell.
+  const auto n_high = static_cast<std::size_t>(
+      config.high_band_fraction * static_cast<double>(config.num_sellers));
+  const auto n_med = static_cast<std::size_t>(
+      config.medium_band_fraction * static_cast<double>(config.num_sellers));
+
+  std::vector<double> daily_mean(config.num_sellers);
+  for (UserId s = 0; s < config.num_sellers; ++s) {
+    if (s < n_high) {
+      out.seller_quality[s] = rng.uniform(0.94, 0.98);
+      daily_mean[s] = config.high_band_daily_mean * rng.uniform(0.7, 1.3);
+    } else if (s < n_high + n_med) {
+      out.seller_quality[s] = rng.uniform(0.88, 0.91);
+      daily_mean[s] = config.medium_band_daily_mean * rng.uniform(0.7, 1.3);
+    } else {
+      out.seller_quality[s] = rng.uniform(0.67, 0.79);
+      daily_mean[s] = config.low_band_daily_mean * rng.uniform(0.5, 1.5);
+    }
+  }
+
+  // Choose suspicious sellers from the medium band.
+  const std::size_t num_suspicious =
+      std::min(config.num_suspicious_sellers, n_med);
+  for (std::size_t k = 0; k < num_suspicious; ++k) {
+    const auto seller = static_cast<UserId>(n_high + k);
+    out.truth.suspicious_sellers.push_back(seller);
+    out.seller_quality[seller] =
+        rng.uniform(config.suspicious_quality_min,
+                    config.suspicious_quality_max);
+    // Collusion lifts their perceived traffic too.
+    daily_mean[seller] = config.high_band_daily_mean * rng.uniform(0.8, 1.1);
+  }
+
+  // Partner and rival assignments. Partners/rivals are dedicated buyer ids
+  // from the top of the buyer range so they never mix with organic picks.
+  UserId next_special = first_buyer + static_cast<UserId>(config.num_buyers);
+  struct Campaign {
+    UserId rater;
+    UserId seller;
+    double daily_rate;
+    std::int8_t stars;
+  };
+  std::vector<Campaign> campaigns;
+  for (UserId seller : out.truth.suspicious_sellers) {
+    const auto partners = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.partners_min),
+        static_cast<std::int64_t>(config.partners_max)));
+    for (std::size_t p = 0; p < partners; ++p) {
+      const UserId partner = next_special++;
+      const double per_year =
+          rng.uniform(config.partner_rate_min, config.partner_rate_max);
+      campaigns.push_back({partner, seller,
+                           per_year / static_cast<double>(config.days), 5});
+      out.truth.collusion_pairs.emplace_back(partner, seller);
+    }
+    if (rng.chance(config.rival_prob)) {
+      const UserId rival = next_special++;
+      const double per_year =
+          rng.uniform(config.rival_rate_min, config.rival_rate_max);
+      campaigns.push_back({rival, seller,
+                           per_year / static_cast<double>(config.days), 1});
+      out.truth.rival_pairs.emplace_back(rival, seller);
+    }
+  }
+
+  // Generate the year, day by day.
+  for (std::uint16_t day = 0; day < config.days; ++day) {
+    for (UserId s = 0; s < config.num_sellers; ++s) {
+      const std::uint32_t tx = util::poisson(rng, daily_mean[s]);
+      for (std::uint32_t t = 0; t < tx; ++t) {
+        // Organic buyer: uniform, so the expected buyer-seller pair rate
+        // stays ~1 transaction/year as the paper reports (its C4 baseline).
+        const UserId buyer =
+            first_buyer + static_cast<UserId>(rng.next_below(config.num_buyers));
+        out.ratings.push_back(
+            {buyer, s, organic_stars(rng, out.seller_quality[s],
+                                     config.neutral_prob),
+             day});
+      }
+    }
+    for (const Campaign& c : campaigns) {
+      const std::uint32_t k = util::poisson(rng, c.daily_rate);
+      for (std::uint32_t t = 0; t < k; ++t)
+        out.ratings.push_back({c.rater, c.seller, c.stars, day});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace p2prep::trace

@@ -1,0 +1,87 @@
+// Synthetic Amazon-style marketplace trace generator (substitute for the
+// paper's crawl of 2.1M ratings over 97 book sellers, Apr 2009 - Apr 2010;
+// see DESIGN.md "Substitutions").
+//
+// The generator is parameterized by the aggregate statistics the paper
+// reports, so the Sec. III analysis run on its output reproduces the
+// Figure 1 observations:
+//  * sellers occupy reputation bands ~[0.67, 0.98]; higher-reputed sellers
+//    attract more transactions (Fig. 1(a));
+//  * a normal buyer-seller pair transacts ~1 time/year, while injected
+//    collusion partners rate their seller 20-55 times/year with top scores
+//    (C4), and optional rivals rate 1 star repeatedly (Fig. 1(b));
+//  * suspicious sellers sit in the [0.94, 0.97] band: their organic quality
+//    is mediocre (lots of negatives from real buyers, C2) but partner
+//    ratings lift their displayed ratio (C1/C3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/event.h"
+#include "util/rng.h"
+
+namespace p2prep::trace {
+
+struct AmazonTraceConfig {
+  std::size_t num_sellers = 97;
+  std::size_t num_buyers = 20000;
+  std::size_t days = 365;
+
+  /// Fractions of sellers per quality band (remainder is the low band).
+  double high_band_fraction = 0.45;    ///< Organic quality ~[0.94, 0.98].
+  double medium_band_fraction = 0.35;  ///< ~[0.88, 0.91].
+  /// Low band organic quality ~[0.67, 0.79].
+
+  /// Mean organic transactions per day for a high-band seller; medium and
+  /// low bands scale down (higher reputation attracts more transactions).
+  double high_band_daily_mean = 60.0;
+  double medium_band_daily_mean = 35.0;
+  double low_band_daily_mean = 6.0;
+
+  /// Sellers boosted by collusion (paper found 18 suspicious sellers).
+  std::size_t num_suspicious_sellers = 18;
+  /// Partner raters per suspicious seller, uniform in [min, max] (the
+  /// paper found 139 suspicious raters over 18 sellers).
+  std::size_t partners_min = 2;
+  std::size_t partners_max = 12;
+  /// Partner rating volume per year, uniform in [min, max] (C4: up to
+  /// 55/year vs <= 15/year for normal pairs).
+  double partner_rate_min = 20.0;
+  double partner_rate_max = 55.0;
+  /// Probability a suspicious seller also attracts a rival that repeatedly
+  /// rates 1 star (the paper's "rater 1" pattern).
+  double rival_prob = 0.4;
+  double rival_rate_min = 15.0;
+  double rival_rate_max = 30.0;
+
+  /// Suspicious sellers' organic quality (what non-partner buyers see).
+  /// The paper's example suspicious seller displays 0.95 with ~2k negatives
+  /// against ~22k positives: organically decent but boosted into the
+  /// [0.94, 0.97] display band by partner positives. Relative to honest
+  /// high-band sellers they still accrue disproportionate negatives (C2 at
+  /// the pair level is what detection keys on, not the global ratio).
+  double suspicious_quality_min = 0.93;
+  double suspicious_quality_max = 0.96;
+
+  /// Probability an organic rating is neutral (3 stars).
+  double neutral_prob = 0.05;
+
+  std::uint64_t seed = 20090415;  // first crawl day in the paper
+};
+
+struct AmazonTrace {
+  Trace ratings;
+  TraceTruth truth;
+  std::size_t num_sellers = 0;
+  std::size_t num_buyers = 0;
+  std::size_t days = 0;
+  /// Organic quality assigned to each seller (index = seller id).
+  std::vector<double> seller_quality;
+};
+
+/// Sellers get ids [0, num_sellers); buyers get ids
+/// [num_sellers, num_sellers + num_buyers).
+[[nodiscard]] AmazonTrace generate_amazon_trace(const AmazonTraceConfig& config);
+
+}  // namespace p2prep::trace

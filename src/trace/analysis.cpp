@@ -1,0 +1,281 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace p2prep::trace {
+
+namespace {
+
+constexpr bool is_positive(std::int8_t stars) { return stars >= 4; }
+constexpr bool is_negative(std::int8_t stars) { return stars <= 2; }
+
+/// 64-bit key for an ordered (rater, ratee) pair.
+constexpr std::uint64_t ordered_key(UserId a, UserId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+/// Key for the unordered pair.
+constexpr std::uint64_t unordered_key(UserId a, UserId b) {
+  return a < b ? ordered_key(a, b) : ordered_key(b, a);
+}
+
+}  // namespace
+
+std::vector<SellerProfile> seller_profiles(const Trace& trace,
+                                           std::size_t num_sellers) {
+  std::vector<SellerProfile> profiles(num_sellers);
+  for (std::size_t s = 0; s < num_sellers; ++s)
+    profiles[s].seller = static_cast<UserId>(s);
+  for (const MarketplaceRating& r : trace) {
+    if (r.ratee >= num_sellers) continue;
+    auto& p = profiles[r.ratee];
+    if (is_positive(r.stars)) ++p.positives;
+    else if (is_negative(r.stars)) ++p.negatives;
+    else ++p.neutrals;
+  }
+  for (auto& p : profiles) {
+    const std::uint64_t rated = p.positives + p.negatives;
+    p.reputation = rated == 0 ? 0.0
+                              : static_cast<double>(p.positives) /
+                                    static_cast<double>(rated);
+  }
+  return profiles;
+}
+
+std::vector<PairCount> frequent_pairs(const Trace& trace,
+                                      std::uint32_t min_count) {
+  std::unordered_map<std::uint64_t, PairCount> counts;
+  counts.reserve(trace.size() / 4);
+  for (const MarketplaceRating& r : trace) {
+    PairCount& pc = counts[ordered_key(r.rater, r.ratee)];
+    pc.rater = r.rater;
+    pc.ratee = r.ratee;
+    ++pc.count;
+    if (is_positive(r.stars)) ++pc.positive;
+    else if (is_negative(r.stars)) ++pc.negative;
+  }
+  std::vector<PairCount> out;
+  for (const auto& [key, pc] : counts) {
+    if (pc.count >= min_count) out.push_back(pc);
+  }
+  std::sort(out.begin(), out.end(), [](const PairCount& a, const PairCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.ratee != b.ratee) return a.ratee < b.ratee;
+    return a.rater < b.rater;
+  });
+  return out;
+}
+
+SuspiciousSummary find_suspicious(const Trace& trace, std::uint32_t min_count) {
+  SuspiciousSummary summary;
+  summary.pairs = frequent_pairs(trace, min_count);
+  std::unordered_set<UserId> sellers;
+  std::unordered_set<UserId> raters;
+  for (const PairCount& pc : summary.pairs) {
+    sellers.insert(pc.ratee);
+    raters.insert(pc.rater);
+  }
+  summary.sellers.assign(sellers.begin(), sellers.end());
+  summary.raters.assign(raters.begin(), raters.end());
+  std::sort(summary.sellers.begin(), summary.sellers.end());
+  std::sort(summary.raters.begin(), summary.raters.end());
+  return summary;
+}
+
+std::vector<TimelinePoint> rating_timeline(const Trace& trace, UserId rater,
+                                           UserId ratee) {
+  std::vector<TimelinePoint> points;
+  for (const MarketplaceRating& r : trace) {
+    if (r.rater == rater && r.ratee == ratee)
+      points.push_back({r.day, r.stars});
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const TimelinePoint& a, const TimelinePoint& b) {
+                     return a.day < b.day;
+                   });
+  return points;
+}
+
+std::vector<RaterDailyStats> rater_daily_stats(const Trace& trace,
+                                               UserId seller,
+                                               std::size_t days) {
+  // rater -> (day -> count)
+  std::unordered_map<UserId, std::unordered_map<std::uint16_t, std::uint32_t>>
+      per_rater;
+  for (const MarketplaceRating& r : trace) {
+    if (r.ratee == seller) ++per_rater[r.rater][r.day];
+  }
+  std::vector<RaterDailyStats> out;
+  out.reserve(per_rater.size());
+  for (const auto& [rater, by_day] : per_rater) {
+    RaterDailyStats s;
+    s.rater = rater;
+    s.min_per_day = 0;
+    for (const auto& [day, count] : by_day) {
+      s.total += count;
+      s.max_per_day = std::max(s.max_per_day, count);
+      s.min_per_day =
+          s.min_per_day == 0 ? count : std::min(s.min_per_day, count);
+    }
+    s.avg_per_day =
+        days == 0 ? 0.0
+                  : static_cast<double>(s.total) / static_cast<double>(days);
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RaterDailyStats& a, const RaterDailyStats& b) {
+              if (a.total != b.total) return a.total > b.total;
+              return a.rater < b.rater;
+            });
+  return out;
+}
+
+const char* to_string(RaterPattern p) {
+  switch (p) {
+    case RaterPattern::kPartner: return "partner";
+    case RaterPattern::kRival: return "rival";
+    case RaterPattern::kNormal: return "normal";
+    case RaterPattern::kInfrequent: return "infrequent";
+  }
+  return "?";
+}
+
+std::vector<RaterClassification> classify_raters(const Trace& trace,
+                                                 UserId ratee,
+                                                 std::uint32_t min_ratings,
+                                                 double extreme_fraction) {
+  struct Tally {
+    std::uint32_t total = 0;
+    std::uint32_t positive = 0;
+    std::uint32_t negative = 0;
+  };
+  std::unordered_map<UserId, Tally> tallies;
+  for (const MarketplaceRating& r : trace) {
+    if (r.ratee != ratee) continue;
+    Tally& t = tallies[r.rater];
+    ++t.total;
+    if (is_positive(r.stars)) ++t.positive;
+    else if (is_negative(r.stars)) ++t.negative;
+  }
+
+  std::vector<RaterClassification> out;
+  out.reserve(tallies.size());
+  for (const auto& [rater, t] : tallies) {
+    RaterClassification c;
+    c.rater = rater;
+    c.count = t.total;
+    c.positive_fraction =
+        static_cast<double>(t.positive) / static_cast<double>(t.total);
+    c.negative_fraction =
+        static_cast<double>(t.negative) / static_cast<double>(t.total);
+    if (t.total < min_ratings) {
+      c.pattern = RaterPattern::kInfrequent;
+    } else if (c.positive_fraction >= extreme_fraction) {
+      c.pattern = RaterPattern::kPartner;
+    } else if (c.negative_fraction >= extreme_fraction) {
+      c.pattern = RaterPattern::kRival;
+    } else {
+      c.pattern = RaterPattern::kNormal;
+    }
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RaterClassification& a, const RaterClassification& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.rater < b.rater;
+            });
+  return out;
+}
+
+void InteractionGraph::add_edge(UserId u, UserId v) {
+  if (u == v || has_edge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++edges_;
+}
+
+const std::vector<UserId>& InteractionGraph::neighbors(UserId u) const {
+  static const std::vector<UserId> kEmpty;
+  auto it = adj_.find(u);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+bool InteractionGraph::has_edge(UserId u, UserId v) const {
+  const auto& nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::size_t InteractionGraph::degree(UserId u) const {
+  return neighbors(u).size();
+}
+
+std::size_t InteractionGraph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& [u, nbrs] : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::vector<std::vector<UserId>> InteractionGraph::components() const {
+  std::vector<std::vector<UserId>> comps;
+  std::unordered_set<UserId> seen;
+  for (const auto& [start, nbrs] : adj_) {
+    if (seen.contains(start)) continue;
+    std::vector<UserId> comp;
+    std::vector<UserId> stack{start};
+    seen.insert(start);
+    while (!stack.empty()) {
+      const UserId u = stack.back();
+      stack.pop_back();
+      comp.push_back(u);
+      for (UserId v : neighbors(u)) {
+        if (seen.insert(v).second) stack.push_back(v);
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  std::sort(comps.begin(), comps.end(),
+            [](const std::vector<UserId>& a, const std::vector<UserId>& b) {
+              return a.front() < b.front();
+            });
+  return comps;
+}
+
+std::size_t InteractionGraph::triangle_count() const {
+  std::size_t triangles = 0;
+  for (const auto& [u, nbrs] : adj_) {
+    for (UserId v : nbrs) {
+      if (v <= u) continue;
+      for (UserId w : nbrs) {
+        if (w <= v) continue;
+        if (has_edge(v, w)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+std::map<std::size_t, std::size_t> InteractionGraph::component_size_histogram()
+    const {
+  std::map<std::size_t, std::size_t> hist;
+  for (const auto& comp : components()) ++hist[comp.size()];
+  return hist;
+}
+
+InteractionGraph build_interaction_graph(const Trace& trace,
+                                         std::uint32_t min_edge) {
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_totals;
+  for (const MarketplaceRating& r : trace)
+    ++pair_totals[unordered_key(r.rater, r.ratee)];
+  InteractionGraph graph;
+  for (const auto& [key, count] : pair_totals) {
+    if (count > min_edge) {
+      graph.add_edge(static_cast<UserId>(key >> 32),
+                     static_cast<UserId>(key & 0xffffffffULL));
+    }
+  }
+  return graph;
+}
+
+}  // namespace p2prep::trace

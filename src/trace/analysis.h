@@ -1,0 +1,157 @@
+// The Sec. III trace-analysis toolkit: everything the paper computes over
+// the Amazon/Overstock crawls to establish C1-C5 and Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace p2prep::trace {
+
+// --- Seller reputation (Fig. 1(a)) ---
+
+struct SellerProfile {
+  UserId seller = rating::kInvalidNode;
+  std::uint64_t positives = 0;  ///< 4-5 star ratings.
+  std::uint64_t negatives = 0;  ///< 1-2 star ratings.
+  std::uint64_t neutrals = 0;   ///< 3 star ratings.
+  /// Amazon reputation: positives / (positives + negatives); 0 if none.
+  double reputation = 0.0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return positives + negatives + neutrals;
+  }
+};
+
+/// Profiles for ratees [0, num_sellers), from the whole trace.
+[[nodiscard]] std::vector<SellerProfile> seller_profiles(
+    const Trace& trace, std::size_t num_sellers);
+
+// --- Frequent-pair filter (the paper's suspicious-behavior filter) ---
+
+struct PairCount {
+  UserId rater = rating::kInvalidNode;
+  UserId ratee = rating::kInvalidNode;
+  std::uint32_t count = 0;
+  std::uint32_t positive = 0;
+  std::uint32_t negative = 0;
+};
+
+/// All (rater, ratee) pairs with at least `min_count` ratings in the trace.
+/// Sorted by descending count, then ids.
+[[nodiscard]] std::vector<PairCount> frequent_pairs(const Trace& trace,
+                                                    std::uint32_t min_count);
+
+struct SuspiciousSummary {
+  std::vector<UserId> sellers;  ///< Distinct ratees of frequent pairs.
+  std::vector<UserId> raters;   ///< Distinct raters of frequent pairs.
+  std::vector<PairCount> pairs;
+};
+
+/// The paper's filter (threshold 20/year found 18 sellers / 139 raters).
+/// Pairs whose frequent ratings are mostly negative are rival campaigns,
+/// not collusion; they are kept in `pairs` but their raters still count
+/// (the paper counts both before classifying by score pattern).
+[[nodiscard]] SuspiciousSummary find_suspicious(const Trace& trace,
+                                                std::uint32_t min_count);
+
+// --- Rater timeline (Fig. 1(b)) ---
+
+struct TimelinePoint {
+  std::uint16_t day = 0;
+  std::int8_t stars = 0;
+};
+
+/// Chronological ratings from `rater` for `ratee`.
+[[nodiscard]] std::vector<TimelinePoint> rating_timeline(const Trace& trace,
+                                                         UserId rater,
+                                                         UserId ratee);
+
+// --- Per-rater daily frequency stats (Fig. 1(c)) ---
+
+struct RaterDailyStats {
+  UserId rater = rating::kInvalidNode;
+  std::uint32_t total = 0;
+  double avg_per_day = 0.0;       ///< total / days.
+  std::uint32_t max_per_day = 0;  ///< Busiest day.
+  std::uint32_t min_per_day = 0;  ///< Quietest day with at least one rating.
+};
+
+/// Stats for every rater of `seller`, descending total.
+[[nodiscard]] std::vector<RaterDailyStats> rater_daily_stats(
+    const Trace& trace, UserId seller, std::size_t days);
+
+// --- Rater behaviour classification (automating Fig. 1(b)'s patterns) ---
+
+/// The three behaviour patterns the paper identifies among a suspicious
+/// seller's frequent raters, plus the default for everyone else.
+enum class RaterPattern {
+  kPartner,     ///< Continuously top scores at high frequency (colluder).
+  kRival,       ///< Continuously bottom scores at high frequency.
+  kNormal,      ///< Mixed scores or ordinary frequency.
+  kInfrequent,  ///< Too few ratings to classify (below min_ratings).
+};
+
+[[nodiscard]] const char* to_string(RaterPattern p);
+
+struct RaterClassification {
+  UserId rater = rating::kInvalidNode;
+  RaterPattern pattern = RaterPattern::kInfrequent;
+  std::uint32_t count = 0;
+  double positive_fraction = 0.0;  ///< stars >= 4 share.
+  double negative_fraction = 0.0;  ///< stars <= 2 share.
+};
+
+/// Classifies every rater of `ratee`. A rater with at least `min_ratings`
+/// ratings is a kPartner when >= `extreme_fraction` of them are positive,
+/// a kRival when >= `extreme_fraction` are negative, else kNormal.
+/// Defaults follow the paper's reading of its Fig. 1(b) raters (>= 15
+/// ratings/year, near-unanimous scores).
+[[nodiscard]] std::vector<RaterClassification> classify_raters(
+    const Trace& trace, UserId ratee, std::uint32_t min_ratings = 15,
+    double extreme_fraction = 0.95);
+
+// --- Interaction graph (Fig. 1(d)) ---
+
+/// Undirected graph over users: an edge joins u and v when the number of
+/// ratings between them (both directions summed) exceeds `min_edge`.
+class InteractionGraph {
+ public:
+  void add_edge(UserId u, UserId v);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] const std::vector<UserId>& neighbors(UserId u) const;
+  [[nodiscard]] bool has_edge(UserId u, UserId v) const;
+  [[nodiscard]] std::size_t degree(UserId u) const;
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// Connected components, each sorted ascending; components sorted by
+  /// first element.
+  [[nodiscard]] std::vector<std::vector<UserId>> components() const;
+
+  /// Number of triangles (3-cliques). The paper's C5: suspected-colluder
+  /// graphs have none — chains occur, closed groups of 3+ do not.
+  [[nodiscard]] std::size_t triangle_count() const;
+
+  /// True iff the graph has no triangle (every collusion relationship is
+  /// strictly pairwise, possibly chained).
+  [[nodiscard]] bool pairwise_only() const { return triangle_count() == 0; }
+
+  /// Histogram of component sizes (size -> number of components).
+  [[nodiscard]] std::map<std::size_t, std::size_t> component_size_histogram()
+      const;
+
+ private:
+  std::map<UserId, std::vector<UserId>> adj_;
+  std::size_t edges_ = 0;
+};
+
+/// Builds the Fig. 1(d) graph: edge iff > `min_edge` ratings between the
+/// two users (both directions combined).
+[[nodiscard]] InteractionGraph build_interaction_graph(const Trace& trace,
+                                                       std::uint32_t min_edge);
+
+}  // namespace p2prep::trace

@@ -1,0 +1,36 @@
+// Marketplace trace vocabulary: five-star rating events between users over
+// a year of days, as crawled from Amazon/Overstock in paper Sec. III.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rating/types.h"
+
+namespace p2prep::trace {
+
+/// User id within a trace (buyers and sellers share the id space; in the
+/// Amazon-mode trace only sellers are rated, in the Overstock-mode trace
+/// every user can be both).
+using UserId = rating::NodeId;
+
+struct MarketplaceRating {
+  UserId rater = rating::kInvalidNode;
+  UserId ratee = rating::kInvalidNode;
+  std::int8_t stars = 5;  ///< 1..5; Amazon maps 1-2 neg, 3 neutral, 4-5 pos.
+  std::uint16_t day = 0;  ///< 0-based day within the crawl year.
+};
+
+using Trace = std::vector<MarketplaceRating>;
+
+/// Ground truth attached to a generated trace, for validating the
+/// analysis pipeline (the real crawl of course lacks this).
+struct TraceTruth {
+  std::vector<UserId> suspicious_sellers;
+  /// (partner rater, boosted seller) pairs — the injected colluders.
+  std::vector<std::pair<UserId, UserId>> collusion_pairs;
+  /// (rival rater, attacked seller) pairs — repeated 1-star campaigns.
+  std::vector<std::pair<UserId, UserId>> rival_pairs;
+};
+
+}  // namespace p2prep::trace

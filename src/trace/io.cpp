@@ -1,0 +1,146 @@
+#include "trace/io.h"
+
+#include <array>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+namespace p2prep::trace {
+
+namespace {
+
+/// Splits `line` at commas into at most `kMax` fields (no quoting — the
+/// formats are purely numeric).
+template <std::size_t kMax>
+std::size_t split(std::string_view line,
+                  std::array<std::string_view, kMax>& out) {
+  std::size_t count = 0;
+  while (count < kMax) {
+    const std::size_t comma = line.find(',');
+    out[count++] = line.substr(0, comma);
+    if (comma == std::string_view::npos) break;
+    line.remove_prefix(comma + 1);
+  }
+  return count;
+}
+
+template <typename Int>
+bool parse_int(std::string_view field, Int& out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "rater,ratee,stars,day\n";
+  for (const MarketplaceRating& r : trace) {
+    os << r.rater << ',' << r.ratee << ',' << static_cast<int>(r.stars)
+       << ',' << r.day << '\n';
+  }
+}
+
+ParseResult<Trace> read_trace_csv(std::istream& is) {
+  ParseResult<Trace> result;
+  std::string line;
+  if (!std::getline(is, line)) {
+    result.error = {0, "empty input"};
+    return result;
+  }
+  if (line != "rater,ratee,stars,day") {
+    result.error = {1, "bad header, expected 'rater,ratee,stars,day'"};
+    return result;
+  }
+  Trace trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::array<std::string_view, 5> fields;
+    if (split(std::string_view(line), fields) != 4) {
+      result.error = {line_no, "expected 4 fields"};
+      return result;
+    }
+    MarketplaceRating r;
+    int stars = 0;
+    if (!parse_int(fields[0], r.rater) || !parse_int(fields[1], r.ratee) ||
+        !parse_int(fields[2], stars) || !parse_int(fields[3], r.day)) {
+      result.error = {line_no, "non-numeric field"};
+      return result;
+    }
+    if (stars < 1 || stars > 5) {
+      result.error = {line_no, "stars out of range [1,5]"};
+      return result;
+    }
+    r.stars = static_cast<std::int8_t>(stars);
+    trace.push_back(r);
+  }
+  result.value = std::move(trace);
+  return result;
+}
+
+void write_ratings_csv(std::ostream& os,
+                       const std::vector<rating::Rating>& ratings) {
+  os << "rater,ratee,score,time\n";
+  for (const rating::Rating& r : ratings) {
+    os << r.rater << ',' << r.ratee << ','
+       << static_cast<int>(rating::score_value(r.score)) << ',' << r.time
+       << '\n';
+  }
+}
+
+ParseResult<std::vector<rating::Rating>> read_ratings_csv(std::istream& is) {
+  ParseResult<std::vector<rating::Rating>> result;
+  std::string line;
+  if (!std::getline(is, line)) {
+    result.error = {0, "empty input"};
+    return result;
+  }
+  if (line != "rater,ratee,score,time") {
+    result.error = {1, "bad header, expected 'rater,ratee,score,time'"};
+    return result;
+  }
+  std::vector<rating::Rating> ratings;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::array<std::string_view, 5> fields;
+    if (split(std::string_view(line), fields) != 4) {
+      result.error = {line_no, "expected 4 fields"};
+      return result;
+    }
+    rating::Rating r;
+    int score = 0;
+    if (!parse_int(fields[0], r.rater) || !parse_int(fields[1], r.ratee) ||
+        !parse_int(fields[2], score) || !parse_int(fields[3], r.time)) {
+      result.error = {line_no, "non-numeric field"};
+      return result;
+    }
+    if (score < -1 || score > 1) {
+      result.error = {line_no, "score out of range [-1,1]"};
+      return result;
+    }
+    r.score = static_cast<rating::Score>(score);
+    ratings.push_back(r);
+  }
+  result.value = std::move(ratings);
+  return result;
+}
+
+std::vector<rating::Rating> to_ratings(const Trace& trace) {
+  std::vector<rating::Rating> out;
+  out.reserve(trace.size());
+  for (const MarketplaceRating& r : trace) {
+    out.push_back({.rater = r.rater,
+                   .ratee = r.ratee,
+                   .score = rating::score_from_stars(r.stars),
+                   .time = r.day});
+  }
+  return out;
+}
+
+}  // namespace p2prep::trace

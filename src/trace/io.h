@@ -1,0 +1,52 @@
+// CSV import/export for marketplace traces and +/-1 rating streams, so
+// traces can be generated once, shipped, and re-analyzed (and real-world
+// rating dumps can be fed into the detectors).
+//
+// Trace CSV columns:   rater,ratee,stars,day
+// Rating CSV columns:  rater,ratee,score,time     (score in {-1,0,1})
+//
+// Readers are strict: a malformed line aborts the parse and reports the
+// 1-based line number and reason, rather than silently skipping data.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rating/types.h"
+#include "trace/event.h"
+
+namespace p2prep::trace {
+
+struct ParseError {
+  std::size_t line = 0;  ///< 1-based line number (0 = stream-level failure).
+  std::string message;
+};
+
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  ParseError error;  ///< Meaningful only when !value.
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+/// Writes `trace` with a header row.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+
+/// Parses a trace written by write_trace_csv (header required).
+[[nodiscard]] ParseResult<Trace> read_trace_csv(std::istream& is);
+
+/// Writes +/-1 ratings with a header row.
+void write_ratings_csv(std::ostream& os,
+                       const std::vector<rating::Rating>& ratings);
+
+[[nodiscard]] ParseResult<std::vector<rating::Rating>> read_ratings_csv(
+    std::istream& is);
+
+/// Converts a five-star marketplace trace into the +/-1 rating stream the
+/// detection layer consumes (Amazon mapping; days become ticks).
+[[nodiscard]] std::vector<rating::Rating> to_ratings(const Trace& trace);
+
+}  // namespace p2prep::trace

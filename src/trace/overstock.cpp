@@ -1,0 +1,106 @@
+#include "trace/overstock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "util/distributions.h"
+
+namespace p2prep::trace {
+
+namespace {
+
+std::int8_t organic_stars(util::Rng& rng, double quality, double neutral_prob) {
+  if (rng.chance(neutral_prob)) return 3;
+  if (rng.chance(quality)) return rng.chance(0.7) ? 5 : 4;
+  return rng.chance(0.6) ? 1 : 2;
+}
+
+}  // namespace
+
+OverstockTrace generate_overstock_trace(const OverstockTraceConfig& config) {
+  assert(config.num_users >= 4 && config.days > 0);
+  util::Rng rng(config.seed);
+
+  OverstockTrace out;
+  out.num_users = config.num_users;
+  out.days = config.days;
+
+  // --- Injected pairwise collusion (C5) ---
+  // Chained colluders share a node between two pairs (path structures) but
+  // two already-colluding users are never joined, so no mutually-rating
+  // triangle can form.
+  std::unordered_map<UserId, std::size_t> partner_count;
+  std::vector<UserId> chainable;  // colluders with exactly one partner
+  auto fresh_user = [&]() {
+    for (;;) {
+      const auto u = static_cast<UserId>(rng.next_below(config.num_users));
+      if (!partner_count.contains(u)) return u;
+    }
+  };
+  for (std::size_t p = 0; p < config.num_collusion_pairs; ++p) {
+    UserId a;
+    if (!chainable.empty() && rng.chance(config.chained_colluder_fraction)) {
+      const std::size_t pick = rng.next_below(chainable.size());
+      a = chainable[pick];
+      chainable.erase(chainable.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+    } else {
+      a = fresh_user();
+      partner_count[a] = 0;
+    }
+    const UserId b = fresh_user();
+    partner_count[b] = 0;
+    ++partner_count[a];
+    ++partner_count[b];
+    if (partner_count[b] == 1) chainable.push_back(b);
+    out.truth.collusion_pairs.emplace_back(a, b);
+
+    const double per_year =
+        rng.uniform(config.pair_rate_min, config.pair_rate_max);
+    const auto count = std::max<std::uint32_t>(
+        21, util::poisson(rng, per_year));  // always above the edge threshold
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const auto day =
+          static_cast<std::uint16_t>(rng.next_below(config.days));
+      out.ratings.push_back({a, b, 5, day});
+      out.ratings.push_back({b, a, 5, day});
+    }
+  }
+  for (const auto& [pair_a, pair_b] : out.truth.collusion_pairs) {
+    out.truth.suspicious_sellers.push_back(pair_a);
+    out.truth.suspicious_sellers.push_back(pair_b);
+  }
+  std::sort(out.truth.suspicious_sellers.begin(),
+            out.truth.suspicious_sellers.end());
+  out.truth.suspicious_sellers.erase(
+      std::unique(out.truth.suspicious_sellers.begin(),
+                  out.truth.suspicious_sellers.end()),
+      out.truth.suspicious_sellers.end());
+
+  // --- Organic transactions ---
+  for (std::size_t t = 0; t < config.num_transactions; ++t) {
+    const auto buyer = static_cast<UserId>(rng.next_below(config.num_users));
+    UserId seller = static_cast<UserId>(
+        util::zipf(rng, config.num_users, config.popularity_skew));
+    if (seller == buyer)
+      seller = static_cast<UserId>((seller + 1) % config.num_users);
+    const auto day = static_cast<std::uint16_t>(rng.next_below(config.days));
+    out.ratings.push_back(
+        {buyer, seller,
+         organic_stars(rng, config.organic_quality, config.neutral_prob),
+         day});
+    // Auction platforms let both sides rate; the seller usually reciprocates.
+    if (rng.chance(0.9)) {
+      out.ratings.push_back(
+          {seller, buyer,
+           organic_stars(rng, config.organic_quality, config.neutral_prob),
+           day});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace p2prep::trace

@@ -1,0 +1,53 @@
+// Synthetic Overstock-auction-style trace (substitute for the paper's crawl
+// of ~100k users / 450k transactions, Oct 2009 - Sept 2010). Every user can
+// act as both buyer and seller; ratings are bidirectional. Colluding pairs
+// rate each other far above the >20-ratings/year edge threshold used by
+// Fig. 1(d)'s interaction-graph analysis, and — per C5 — collusion is
+// injected strictly pairwise: a user may collude with several partners but
+// each relationship is a pair, never a mutually-rating group of 3+.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/event.h"
+#include "util/rng.h"
+
+namespace p2prep::trace {
+
+struct OverstockTraceConfig {
+  std::size_t num_users = 100000;
+  std::size_t num_transactions = 450000;
+  std::size_t days = 365;
+
+  /// Number of injected colluding pairs.
+  std::size_t num_collusion_pairs = 60;
+  /// Fraction of colluders that participate in more than one pair (the
+  /// "three nodes connecting together, but still in a pair-wise manner"
+  /// pattern in Fig. 1(d)).
+  double chained_colluder_fraction = 0.2;
+  /// Mutual ratings per pair per year, uniform in [min, max] (> the graph
+  /// edge threshold of 20).
+  double pair_rate_min = 25.0;
+  double pair_rate_max = 80.0;
+
+  /// Zipf skew of organic transaction partners (marketplace popularity).
+  double popularity_skew = 0.8;
+  /// Quality of organic interactions (probability of a positive rating).
+  double organic_quality = 0.85;
+  double neutral_prob = 0.05;
+
+  std::uint64_t seed = 20091001;  // first crawl day in the paper
+};
+
+struct OverstockTrace {
+  Trace ratings;
+  TraceTruth truth;  ///< collusion_pairs holds the injected mutual pairs.
+  std::size_t num_users = 0;
+  std::size_t days = 0;
+};
+
+[[nodiscard]] OverstockTrace generate_overstock_trace(
+    const OverstockTraceConfig& config);
+
+}  // namespace p2prep::trace

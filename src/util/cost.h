@@ -1,0 +1,63 @@
+// Operation-cost accounting, the metric behind Figure 13 of the paper.
+//
+// The paper defines operation cost as "the number of computer cycles for
+// thwarting collusion". We reproduce it as an abstract work-unit counter:
+// every reputation-calculation step, matrix-element scan, threshold check,
+// and manager message charges a named counter. The counters are plain
+// (non-atomic) by default because the hot detection loops are partitioned
+// per thread and merged afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p2prep::util {
+
+/// Work-unit tally for one detection/calculation pass.
+struct CostCounter {
+  /// Matrix elements read (row scans, rater enumeration).
+  std::uint64_t element_scans = 0;
+  /// Threshold / formula predicate evaluations.
+  std::uint64_t checks = 0;
+  /// Arithmetic ops in reputation aggregation (power-iteration mults, sums).
+  std::uint64_t arithmetic = 0;
+  /// Manager-to-manager messages (decentralized detection only).
+  std::uint64_t messages = 0;
+
+  constexpr void add_scan(std::uint64_t n = 1) noexcept { element_scans += n; }
+  constexpr void add_check(std::uint64_t n = 1) noexcept { checks += n; }
+  constexpr void add_arith(std::uint64_t n = 1) noexcept { arithmetic += n; }
+  constexpr void add_message(std::uint64_t n = 1) noexcept { messages += n; }
+
+  /// Single scalar reported in Figure 13-style plots.
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    return element_scans + checks + arithmetic + messages;
+  }
+
+  constexpr CostCounter& operator+=(const CostCounter& o) noexcept {
+    element_scans += o.element_scans;
+    checks += o.checks;
+    arithmetic += o.arithmetic;
+    messages += o.messages;
+    return *this;
+  }
+
+  friend constexpr CostCounter operator+(CostCounter a,
+                                         const CostCounter& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  friend constexpr bool operator==(const CostCounter&,
+                                   const CostCounter&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "scans=" + std::to_string(element_scans) +
+           " checks=" + std::to_string(checks) +
+           " arith=" + std::to_string(arithmetic) +
+           " msgs=" + std::to_string(messages) +
+           " total=" + std::to_string(total());
+  }
+};
+
+}  // namespace p2prep::util

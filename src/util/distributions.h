@@ -1,0 +1,56 @@
+// Non-uniform sampling helpers on top of util::Rng.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace p2prep::util {
+
+/// Poisson sample. Knuth's product method for small means, normal
+/// approximation (rounded, clamped at 0) for large ones.
+[[nodiscard]] inline std::uint32_t poisson(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double product = rng.next_double();
+    std::uint32_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= rng.next_double();
+    }
+    return count;
+  }
+  // Box-Muller normal approximation N(mean, mean).
+  const double u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 + 1e-18)) * std::cos(6.283185307179586 * u2);
+  const double x = mean + std::sqrt(mean) * z;
+  return x <= 0.0 ? 0u : static_cast<std::uint32_t>(std::llround(x));
+}
+
+/// Zipf-like rank sample over [0, n): P(k) proportional to 1/(k+1)^s.
+/// Uses rejection-inversion-free CDF walk; O(n) setup avoided by the
+/// harmonic approximation, adequate for workload skew generation.
+[[nodiscard]] inline std::size_t zipf(Rng& rng, std::size_t n, double s = 1.0) {
+  if (n <= 1) return 0;
+  // Inverse-CDF via the continuous approximation of the generalized
+  // harmonic number: H(x) ~ (x^(1-s) - 1)/(1-s) for s != 1, ln(x) for s = 1.
+  const auto nd = static_cast<double>(n);
+  double u = rng.next_double();
+  double x;
+  if (std::abs(s - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(nd));
+  } else {
+    const double h = (std::pow(nd, 1.0 - s) - 1.0) / (1.0 - s);
+    x = std::pow(u * h * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+  }
+  // x lies in [1, n]; rank k = floor(x) - 1 in [0, n).
+  auto k = static_cast<std::size_t>(x);
+  k = k >= 1 ? k - 1 : 0;
+  return k >= n ? n - 1 : k;
+}
+
+}  // namespace p2prep::util

@@ -1,0 +1,40 @@
+#include "util/event_queue.h"
+
+#include <algorithm>
+
+namespace p2prep::util {
+
+void EventQueue::schedule(double at, Handler handler) {
+  heap_.push(Event{std::max(at, now_), next_seq_++, std::move(handler)});
+}
+
+std::size_t EventQueue::run() {
+  std::size_t count = 0;
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the handler must be moved out before
+    // pop, so copy the metadata and steal the handler.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.at;
+    event.handler();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+std::size_t EventQueue::run_until(double until) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.at;
+    event.handler();
+    ++count;
+    ++processed_;
+  }
+  now_ = std::max(now_, until);
+  return count;
+}
+
+}  // namespace p2prep::util

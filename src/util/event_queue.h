@@ -1,0 +1,57 @@
+// Minimal discrete-event simulation kernel: schedule handlers at virtual
+// timestamps, run them in time order. Handlers may schedule further
+// events. Ties break in scheduling (FIFO) order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2prep::util {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute virtual time `at` (>= now()).
+  /// Scheduling in the past is clamped to now().
+  void schedule(double at, Handler handler);
+
+  /// Convenience: schedule at now() + delay.
+  void schedule_in(double delay, Handler handler) {
+    schedule(now_ + delay, std::move(handler));
+  }
+
+  /// Processes events in (time, insertion) order until none remain.
+  /// Returns the number of events processed.
+  std::size_t run();
+
+  /// Processes events with time <= `until`; later events stay queued.
+  std::size_t run_until(double until);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;  // FIFO tie-break
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace p2prep::util

@@ -1,0 +1,56 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace p2prep::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(lo < hi && bins > 0);
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (x < lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept { add(x, 1); }
+
+void Histogram::add(double x, std::size_t weight) noexcept {
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept {
+  return bin + 1 == counts_.size() ? hi_ : bin_low(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << bin_low(i) << ", " << bin_high(i) << ") ";
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[i] * width / max_count;
+    for (std::size_t k = 0; k < bar; ++k) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace p2prep::util

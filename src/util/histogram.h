@@ -1,0 +1,41 @@
+// Fixed-width binned histogram for reputation-distribution figures and
+// trace analysis. Values outside [lo, hi) are clamped to the edge bins so
+// no sample is silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p2prep::util {
+
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins over [lo, hi). Requires lo < hi, bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(double x, std::size_t weight) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t bin) const noexcept;
+  /// Index of the bin x falls in (after clamping to the edge bins).
+  [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+  /// Fraction of samples in `bin`; 0 if the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering, one row per bin, bar scaled to `width`.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace p2prep::util

@@ -1,0 +1,74 @@
+// Dense row-major matrix used for reputation/rating aggregates. Kept
+// deliberately small: fixed element type per instantiation, contiguous
+// storage (cache-friendly row scans are the hot path of the Unoptimized
+// detector), bounds-checked access in debug builds only.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2prep::util {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of one row — the unit of work for parallel sweeps.
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Grows (or shrinks) to rows x cols, preserving the overlapping
+  /// upper-left block. New cells are value-initialized.
+  void resize(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    std::vector<T> next(rows * cols, T{});
+    const std::size_t copy_rows = rows < rows_ ? rows : rows_;
+    const std::size_t copy_cols = cols < cols_ ? cols : cols_;
+    for (std::size_t r = 0; r < copy_rows; ++r)
+      for (std::size_t c = 0; c < copy_cols; ++c)
+        next[r * cols + c] = data_[r * cols_ + c];
+    data_ = std::move(next);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
+  [[nodiscard]] std::span<T> flat() noexcept { return data_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace p2prep::util

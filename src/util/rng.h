@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library takes an explicit Rng (or a seed
+// from which it derives one), so any experiment is reproducible bit-for-bit
+// given its seed. The generator is xoshiro256**, seeded via SplitMix64 as
+// recommended by its authors; both are implemented here so the library has
+// no dependency on platform-varying std::mt19937 streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace p2prep::util {
+
+/// SplitMix64: a tiny, fast 64-bit generator used to expand a single seed
+/// into the larger state of xoshiro256**. Also usable standalone for hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a 64-bit value through one SplitMix64 round. Useful for deriving
+/// independent stream seeds: `mix64(seed ^ stream_id)`.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  return SplitMix64(x).next();
+}
+
+/// xoshiro256**: the library-wide PRNG. Satisfies the C++ named requirement
+/// UniformRandomBitGenerator so it can drive <random> distributions, though
+/// the convenience members below are preferred (they are portable across
+/// standard library implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9b60933458e17d7dULL) noexcept
+      : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method, which is unbiased and needs no division in the common case.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // 128-bit multiply-high rejection sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Bernoulli trial: true with probability p.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent generator for a named substream. Two substreams
+  /// of the same Rng never share state, so parallel components can each own
+  /// one without synchronization.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) noexcept {
+    return Rng(mix64(next() ^ mix64(stream_id)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace p2prep::util

@@ -1,0 +1,65 @@
+// Small statistics toolkit used by the trace analysis and experiment
+// harnesses: streaming moments (Welford), order statistics, and a compact
+// five-number summary.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2prep::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm) that also
+/// tracks min/max. O(1) memory regardless of sample count.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Unbiased sample variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample (copies + sorts).
+/// q must be in [0, 1]; returns 0 for an empty span.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// min / p25 / median / p75 / max plus mean and count.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace p2prep::util

@@ -1,0 +1,278 @@
+#include "util/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace p2prep::util {
+
+namespace {
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 60;
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                          "#9467bd", "#8c564b"};
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+/// "Nice" tick step covering `span` in ~`target` steps.
+double nice_step(double span, int target) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / target;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * mult >= raw) return mag * mult;
+  }
+  return mag * 10.0;
+}
+
+}  // namespace
+
+SvgChart::SvgChart(std::string title, std::string x_label,
+                   std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {}
+
+void SvgChart::set_categories(std::vector<std::string> labels) {
+  categories_ = std::move(labels);
+}
+
+void SvgChart::add_bar_series(std::string name, std::vector<double> values) {
+  bars_.push_back({std::move(name), std::move(values)});
+}
+
+void SvgChart::add_line_series(std::string name, std::vector<double> xs,
+                               std::vector<double> ys) {
+  lines_.push_back({std::move(name), std::move(xs), std::move(ys)});
+}
+
+std::string SvgChart::render() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << " "
+     << height_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  os << "<text x=\"" << width_ / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+     << "font-family=\"sans-serif\" font-size=\"15\" font-weight=\"bold\">"
+     << escape(title_) << "</text>\n";
+  // Axis labels.
+  os << "<text x=\"" << width_ / 2 << "\" y=\"" << height_ - 8
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+     << "font-size=\"12\">" << escape(x_label_) << "</text>\n";
+  os << "<text x=\"16\" y=\"" << height_ / 2
+     << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+     << "font-size=\"12\" transform=\"rotate(-90 16 " << height_ / 2
+     << ")\">" << escape(y_label_) << "</text>\n";
+
+  if (!bars_.empty()) os << render_bars();
+  if (!lines_.empty()) os << render_lines();
+
+  // Legend.
+  const std::size_t series_count = bars_.size() + lines_.size();
+  int legend_y = kMarginTop;
+  std::size_t color = 0;
+  auto legend_entry = [&](const std::string& name) {
+    os << "<rect x=\"" << width_ - kMarginRight - 130 << "\" y=\""
+       << legend_y << "\" width=\"12\" height=\"12\" fill=\""
+       << kPalette[color % 6] << "\"/>\n";
+    os << "<text x=\"" << width_ - kMarginRight - 112 << "\" y=\""
+       << legend_y + 10
+       << "\" font-family=\"sans-serif\" font-size=\"11\">" << escape(name)
+       << "</text>\n";
+    legend_y += 18;
+    ++color;
+  };
+  if (series_count > 1) {
+    for (const auto& s : bars_) legend_entry(s.name);
+    for (const auto& s : lines_) legend_entry(s.name);
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string SvgChart::render_bars() const {
+  std::ostringstream os;
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+
+  double y_max = 0.0;
+  for (const auto& s : bars_)
+    for (double v : s.values) y_max = std::max(y_max, v);
+  if (y_max <= 0.0) y_max = 1.0;
+  const double step = nice_step(y_max, 5);
+  y_max = std::ceil(y_max / step) * step;
+
+  auto y_of = [&](double v) {
+    return kMarginTop + plot_h * (1.0 - v / y_max);
+  };
+
+  // Gridlines + y ticks.
+  for (double tick = 0.0; tick <= y_max + 1e-12; tick += step) {
+    const double y = y_of(tick);
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << fmt(y) << "\" x2=\""
+       << width_ - kMarginRight << "\" y2=\"" << fmt(y)
+       << "\" stroke=\"#dddddd\"/>\n";
+    os << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << fmt(y + 4)
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+       << "font-size=\"10\">" << fmt(tick) << "</text>\n";
+  }
+
+  const std::size_t n = categories_.size();
+  if (n == 0) return os.str();
+  const double slot = plot_w / static_cast<double>(n);
+  const double group_w = slot * 0.8;
+  const double bar_w =
+      group_w / static_cast<double>(std::max<std::size_t>(1, bars_.size()));
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const double x0 = kMarginLeft + slot * static_cast<double>(c) +
+                      slot * 0.1;
+    for (std::size_t s = 0; s < bars_.size(); ++s) {
+      if (c >= bars_[s].values.size()) continue;
+      const double v = std::max(0.0, bars_[s].values[c]);
+      const double y = y_of(v);
+      os << "<rect x=\"" << fmt(x0 + bar_w * static_cast<double>(s))
+         << "\" y=\"" << fmt(y) << "\" width=\"" << fmt(bar_w * 0.92)
+         << "\" height=\"" << fmt(kMarginTop + plot_h - y) << "\" fill=\""
+         << kPalette[s % 6] << "\"/>\n";
+    }
+    // Category label (skip some when crowded).
+    const std::size_t label_stride = n > 30 ? n / 20 : 1;
+    if (c % label_stride == 0) {
+      os << "<text x=\"" << fmt(x0 + group_w / 2) << "\" y=\""
+         << height_ - kMarginBottom + 14
+         << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         << "font-size=\"9\">" << escape(categories_[c]) << "</text>\n";
+    }
+  }
+  // Axis line.
+  os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop
+     << "\" x2=\"" << kMarginLeft << "\" y2=\""
+     << height_ - kMarginBottom << "\" stroke=\"black\"/>\n";
+  os << "<line x1=\"" << kMarginLeft << "\" y1=\""
+     << height_ - kMarginBottom << "\" x2=\"" << width_ - kMarginRight
+     << "\" y2=\"" << height_ - kMarginBottom << "\" stroke=\"black\"/>\n";
+  return os.str();
+}
+
+std::string SvgChart::render_lines() const {
+  std::ostringstream os;
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+
+  double x_min = 1e300;
+  double x_max = -1e300;
+  double y_min = 1e300;
+  double y_max = -1e300;
+  for (const auto& s : lines_) {
+    for (double x : s.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_min > x_max) return os.str();
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (log_y_) {
+    y_min = std::log10(std::max(y_min, 1e-12));
+    y_max = std::log10(std::max(y_max, 1e-12));
+  } else {
+    y_min = std::min(0.0, y_min);
+  }
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  auto x_of = [&](double v) {
+    return kMarginLeft + plot_w * (v - x_min) / (x_max - x_min);
+  };
+  auto y_of = [&](double v) {
+    const double value = log_y_ ? std::log10(std::max(v, 1e-12)) : v;
+    return kMarginTop + plot_h * (1.0 - (value - y_min) / (y_max - y_min));
+  };
+
+  // Y gridlines/ticks.
+  const double step = nice_step(y_max - y_min, 5);
+  for (double tick = std::ceil(y_min / step) * step; tick <= y_max + 1e-12;
+       tick += step) {
+    const double y = kMarginTop + plot_h * (1.0 - (tick - y_min) /
+                                                      (y_max - y_min));
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << fmt(y) << "\" x2=\""
+       << width_ - kMarginRight << "\" y2=\"" << fmt(y)
+       << "\" stroke=\"#dddddd\"/>\n";
+    os << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << fmt(y + 4)
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+       << "font-size=\"10\">"
+       << (log_y_ ? ("1e" + fmt(tick)) : fmt(tick)) << "</text>\n";
+  }
+  // X ticks from the first series' xs.
+  if (!lines_.empty()) {
+    for (double x : lines_[0].xs) {
+      os << "<text x=\"" << fmt(x_of(x)) << "\" y=\""
+         << height_ - kMarginBottom + 14
+         << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         << "font-size=\"10\">" << fmt(x) << "</text>\n";
+    }
+  }
+
+  for (std::size_t s = 0; s < lines_.size(); ++s) {
+    const auto& series = lines_[s];
+    os << "<polyline fill=\"none\" stroke=\"" << kPalette[s % 6]
+       << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t k = 0; k < series.xs.size() && k < series.ys.size();
+         ++k) {
+      os << fmt(x_of(series.xs[k])) << "," << fmt(y_of(series.ys[k])) << " ";
+    }
+    os << "\"/>\n";
+    for (std::size_t k = 0; k < series.xs.size() && k < series.ys.size();
+         ++k) {
+      os << "<circle cx=\"" << fmt(x_of(series.xs[k])) << "\" cy=\""
+         << fmt(y_of(series.ys[k])) << "\" r=\"3\" fill=\""
+         << kPalette[s % 6] << "\"/>\n";
+    }
+  }
+
+  os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop
+     << "\" x2=\"" << kMarginLeft << "\" y2=\""
+     << height_ - kMarginBottom << "\" stroke=\"black\"/>\n";
+  os << "<line x1=\"" << kMarginLeft << "\" y1=\""
+     << height_ - kMarginBottom << "\" x2=\"" << width_ - kMarginRight
+     << "\" y2=\"" << height_ - kMarginBottom << "\" stroke=\"black\"/>\n";
+  return os.str();
+}
+
+bool SvgChart::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace p2prep::util

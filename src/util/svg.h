@@ -1,0 +1,60 @@
+// Dependency-free SVG chart writer for the figure harnesses: grouped bar
+// charts (the paper's reputation distributions) and multi-series line
+// charts (Fig. 12/13 sweeps). Layout is deliberately simple — margins,
+// linear scales, ticks, legend — producing self-contained .svg files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p2prep::util {
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label,
+           int width = 760, int height = 420);
+
+  /// Adds one bar series. Multiple series render as grouped bars; all
+  /// series must have the same length as the category labels.
+  void set_categories(std::vector<std::string> labels);
+  void add_bar_series(std::string name, std::vector<double> values);
+
+  /// Adds one line series (x sorted ascending recommended).
+  void add_line_series(std::string name, std::vector<double> xs,
+                       std::vector<double> ys);
+
+  /// Logarithmic y axis (line charts; values must be > 0).
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  [[nodiscard]] std::string render() const;
+
+  /// Renders to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct BarSeries {
+    std::string name;
+    std::vector<double> values;
+  };
+  struct LineSeries {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  [[nodiscard]] std::string render_bars() const;
+  [[nodiscard]] std::string render_lines() const;
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  std::vector<std::string> categories_;
+  std::vector<BarSeries> bars_;
+  std::vector<LineSeries> lines_;
+};
+
+}  // namespace p2prep::util

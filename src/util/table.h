@@ -1,0 +1,41 @@
+// Plain-text aligned table printer for the figure-regeneration harnesses.
+// Each bench binary prints the same rows/series the paper's figure shows;
+// this keeps that output readable and machine-parsable (also emits CSV).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2prep::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string num(int v);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Space-aligned rendering with a header underline.
+  [[nodiscard]] std::string render() const;
+  /// RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2prep::util

@@ -1,0 +1,66 @@
+// Minimal work-stealing-free thread pool plus a parallel_for helper.
+//
+// The pool exists for the two CPU-heavy inner loops in the library: the
+// EigenTrust power iteration (dense mat-vec per iteration) and the
+// Unoptimized detector's row sweeps. Both decompose into independent row
+// ranges, so a simple chunked parallel_for with a completion latch is all
+// that is needed — no futures, no task graph.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace p2prep::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; it may run on any worker at any later point.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), split into `size()*4` chunks and
+  /// executed on the pool. Blocks until complete. fn must be safe to call
+  /// concurrently for distinct i.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(lo, hi) receives contiguous ranges. Lower overhead
+  /// when per-index work is tiny.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Serial fallback with the same signature as ThreadPool::parallel_for, used
+/// by components that take an optional pool pointer.
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace p2prep::util

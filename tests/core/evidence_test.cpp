@@ -1,0 +1,87 @@
+#include "core/evidence.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::core {
+namespace {
+
+PairEvidence pair(rating::NodeId a, rating::NodeId b) {
+  PairEvidence e;
+  e.first = a;
+  e.second = b;
+  return e;
+}
+
+TEST(PairKeyTest, OrderInsensitive) {
+  EXPECT_EQ(pair_key(3, 9), pair_key(9, 3));
+  EXPECT_NE(pair_key(3, 9), pair_key(3, 10));
+  EXPECT_EQ(pair_key(0, 0), 0u);
+}
+
+TEST(DetectionReportTest, ContainsIsSymmetric) {
+  DetectionReport r;
+  r.pairs.push_back(pair(4, 5));
+  EXPECT_TRUE(r.contains(4, 5));
+  EXPECT_TRUE(r.contains(5, 4));
+  EXPECT_FALSE(r.contains(4, 6));
+}
+
+TEST(DetectionReportTest, CollidersAreSortedUnique) {
+  DetectionReport r;
+  r.pairs.push_back(pair(9, 4));
+  r.pairs.push_back(pair(4, 5));
+  const auto ids = r.colluders();
+  EXPECT_EQ(ids, (std::vector<rating::NodeId>{4, 5, 9}));
+}
+
+TEST(DetectionReportTest, CanonicalizeOrdersWithinPairs) {
+  DetectionReport r;
+  PairEvidence e = pair(7, 2);
+  e.ratings_to_first = 11;     // ratings received by node 7
+  e.ratings_to_second = 22;    // ratings received by node 2
+  e.positive_fraction_first = 0.9;
+  e.positive_fraction_second = 0.8;
+  e.global_rep_first = 0.07;
+  e.global_rep_second = 0.02;
+  r.pairs.push_back(e);
+  r.canonicalize();
+  ASSERT_EQ(r.pairs.size(), 1u);
+  EXPECT_EQ(r.pairs[0].first, 2u);
+  EXPECT_EQ(r.pairs[0].second, 7u);
+  // Per-direction fields must swap with the ids.
+  EXPECT_EQ(r.pairs[0].ratings_to_first, 22u);
+  EXPECT_EQ(r.pairs[0].ratings_to_second, 11u);
+  EXPECT_DOUBLE_EQ(r.pairs[0].positive_fraction_first, 0.8);
+  EXPECT_DOUBLE_EQ(r.pairs[0].global_rep_first, 0.02);
+}
+
+TEST(DetectionReportTest, CanonicalizeSortsAndDedups) {
+  DetectionReport r;
+  r.pairs.push_back(pair(9, 4));
+  r.pairs.push_back(pair(4, 9));  // same pair, reversed
+  r.pairs.push_back(pair(1, 2));
+  r.canonicalize();
+  ASSERT_EQ(r.pairs.size(), 2u);
+  EXPECT_EQ(r.pairs[0].first, 1u);
+  EXPECT_EQ(r.pairs[0].second, 2u);
+  EXPECT_EQ(r.pairs[1].first, 4u);
+  EXPECT_EQ(r.pairs[1].second, 9u);
+}
+
+TEST(PairEvidenceTest, ToStringMentionsBothNodes) {
+  PairEvidence e = pair(4, 5);
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("4"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+TEST(DetectionReportTest, EmptyReportBehaves) {
+  DetectionReport r;
+  EXPECT_TRUE(r.colluders().empty());
+  EXPECT_FALSE(r.contains(1, 2));
+  r.canonicalize();
+  EXPECT_TRUE(r.pairs.empty());
+}
+
+}  // namespace
+}  // namespace p2prep::core

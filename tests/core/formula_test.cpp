@@ -1,0 +1,118 @@
+#include "core/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace p2prep::core {
+namespace {
+
+TEST(Formula1Test, AllPositiveFromEveryone) {
+  // a = b = 1: R = N (every rating +1).
+  EXPECT_DOUBLE_EQ(formula1_reputation(1.0, 1.0, 100, 30), 100.0);
+}
+
+TEST(Formula1Test, AllNegativeFromEveryone) {
+  EXPECT_DOUBLE_EQ(formula1_reputation(0.0, 0.0, 100, 30), -100.0);
+}
+
+TEST(Formula1Test, PartnerOnlyRatings) {
+  // N_i == N_(i,j): complement empty, R = (2a-1) N.
+  EXPECT_DOUBLE_EQ(formula1_reputation(1.0, 0.0, 50, 50), 50.0);
+  EXPECT_DOUBLE_EQ(formula1_reputation(0.5, 0.9, 50, 50), 0.0);
+}
+
+TEST(Formula1Test, MatchesDirectCount) {
+  // 40 ratings from j (36 positive), 60 from others (6 positive):
+  // R = (36 - 4) + (6 - 54) = -16.
+  const double r = formula1_reputation(0.9, 0.1, 100, 40);
+  EXPECT_DOUBLE_EQ(r, -16.0);
+}
+
+TEST(Formula2BoundsTest, KnownValues) {
+  const Formula2Bounds b = formula2_bounds(0.8, 0.2, 100, 40);
+  EXPECT_DOUBLE_EQ(b.lower, 2.0 * 0.8 * 40 - 100);   // -36
+  EXPECT_DOUBLE_EQ(b.upper, 2.0 * 0.2 * 60 + 80 - 100);  // 4
+}
+
+TEST(Formula2BoundsTest, UpperAtLeastLowerInColluderRegion) {
+  // Whenever T_a <= 1 and T_b >= 0 the interval is nonempty iff
+  // T_a * N_ij <= T_b * (N_i - N_ij) + N_ij, which holds for T_a <= 1.
+  for (std::uint64_t n_i : {10ull, 100ull, 1000ull}) {
+    for (std::uint64_t n_ij = 1; n_ij <= n_i; n_ij += 7) {
+      const Formula2Bounds b = formula2_bounds(0.8, 0.2, n_i, n_ij);
+      EXPECT_LE(b.lower, b.upper);
+    }
+  }
+}
+
+TEST(Formula2SatisfiedTest, ColluderSignatureIsInside) {
+  // a = 0.98, b = 0.02 (the paper's crawled averages): inside.
+  const double r = formula1_reputation(0.98, 0.02, 500, 200);
+  EXPECT_TRUE(formula2_satisfied(r, 0.8, 0.2, 500, 200));
+}
+
+TEST(Formula2SatisfiedTest, HonestNodeIsOutside) {
+  // b = 0.8: everyone likes this node, reputation too high for the bound.
+  const double r = formula1_reputation(0.9, 0.8, 500, 40);
+  EXPECT_FALSE(formula2_satisfied(r, 0.8, 0.2, 500, 40));
+}
+
+TEST(Formula2SatisfiedTest, UnpopularPartnerIsBelowLower) {
+  // Partner rates mostly negative (a = 0.1): below the lower bound.
+  const double r = formula1_reputation(0.1, 0.1, 500, 200);
+  EXPECT_FALSE(formula2_satisfied(r, 0.8, 0.2, 500, 200));
+}
+
+TEST(Formula2SatisfiedTest, InclusiveAdmitsBoundary) {
+  // Pure partner-only all-positive: a = 1, N_i = N_ij; R = N_i sits exactly
+  // on the upper bound. Strict rejects, inclusive accepts.
+  const double r = formula1_reputation(1.0, 0.0, 50, 50);
+  EXPECT_TRUE(formula2_satisfied(r, 0.8, 0.2, 50, 50, /*inclusive=*/true));
+  EXPECT_FALSE(formula2_satisfied(r, 0.8, 0.2, 50, 50, /*inclusive=*/false));
+}
+
+TEST(Formula2SatisfiedTest, PropertyFormula1InsideBoundsForColluderRegion) {
+  // For every (a, b) with a >= T_a, b < T_b, Formula (1)'s reputation lies
+  // within the inclusive Formula (2) interval (the containment that makes
+  // Optimized a safe replacement for Basic).
+  util::Rng rng(7);
+  constexpr double kTa = 0.8;
+  constexpr double kTb = 0.2;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double a = rng.uniform(kTa, 1.0);
+    const double b = rng.uniform(0.0, kTb);
+    const auto n_i = static_cast<std::uint64_t>(rng.uniform_int(1, 2000));
+    const auto n_ij = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_i)));
+    const double r = formula1_reputation(a, b, n_i, n_ij);
+    EXPECT_TRUE(formula2_satisfied(r, kTa, kTb, n_i, n_ij))
+        << "a=" << a << " b=" << b << " n_i=" << n_i << " n_ij=" << n_ij;
+  }
+}
+
+TEST(Formula2SatisfiedTest, PropertyFarOutsideRegionRejected) {
+  // b far above T_b pushes the reputation above the upper bound whenever a
+  // meaningful share of ratings comes from others.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double a = rng.uniform(0.8, 1.0);
+    const double b = rng.uniform(0.6, 1.0);
+    const auto n_i = static_cast<std::uint64_t>(rng.uniform_int(100, 2000));
+    const auto n_ij = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_i / 2)));
+    const double r = formula1_reputation(a, b, n_i, n_ij);
+    EXPECT_FALSE(formula2_satisfied(r, 0.8, 0.2, n_i, n_ij))
+        << "a=" << a << " b=" << b << " n_i=" << n_i << " n_ij=" << n_ij;
+  }
+}
+
+TEST(Formula2SatisfiedTest, ZeroRatings) {
+  // Degenerate: no ratings at all. Bounds are [−0, 0]; R = 0 is inside
+  // (inclusive) — callers gate on N_(i,j) >= T_N before asking.
+  EXPECT_TRUE(formula2_satisfied(0.0, 0.8, 0.2, 0, 0, true));
+  EXPECT_FALSE(formula2_satisfied(0.0, 0.8, 0.2, 0, 0, false));
+}
+
+}  // namespace
+}  // namespace p2prep::core

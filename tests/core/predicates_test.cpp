@@ -1,0 +1,106 @@
+#include "core/predicates.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::core {
+namespace {
+
+rating::PairStats stats(std::uint32_t pos, std::uint32_t neg,
+                        std::uint32_t neutral = 0) {
+  rating::PairStats s;
+  for (std::uint32_t i = 0; i < pos; ++i) s.add(rating::Score::kPositive);
+  for (std::uint32_t i = 0; i < neg; ++i) s.add(rating::Score::kNegative);
+  for (std::uint32_t i = 0; i < neutral; ++i) s.add(rating::Score::kNeutral);
+  return s;
+}
+
+DetectorConfig config() {
+  DetectorConfig c;
+  c.frequency_min = 20;
+  c.positive_fraction_min = 0.8;
+  c.complement_fraction_max = 0.2;
+  return c;
+}
+
+TEST(PredicatesTest, FrequencyThresholdIsInclusive) {
+  EXPECT_FALSE(frequency_ok(stats(19, 0), config()));
+  EXPECT_TRUE(frequency_ok(stats(20, 0), config()));
+  EXPECT_TRUE(frequency_ok(stats(10, 10), config()));  // total counts
+}
+
+TEST(PredicatesTest, PositiveFractionThresholdIsInclusive) {
+  EXPECT_TRUE(positive_fraction_ok(stats(8, 2), config()));   // exactly 0.8
+  EXPECT_TRUE(positive_fraction_ok(stats(9, 1), config()));
+  EXPECT_FALSE(positive_fraction_ok(stats(7, 3), config()));
+  EXPECT_FALSE(positive_fraction_ok(stats(0, 0), config()));  // empty
+}
+
+TEST(PredicatesTest, ComplementThresholdIsStrict) {
+  EXPECT_TRUE(complement_ok(stats(1, 9), config()));    // 0.1 < 0.2
+  EXPECT_FALSE(complement_ok(stats(2, 8), config()));   // exactly 0.2
+  EXPECT_FALSE(complement_ok(stats(9, 1), config()));
+}
+
+TEST(PredicatesTest, EmptyComplementFollowsConfig) {
+  DetectorConfig c = config();
+  c.empty_complement_is_suspicious = true;
+  EXPECT_TRUE(complement_ok(stats(0, 0), c));
+  c.empty_complement_is_suspicious = false;
+  EXPECT_FALSE(complement_ok(stats(0, 0), c));
+}
+
+TEST(PredicatesTest, BasicDirectionalRequiresAllThree) {
+  const DetectorConfig c = config();
+  const auto collusive_pair = stats(48, 2);      // 50 ratings, 96% positive
+  const auto hostile_world = stats(5, 95);       // b = 0.05
+  const auto friendly_world = stats(95, 5);      // b = 0.95
+  const auto rare_pair = stats(10, 0);           // below T_N
+  const auto negative_pair = stats(10, 40);      // a = 0.2
+
+  EXPECT_TRUE(basic_directional(collusive_pair, hostile_world, c));
+  EXPECT_FALSE(basic_directional(collusive_pair, friendly_world, c));
+  EXPECT_FALSE(basic_directional(rare_pair, hostile_world, c));
+  EXPECT_FALSE(basic_directional(negative_pair, hostile_world, c));
+}
+
+TEST(PredicatesTest, OptimizedDirectionalMatchesFormulaInputs) {
+  const DetectorConfig c = config();
+  // Node rated 50x by partner (48+), 100x by others (5+, 95-):
+  // N_i = 150, R_i = 53 - 97 = -44.
+  const auto pair = stats(48, 2);
+  const auto world = stats(5, 95);
+  const auto totals = pair + world;
+  EXPECT_TRUE(optimized_directional(pair, totals.total,
+                                    totals.reputation_delta(), c));
+
+  // Friendly world: R_i = (48+95) - (2+5) = 136, way above the bound.
+  const auto friendly = stats(95, 5);
+  const auto totals2 = pair + friendly;
+  EXPECT_FALSE(optimized_directional(pair, totals2.total,
+                                     totals2.reputation_delta(), c));
+}
+
+TEST(PredicatesTest, OptimizedImpliedByBasicOnSignedRatings) {
+  // Containment property: on +/-1 ratings, any pair passing the Basic
+  // directional predicate also passes the Optimized one.
+  const DetectorConfig c = config();
+  for (std::uint32_t pair_pos = 0; pair_pos <= 30; pair_pos += 3) {
+    for (std::uint32_t pair_neg = 0; pair_neg <= 12; pair_neg += 3) {
+      for (std::uint32_t comp_pos = 0; comp_pos <= 40; comp_pos += 5) {
+        for (std::uint32_t comp_neg = 0; comp_neg <= 40; comp_neg += 5) {
+          const auto pair = stats(pair_pos, pair_neg);
+          const auto comp = stats(comp_pos, comp_neg);
+          if (!basic_directional(pair, comp, c)) continue;
+          const auto totals = pair + comp;
+          EXPECT_TRUE(optimized_directional(pair, totals.total,
+                                            totals.reputation_delta(), c))
+              << pair_pos << "/" << pair_neg << " vs " << comp_pos << "/"
+              << comp_neg;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2prep::core

@@ -1,0 +1,73 @@
+// Test-only helper: builds RatingMatrix scenarios declaratively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rating/matrix.h"
+#include "rating/store.h"
+#include "rating/types.h"
+
+namespace p2prep::core::testing {
+
+class Scenario {
+ public:
+  explicit Scenario(std::size_t n) : store_(n), reps_(n, 0.0) {}
+
+  /// `rater` rates `ratee` `count` times with the given score.
+  Scenario& rate(rating::NodeId rater, rating::NodeId ratee,
+                 std::size_t count, rating::Score score) {
+    for (std::size_t k = 0; k < count; ++k) {
+      store_.ingest({.rater = rater, .ratee = ratee, .score = score,
+                     .time = static_cast<rating::Tick>(k)});
+    }
+    return *this;
+  }
+
+  /// Mutual positive bombardment — the collusion signature.
+  Scenario& collude(rating::NodeId a, rating::NodeId b, std::size_t count) {
+    rate(a, b, count, rating::Score::kPositive);
+    rate(b, a, count, rating::Score::kPositive);
+    return *this;
+  }
+
+  /// `raters` in [lo, hi) each rate `ratee` once; a fraction `positive` of
+  /// them positively, the rest negatively (deterministic split).
+  Scenario& crowd(rating::NodeId lo, rating::NodeId hi, rating::NodeId ratee,
+                  double positive_fraction) {
+    std::size_t index = 0;
+    const auto span = static_cast<std::size_t>(hi - lo);
+    const auto positives =
+        static_cast<std::size_t>(positive_fraction * static_cast<double>(span));
+    for (rating::NodeId r = lo; r < hi; ++r, ++index) {
+      if (r == ratee) continue;
+      rate(r, ratee, 1,
+           index < positives ? rating::Score::kPositive
+                             : rating::Score::kNegative);
+    }
+    return *this;
+  }
+
+  Scenario& set_rep(rating::NodeId id, double rep) {
+    reps_.at(id) = rep;
+    return *this;
+  }
+
+  Scenario& set_all_reps(double rep) {
+    for (auto& r : reps_) r = rep;
+    return *this;
+  }
+
+  [[nodiscard]] rating::RatingMatrix build(double high_rep_threshold = 0.05)
+      const {
+    return rating::RatingMatrix::build(store_, reps_, high_rep_threshold);
+  }
+
+  [[nodiscard]] const rating::RatingStore& store() const { return store_; }
+
+ private:
+  rating::RatingStore store_;
+  std::vector<double> reps_;
+};
+
+}  // namespace p2prep::core::testing

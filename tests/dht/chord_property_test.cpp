@@ -1,0 +1,97 @@
+// Property sweeps over ring sizes: routing correctness from every start,
+// hop bounds, ownership partition, and churn invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dht/chord.h"
+#include "util/rng.h"
+
+namespace p2prep::dht {
+namespace {
+
+class ChordPropertyTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  [[nodiscard]] ChordRing make_ring(std::size_t n) const {
+    ChordRing ring;
+    for (rating::NodeId id = 0; id < n; ++id)
+      EXPECT_TRUE(ring.add_node(id));
+    ring.rebuild();
+    return ring;
+  }
+};
+
+TEST_P(ChordPropertyTest, EveryLookupResolvesToTrueOwner) {
+  const std::size_t n = GetParam();
+  const ChordRing ring = make_ring(n);
+  util::Rng rng(n * 7 + 1);
+  for (int probe = 0; probe < 200; ++probe) {
+    const Key key = rng.next();
+    const auto start = static_cast<rating::NodeId>(rng.next_below(n));
+    const LookupResult r = ring.lookup(start, key);
+    EXPECT_EQ(r.owner, ring.owner_of(key))
+        << "n=" << n << " start=" << start << " key=" << key;
+  }
+}
+
+TEST_P(ChordPropertyTest, HopCountLogarithmic) {
+  const std::size_t n = GetParam();
+  const ChordRing ring = make_ring(n);
+  util::Rng rng(n * 13 + 1);
+  std::size_t total_hops = 0;
+  constexpr int kProbes = 300;
+  for (int probe = 0; probe < kProbes; ++probe) {
+    const auto start = static_cast<rating::NodeId>(rng.next_below(n));
+    total_hops += ring.lookup(start, rng.next()).hops;
+  }
+  const double avg = static_cast<double>(total_hops) / kProbes;
+  // Chord's expected hop count is ~(1/2) log2 n; allow generous slack.
+  const double log2n = std::log2(static_cast<double>(n) + 1.0);
+  EXPECT_LE(avg, 2.0 * log2n + 2.0) << "n=" << n << " avg=" << avg;
+}
+
+TEST_P(ChordPropertyTest, OwnershipPartitionsKeySpace) {
+  const std::size_t n = GetParam();
+  const ChordRing ring = make_ring(n);
+  // Sampled keys all have exactly one owner, and each member owns the arc
+  // ending at its own key (successor rule: owner_of(member key) == member).
+  for (const Key member_key : ring.member_keys()) {
+    const rating::NodeId owner = ring.owner_of(member_key);
+    EXPECT_EQ(ring.key_of(owner), member_key);
+  }
+  util::Rng rng(n);
+  std::set<rating::NodeId> owners;
+  for (int probe = 0; probe < 500; ++probe)
+    owners.insert(ring.owner_of(rng.next()));
+  EXPECT_LE(owners.size(), n);
+  if (n >= 16) EXPECT_GT(owners.size(), 1u);
+}
+
+TEST_P(ChordPropertyTest, RemovalTransfersOwnershipToSuccessorOnly) {
+  const std::size_t n = GetParam();
+  if (n < 3) return;
+  ChordRing ring = make_ring(n);
+  util::Rng rng(n * 3);
+  const auto victim = static_cast<rating::NodeId>(rng.next_below(n));
+
+  // Keys owned by others must keep their owner after the victim leaves.
+  std::vector<std::pair<Key, rating::NodeId>> samples;
+  for (int probe = 0; probe < 200; ++probe) {
+    const Key key = rng.next();
+    samples.emplace_back(key, ring.owner_of(key));
+  }
+  ring.remove_node(victim);
+  ring.rebuild();
+  for (const auto& [key, owner] : samples) {
+    if (owner == victim) continue;  // victim's arc moves to its successor
+    EXPECT_EQ(ring.owner_of(key), owner) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 257, 1000));
+
+}  // namespace
+}  // namespace p2prep::dht

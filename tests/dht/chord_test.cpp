@@ -1,0 +1,172 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace p2prep::dht {
+namespace {
+
+ChordRing make_ring(std::size_t n, ChordConfig config = {}) {
+  ChordRing ring(config);
+  for (rating::NodeId id = 0; id < n; ++id)
+    EXPECT_TRUE(ring.add_node(id));
+  ring.rebuild();
+  return ring;
+}
+
+TEST(ChordRingTest, AddRemoveContains) {
+  ChordRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.add_node(1));
+  EXPECT_FALSE(ring.add_node(1));  // duplicate
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_TRUE(ring.remove_node(1));
+  EXPECT_FALSE(ring.remove_node(1));
+  EXPECT_FALSE(ring.contains(1));
+}
+
+TEST(ChordRingTest, OwnerIsSuccessorOfKey) {
+  ChordRing ring = make_ring(16);
+  // Verify against a brute-force successor computation.
+  const auto& keys = ring.member_keys();
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (Key probe :
+       {Key{0}, Key{12345}, keys.front(), keys.back(), keys.front() - 1,
+        keys.back() + 1, Key{1} << 31}) {
+    const rating::NodeId owner = ring.owner_of(probe);
+    const Key owner_key = ring.key_of(owner);
+    auto it = std::lower_bound(keys.begin(), keys.end(),
+                               probe & ((Key{1} << 32) - 1));
+    const Key expected = it == keys.end() ? keys.front() : *it;
+    EXPECT_EQ(owner_key, expected);
+  }
+}
+
+TEST(ChordRingTest, SingleNodeOwnsEverything) {
+  ChordRing ring = make_ring(1);
+  EXPECT_EQ(ring.owner_of(0), 0u);
+  EXPECT_EQ(ring.owner_of(~Key{0}), 0u);
+  const LookupResult r = ring.lookup(0, 999);
+  EXPECT_EQ(r.owner, 0u);
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(ChordRingTest, LookupFindsCorrectOwnerFromEveryStart) {
+  ChordRing ring = make_ring(32);
+  for (rating::NodeId start = 0; start < 32; ++start) {
+    for (rating::NodeId target = 0; target < 32; ++target) {
+      const Key key = hash_reputation_record(target);
+      const LookupResult r = ring.lookup(start, key);
+      EXPECT_EQ(r.owner, ring.owner_of(key))
+          << "start=" << start << " target=" << target;
+    }
+  }
+}
+
+TEST(ChordRingTest, LookupHopsAreLogarithmic) {
+  ChordRing ring = make_ring(256);
+  std::size_t max_hops = 0;
+  for (rating::NodeId start = 0; start < 256; start += 7) {
+    for (int probe = 0; probe < 50; ++probe) {
+      const Key key = hash_bytes(std::to_string(probe));
+      const LookupResult r = ring.lookup(start, key);
+      EXPECT_EQ(r.owner, ring.owner_of(key));
+      max_hops = std::max(max_hops, r.hops);
+    }
+  }
+  // Chord bound: O(log N) w.h.p.; 256 nodes in a 2^32 space stay well
+  // under 4*log2(256) = 32 hops.
+  EXPECT_LE(max_hops, 32u);
+  EXPECT_GT(max_hops, 0u);
+}
+
+TEST(ChordRingTest, LookupPathStartsAtOriginAndEndsAtOwner) {
+  ChordRing ring = make_ring(64);
+  const Key key = hash_reputation_record(7);
+  const LookupResult r = ring.lookup(3, key);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_EQ(r.path.front(), 3u);
+  EXPECT_EQ(r.path.back(), r.owner);
+  EXPECT_EQ(r.path.size(), r.hops + 1);
+}
+
+TEST(ChordRingTest, ManagerOfMatchesRecordKeyOwner) {
+  ChordRing ring = make_ring(20);
+  for (rating::NodeId id = 0; id < 100; ++id)
+    EXPECT_EQ(ring.manager_of(id),
+              ring.owner_of(hash_reputation_record(id)));
+}
+
+TEST(ChordRingTest, MessageAccountingAccumulates) {
+  ChordRing ring = make_ring(64);
+  ring.reset_message_count();
+  (void)ring.lookup(0, hash_reputation_record(10));
+  (void)ring.lookup(5, hash_reputation_record(20));
+  EXPECT_GT(ring.total_messages(), 0u);
+  ring.reset_message_count();
+  EXPECT_EQ(ring.total_messages(), 0u);
+}
+
+TEST(ChordRingTest, RemoveNodeReassignsOwnership) {
+  ChordRing ring = make_ring(8);
+  const Key key = hash_reputation_record(3);
+  const rating::NodeId owner = ring.owner_of(key);
+  ring.remove_node(owner);
+  ring.rebuild();
+  const rating::NodeId new_owner = ring.owner_of(key);
+  EXPECT_NE(new_owner, owner);
+  EXPECT_TRUE(ring.contains(new_owner));
+}
+
+TEST(ChordRingTest, FingersPointAtSuccessorsOfPowers) {
+  ChordConfig config{.bits = 16, .successor_list = 2};
+  ChordRing ring(config);
+  for (rating::NodeId id = 0; id < 10; ++id) ring.add_node(id);
+  ring.rebuild();
+  for (rating::NodeId id = 0; id < 10; ++id) {
+    const auto& fingers = ring.fingers_of(id);
+    ASSERT_EQ(fingers.size(), config.bits);
+    const Key base = ring.key_of(id);
+    for (std::size_t k = 0; k < config.bits; ++k) {
+      const Key target = (base + (Key{1} << k)) & 0xffff;
+      EXPECT_EQ(fingers[k], ring.owner_of(target));
+    }
+  }
+}
+
+TEST(ChordRingTest, SmallBitWidthStillRoutes) {
+  ChordConfig config{.bits = 8, .successor_list = 2};
+  ChordRing ring(config);
+  // 8-bit space: collisions possible; add until a few land.
+  std::size_t added = 0;
+  for (rating::NodeId id = 0; id < 100 && added < 12; ++id) {
+    if (ring.add_node(id)) ++added;
+  }
+  ring.rebuild();
+  ASSERT_GE(ring.size(), 4u);
+  const rating::NodeId start = ring.member_keys().empty()
+                                   ? 0
+                                   : ring.owner_of(0);
+  for (Key key = 0; key < 256; key += 13) {
+    const LookupResult r = ring.lookup(start, key);
+    EXPECT_EQ(r.owner, ring.owner_of(key));
+  }
+}
+
+TEST(ChordRingTest, LoadIsBalancedWithinReason) {
+  ChordRing ring = make_ring(50);
+  std::vector<std::size_t> load(50, 0);
+  for (rating::NodeId id = 0; id < 5000; ++id)
+    ++load[ring.manager_of(id)];
+  const auto max_load = *std::max_element(load.begin(), load.end());
+  // Consistent hashing without virtual nodes: expect max O(log n / n)
+  // imbalance; 10x mean is a generous sanity ceiling.
+  EXPECT_LE(max_load, 1000u);
+}
+
+}  // namespace
+}  // namespace p2prep::dht

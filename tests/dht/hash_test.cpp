@@ -1,0 +1,47 @@
+#include "dht/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2prep::dht {
+namespace {
+
+TEST(HashTest, BytesHashIsDeterministic) {
+  EXPECT_EQ(hash_bytes("hello"), hash_bytes("hello"));
+  EXPECT_NE(hash_bytes("hello"), hash_bytes("hellp"));
+  EXPECT_NE(hash_bytes(""), hash_bytes("a"));
+}
+
+TEST(HashTest, NodeKeyIsDeterministic) {
+  EXPECT_EQ(hash_node(42), hash_node(42));
+  EXPECT_NE(hash_node(42), hash_node(43));
+}
+
+TEST(HashTest, NodeAndRecordKeysAreDomainSeparated) {
+  // A node's ring position must be independent of where its reputation
+  // records live.
+  for (rating::NodeId id = 0; id < 100; ++id)
+    EXPECT_NE(hash_node(id), hash_reputation_record(id));
+}
+
+TEST(HashTest, NoCollisionsAcrossRealisticIdRange) {
+  std::set<Key> keys;
+  for (rating::NodeId id = 0; id < 100000; ++id) {
+    keys.insert(hash_node(id));
+    keys.insert(hash_reputation_record(id));
+  }
+  EXPECT_EQ(keys.size(), 200000u);
+}
+
+TEST(HashTest, KeysSpreadAcrossSpace) {
+  // Crude uniformity: bucket the top byte of 10k node keys; every bucket
+  // of 16 should be populated.
+  std::set<unsigned> buckets;
+  for (rating::NodeId id = 0; id < 10000; ++id)
+    buckets.insert(static_cast<unsigned>(hash_node(id) >> 60));
+  EXPECT_EQ(buckets.size(), 16u);
+}
+
+}  // namespace
+}  // namespace p2prep::dht

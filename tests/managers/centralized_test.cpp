@@ -1,0 +1,191 @@
+#include "managers/centralized.h"
+
+#include <gtest/gtest.h>
+
+#include "core/basic_detector.h"
+#include "core/optimized_detector.h"
+#include "reputation/summation.h"
+
+namespace p2prep::managers {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+core::DetectorConfig config() {
+  core::DetectorConfig c;
+  c.positive_fraction_min = 0.8;
+  c.complement_fraction_max = 0.2;
+  c.frequency_min = 20;
+  c.high_rep_threshold = 0.05;
+  return c;
+}
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+/// Colluders 0/1 bombard each other; crowd 3..n rates them negatively and
+/// honest node 2 positively.
+void feed_collusion(CentralizedManager& mgr, std::size_t n) {
+  for (int k = 0; k < 50; ++k) {
+    mgr.ingest(make(0, 1, Score::kPositive));
+    mgr.ingest(make(1, 0, Score::kPositive));
+  }
+  for (rating::NodeId r = 3; r < n; ++r) {
+    mgr.ingest(make(r, 0, Score::kNegative));
+    mgr.ingest(make(r, 1, Score::kNegative));
+    mgr.ingest(make(r, 2, Score::kPositive));
+  }
+}
+
+TEST(CentralizedManagerTest, IngestFeedsStoreAndEngine) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(10, engine, config());
+  EXPECT_TRUE(mgr.ingest(make(0, 1, Score::kPositive)));
+  EXPECT_EQ(mgr.store().event_count(), 1u);
+  EXPECT_EQ(engine.raw_sum(1), 1);
+  EXPECT_FALSE(mgr.ingest(make(0, 0, Score::kPositive)));  // self-rating
+}
+
+TEST(CentralizedManagerTest, SnapshotReflectsEngineReputations) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(10, engine, config());
+  feed_collusion(mgr, 10);
+  mgr.update_reputations();
+  const rating::RatingMatrix m = mgr.snapshot();
+  EXPECT_EQ(m.size(), 10u);
+  EXPECT_EQ(m.cell(1, 0).total, 50u);
+  // Node 2 got all the crowd's positives: high-reputed after normalization.
+  EXPECT_TRUE(m.high_reputed(2));
+}
+
+TEST(CentralizedManagerTest, DetectionFlagsAndSuppressesColluders) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  feed_collusion(mgr, 20);
+  mgr.update_reputations();
+  ASSERT_GT(engine.reputation(0), 0.05);  // colluders start high-reputed
+
+  core::OptimizedCollusionDetector detector(config());
+  const core::DetectionReport report = mgr.run_detection(detector);
+  EXPECT_TRUE(report.contains(0, 1));
+  EXPECT_TRUE(mgr.detected().contains(0));
+  EXPECT_TRUE(mgr.detected().contains(1));
+  // Suppression takes effect immediately.
+  EXPECT_EQ(engine.reputation(0), 0.0);
+  EXPECT_EQ(engine.reputation(1), 0.0);
+  EXPECT_GT(engine.reputation(2), 0.0);
+}
+
+TEST(CentralizedManagerTest, NoSuppressLeavesEngineUntouched) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  feed_collusion(mgr, 20);
+  mgr.update_reputations();
+  const double before = engine.reputation(0);
+  core::BasicCollusionDetector detector(config());
+  const auto report = mgr.run_detection(
+      detector, CentralizedManager::SuppressionMode::kNone);
+  EXPECT_TRUE(report.contains(0, 1));
+  EXPECT_TRUE(mgr.detected().empty());
+  EXPECT_DOUBLE_EQ(engine.reputation(0), before);
+}
+
+TEST(CentralizedManagerTest, WindowResetClearsPairCounters) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  feed_collusion(mgr, 20);
+  mgr.update_reputations();
+  mgr.reset_window();
+  core::OptimizedCollusionDetector detector(config());
+  // No ratings in the new window: nothing to detect.
+  const auto report = mgr.run_detection(detector);
+  EXPECT_TRUE(report.pairs.empty());
+}
+
+TEST(CentralizedManagerTest, BasicAndOptimizedAgreeThroughManager) {
+  reputation::SummationEngine e1;
+  reputation::SummationEngine e2;
+  CentralizedManager m1(20, e1, config());
+  CentralizedManager m2(20, e2, config());
+  feed_collusion(m1, 20);
+  feed_collusion(m2, 20);
+  m1.update_reputations();
+  m2.update_reputations();
+  core::BasicCollusionDetector basic(config());
+  core::OptimizedCollusionDetector optimized(config());
+  const auto rb = m1.run_detection(basic);
+  const auto ro = m2.run_detection(optimized);
+  ASSERT_EQ(rb.pairs.size(), ro.pairs.size());
+  for (std::size_t i = 0; i < rb.pairs.size(); ++i) {
+    EXPECT_EQ(rb.pairs[i].first, ro.pairs[i].first);
+    EXPECT_EQ(rb.pairs[i].second, ro.pairs[i].second);
+  }
+}
+
+
+TEST(CentralizedManagerTest, ConfirmationPolicyDelaysSuppression) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  mgr.set_confirmation_passes(2);
+  EXPECT_EQ(mgr.confirmation_passes(), 2u);
+  feed_collusion(mgr, 20);
+  mgr.update_reputations();
+  core::OptimizedCollusionDetector detector(config());
+
+  // Pass 1: pair flagged, streak 1 < 2 -> no suppression yet.
+  const auto first = mgr.run_detection(detector);
+  EXPECT_TRUE(first.contains(0, 1));
+  EXPECT_TRUE(mgr.detected().empty());
+  EXPECT_GT(engine.reputation(0), 0.0);
+
+  // Pass 2 over the same window: streak reaches 2 -> suppressed.
+  const auto second = mgr.run_detection(detector);
+  EXPECT_TRUE(second.contains(0, 1));
+  EXPECT_TRUE(mgr.detected().contains(0));
+  EXPECT_EQ(engine.reputation(0), 0.0);
+}
+
+TEST(CentralizedManagerTest, ConfirmationStreakResetsWhenPairVanishes) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  mgr.set_confirmation_passes(2);
+  feed_collusion(mgr, 20);
+  mgr.update_reputations();
+  core::OptimizedCollusionDetector detector(config());
+  (void)mgr.run_detection(detector);  // streak 1
+  EXPECT_TRUE(mgr.detected().empty());
+
+  // The window rolls over with no fresh collusion: the pair disappears
+  // from detection and its streak resets.
+  mgr.reset_window();
+  (void)mgr.run_detection(detector);
+  EXPECT_TRUE(mgr.detected().empty());
+
+  // Colluding again restarts from streak 1.
+  for (int k = 0; k < 50; ++k) {
+    mgr.ingest(make(0, 1, Score::kPositive));
+    mgr.ingest(make(1, 0, Score::kPositive));
+  }
+  for (rating::NodeId r = 3; r < 20; ++r) {
+    mgr.ingest(make(r, 0, Score::kNegative));
+    mgr.ingest(make(r, 1, Score::kNegative));
+  }
+  mgr.update_reputations();
+  (void)mgr.run_detection(detector);
+  EXPECT_TRUE(mgr.detected().empty());  // streak back at 1
+  (void)mgr.run_detection(detector);
+  EXPECT_TRUE(mgr.detected().contains(0));  // confirmed
+}
+
+TEST(CentralizedManagerTest, DefaultConfirmationIsImmediate) {
+  reputation::SummationEngine engine;
+  CentralizedManager mgr(20, engine, config());
+  EXPECT_EQ(mgr.confirmation_passes(), 1u);
+  mgr.set_confirmation_passes(0);  // clamped to 1
+  EXPECT_EQ(mgr.confirmation_passes(), 1u);
+}
+
+}  // namespace
+}  // namespace p2prep::managers

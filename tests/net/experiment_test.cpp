@@ -1,0 +1,97 @@
+#include "net/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::net {
+namespace {
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.config.num_nodes = 50;
+  spec.config.num_interests = 8;
+  spec.config.sim_cycles = 3;
+  spec.config.query_cycles_per_sim_cycle = 10;
+  spec.config.seed = 77;
+  spec.roles = paper_roles(4, 2);
+  spec.runs = 2;
+  spec.detector_config.positive_fraction_min = 0.9;
+  spec.detector_config.complement_fraction_max = 0.7;
+  spec.detector_config.frequency_min = 20;
+  return spec;
+}
+
+TEST(ExperimentTest, NamesAreStable) {
+  EXPECT_EQ(to_string(EngineKind::kWeighted), "WeightedEigenTrust");
+  EXPECT_EQ(to_string(EngineKind::kEigenTrust), "EigenTrust");
+  EXPECT_EQ(to_string(EngineKind::kSummation), "Summation");
+  EXPECT_EQ(to_string(DetectorKind::kNone), "None");
+  EXPECT_EQ(to_string(DetectorKind::kBasic), "Unoptimized");
+  EXPECT_EQ(to_string(DetectorKind::kOptimized), "Optimized");
+}
+
+TEST(ExperimentTest, BaselineRunAverages) {
+  const ExperimentResult r = run_experiment(small_spec());
+  EXPECT_EQ(r.runs, 2u);
+  EXPECT_EQ(r.avg_reputation.size(), 50u);
+  EXPECT_GT(r.avg_total_requests, 0.0);
+  EXPECT_GT(r.avg_engine_cost, 0.0);
+  EXPECT_EQ(r.avg_detector_cost, 0.0);  // no detector attached
+  EXPECT_EQ(r.avg_recall, 0.0);
+  double sum = 0.0;
+  for (double rep : r.avg_reputation) sum += rep;
+  EXPECT_NEAR(sum, 1.0, 1e-6);  // each run's engine publishes a distribution
+}
+
+TEST(ExperimentTest, DetectionAchievesFullRecall) {
+  ExperimentSpec spec = small_spec();
+  spec.detector = DetectorKind::kOptimized;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(r.avg_recall, 1.0);
+  EXPECT_EQ(r.avg_false_positives, 0.0);
+  EXPECT_GT(r.avg_detector_cost, 0.0);
+  for (rating::NodeId id : spec.roles.colluders) {
+    EXPECT_DOUBLE_EQ(r.avg_reputation[id], 0.0);
+    EXPECT_DOUBLE_EQ(r.detection_rate[id], 1.0);
+  }
+}
+
+TEST(ExperimentTest, DetectionLowersColluderTraffic) {
+  ExperimentSpec baseline = small_spec();
+  ExperimentSpec protected_spec = small_spec();
+  protected_spec.detector = DetectorKind::kOptimized;
+  const auto rb = run_experiment(baseline);
+  const auto rp = run_experiment(protected_spec);
+  EXPECT_LT(rp.avg_percent_to_colluders, rb.avg_percent_to_colluders);
+}
+
+TEST(ExperimentTest, BasicAndOptimizedSameRecallDifferentCost) {
+  ExperimentSpec basic = small_spec();
+  basic.detector = DetectorKind::kBasic;
+  ExperimentSpec optimized = small_spec();
+  optimized.detector = DetectorKind::kOptimized;
+  const auto rb = run_experiment(basic);
+  const auto ro = run_experiment(optimized);
+  EXPECT_DOUBLE_EQ(rb.avg_recall, ro.avg_recall);
+  EXPECT_GT(rb.avg_detector_cost, ro.avg_detector_cost);
+}
+
+TEST(ExperimentTest, DeterministicForSameSpec) {
+  const auto a = run_experiment(small_spec());
+  const auto b = run_experiment(small_spec());
+  EXPECT_EQ(a.avg_reputation, b.avg_reputation);
+  EXPECT_DOUBLE_EQ(a.avg_percent_to_colluders, b.avg_percent_to_colluders);
+}
+
+TEST(ExperimentTest, EigenTrustEngineVariant) {
+  ExperimentSpec spec = small_spec();
+  spec.engine = EngineKind::kEigenTrust;
+  spec.runs = 1;
+  const auto r = run_experiment(spec);
+  EXPECT_GT(r.avg_engine_cost, 0.0);
+  double sum = 0.0;
+  for (double rep : r.avg_reputation) sum += rep;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace p2prep::net

@@ -1,0 +1,28 @@
+#include "net/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::net {
+namespace {
+
+TEST(MetricsTest, PercentToColludersZeroWhenNoRequests) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.percent_to_colluders(), 0.0);
+}
+
+TEST(MetricsTest, PercentToColludersComputed) {
+  Metrics m;
+  m.total_requests = 200;
+  m.requests_to_colluders = 50;
+  EXPECT_DOUBLE_EQ(m.percent_to_colluders(), 25.0);
+}
+
+TEST(MetricsTest, PercentBoundedByHundred) {
+  Metrics m;
+  m.total_requests = 10;
+  m.requests_to_colluders = 10;
+  EXPECT_DOUBLE_EQ(m.percent_to_colluders(), 100.0);
+}
+
+}  // namespace
+}  // namespace p2prep::net

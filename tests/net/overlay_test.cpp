@@ -1,0 +1,108 @@
+#include "net/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace p2prep::net {
+namespace {
+
+SimConfig small_config() {
+  SimConfig c;
+  c.num_nodes = 60;
+  c.num_interests = 10;
+  c.min_interests_per_node = 1;
+  c.max_interests_per_node = 4;
+  return c;
+}
+
+TEST(InterestOverlayTest, EveryNodeHasInterestsInRange) {
+  const SimConfig c = small_config();
+  util::Rng rng(1);
+  InterestOverlay overlay(c, rng);
+  EXPECT_EQ(overlay.num_nodes(), c.num_nodes);
+  EXPECT_EQ(overlay.num_interests(), c.num_interests);
+  for (rating::NodeId id = 0; id < c.num_nodes; ++id) {
+    const auto mine = overlay.interests_of(id);
+    EXPECT_GE(mine.size(), c.min_interests_per_node);
+    EXPECT_LE(mine.size(), c.max_interests_per_node);
+    for (InterestId cat : mine) EXPECT_LT(cat, c.num_interests);
+  }
+}
+
+TEST(InterestOverlayTest, InterestsAreDistinctAndSorted) {
+  const SimConfig c = small_config();
+  util::Rng rng(2);
+  InterestOverlay overlay(c, rng);
+  for (rating::NodeId id = 0; id < c.num_nodes; ++id) {
+    const auto mine = overlay.interests_of(id);
+    EXPECT_TRUE(std::is_sorted(mine.begin(), mine.end()));
+    const std::set<InterestId> unique(mine.begin(), mine.end());
+    EXPECT_EQ(unique.size(), mine.size());
+  }
+}
+
+TEST(InterestOverlayTest, ClustersMirrorInterests) {
+  const SimConfig c = small_config();
+  util::Rng rng(3);
+  InterestOverlay overlay(c, rng);
+  // Node in cluster <=> cluster in node's interests, both directions.
+  for (InterestId cat = 0; cat < c.num_interests; ++cat) {
+    for (rating::NodeId member : overlay.cluster(cat))
+      EXPECT_TRUE(overlay.has_interest(member, cat));
+  }
+  std::size_t total_memberships = 0;
+  for (rating::NodeId id = 0; id < c.num_nodes; ++id)
+    total_memberships += overlay.interests_of(id).size();
+  std::size_t total_cluster_size = 0;
+  for (InterestId cat = 0; cat < c.num_interests; ++cat)
+    total_cluster_size += overlay.cluster(cat).size();
+  EXPECT_EQ(total_memberships, total_cluster_size);
+}
+
+TEST(InterestOverlayTest, DeterministicForSameSeed) {
+  const SimConfig c = small_config();
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  InterestOverlay a(c, rng1);
+  InterestOverlay b(c, rng2);
+  for (rating::NodeId id = 0; id < c.num_nodes; ++id) {
+    const auto ia = a.interests_of(id);
+    const auto ib = b.interests_of(id);
+    ASSERT_EQ(ia.size(), ib.size());
+    EXPECT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+  }
+}
+
+TEST(InterestOverlayTest, HasInterestNegativeCase) {
+  SimConfig c = small_config();
+  c.min_interests_per_node = 1;
+  c.max_interests_per_node = 1;
+  util::Rng rng(9);
+  InterestOverlay overlay(c, rng);
+  for (rating::NodeId id = 0; id < 10; ++id) {
+    const InterestId mine = overlay.interests_of(id)[0];
+    std::size_t held = 0;
+    for (InterestId cat = 0; cat < c.num_interests; ++cat)
+      if (overlay.has_interest(id, cat)) ++held;
+    EXPECT_EQ(held, 1u);
+    EXPECT_TRUE(overlay.has_interest(id, mine));
+  }
+}
+
+TEST(InterestOverlayTest, PaperScaleConfig) {
+  // The paper's setup: 200 nodes, 20 interests, 1-5 interests per node.
+  SimConfig c;
+  util::Rng rng(20120910);
+  InterestOverlay overlay(c, rng);
+  EXPECT_EQ(overlay.num_nodes(), 200u);
+  EXPECT_EQ(overlay.num_interests(), 20u);
+  // With 200 nodes and ~3 interests each, every cluster should be
+  // populated (expected ~30 members).
+  for (InterestId cat = 0; cat < 20; ++cat)
+    EXPECT_GT(overlay.cluster(cat).size(), 5u);
+}
+
+}  // namespace
+}  // namespace p2prep::net

@@ -1,0 +1,76 @@
+#include "net/roles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2prep::net {
+namespace {
+
+TEST(RolesTest, PaperRolesMatchSectionV) {
+  // Paper ids: pretrusted 1-3, colluders 4-11 -> 0-based 0-2 and 3-10.
+  const NodeRoles roles = paper_roles(8, 3);
+  EXPECT_EQ(roles.pretrusted, (std::vector<rating::NodeId>{0, 1, 2}));
+  EXPECT_EQ(roles.colluders,
+            (std::vector<rating::NodeId>{3, 4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_EQ(roles.collusion_edges.size(), 4u);
+  EXPECT_EQ(roles.collusion_edges[0], (std::pair<rating::NodeId,
+                                       rating::NodeId>{3, 4}));
+  EXPECT_EQ(roles.collusion_edges[3], (std::pair<rating::NodeId,
+                                       rating::NodeId>{9, 10}));
+}
+
+TEST(RolesTest, TypeOfClassifies) {
+  const NodeRoles roles = paper_roles(8, 3);
+  EXPECT_EQ(roles.type_of(0), NodeType::kPretrusted);
+  EXPECT_EQ(roles.type_of(3), NodeType::kColluder);
+  EXPECT_EQ(roles.type_of(50), NodeType::kNormal);
+}
+
+TEST(RolesTest, Fig8RolesHaveNoPretrusted) {
+  // Fig. 8: colluder ids 1-8 (0-based 0-7), no pretrusted nodes.
+  const NodeRoles roles = fig8_roles();
+  EXPECT_TRUE(roles.pretrusted.empty());
+  EXPECT_EQ(roles.colluders,
+            (std::vector<rating::NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(roles.collusion_edges.size(), 4u);
+  EXPECT_EQ(roles.collusion_edges[0].first, 0u);
+}
+
+TEST(RolesTest, CompromisedRolesAddPretrustedEdges) {
+  // Fig. 7/11: n1-n4 and n2-n6 (1-based) collude on top of the pairs.
+  const NodeRoles roles = compromised_roles();
+  ASSERT_EQ(roles.collusion_edges.size(), 6u);
+  EXPECT_EQ(roles.collusion_edges[4],
+            (std::pair<rating::NodeId, rating::NodeId>{0, 3}));
+  EXPECT_EQ(roles.collusion_edges[5],
+            (std::pair<rating::NodeId, rating::NodeId>{1, 5}));
+  // Pretrusted membership unchanged.
+  EXPECT_EQ(roles.pretrusted.size(), 3u);
+  EXPECT_EQ(roles.colluders.size(), 8u);
+}
+
+TEST(RolesTest, ColluderSetMatchesVector) {
+  const NodeRoles roles = paper_roles(6, 2);
+  const auto set = roles.colluder_set();
+  EXPECT_EQ(set.size(), 6u);
+  for (rating::NodeId c : roles.colluders) EXPECT_TRUE(set.contains(c));
+}
+
+TEST(RolesTest, VariableColluderCounts) {
+  for (std::size_t count : {8u, 18u, 28u, 38u, 48u, 58u}) {
+    const NodeRoles roles = paper_roles(count, 3);
+    EXPECT_EQ(roles.colluders.size(), count);
+    EXPECT_EQ(roles.collusion_edges.size(), count / 2);
+    // Edges partition the colluders.
+    std::set<rating::NodeId> seen;
+    for (const auto& [a, b] : roles.collusion_edges) {
+      EXPECT_TRUE(seen.insert(a).second);
+      EXPECT_TRUE(seen.insert(b).second);
+    }
+    EXPECT_EQ(seen.size(), count);
+  }
+}
+
+}  // namespace
+}  // namespace p2prep::net

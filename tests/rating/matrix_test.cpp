@@ -1,0 +1,105 @@
+#include "rating/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2prep::rating {
+namespace {
+
+RatingStore populated_store() {
+  RatingStore store(4);
+  // Node 1 rated by 0 (2 pos), by 2 (1 neg); node 2 rated by 3 (1 pos).
+  store.ingest({.rater = 0, .ratee = 1, .score = Score::kPositive, .time = 0});
+  store.ingest({.rater = 0, .ratee = 1, .score = Score::kPositive, .time = 1});
+  store.ingest({.rater = 2, .ratee = 1, .score = Score::kNegative, .time = 2});
+  store.ingest({.rater = 3, .ratee = 2, .score = Score::kPositive, .time = 3});
+  return store;
+}
+
+TEST(RatingMatrixTest, BuildCopiesWindowAggregates) {
+  const RatingStore store = populated_store();
+  const std::vector<double> reps{0.0, 0.5, 0.02, 0.1};
+  const RatingMatrix m = RatingMatrix::build(store, reps, 0.05);
+
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.cell(1, 0).total, 2u);
+  EXPECT_EQ(m.cell(1, 0).positive, 2u);
+  EXPECT_EQ(m.cell(1, 2).negative, 1u);
+  EXPECT_EQ(m.cell(2, 3).positive, 1u);
+  EXPECT_EQ(m.cell(0, 1).total, 0u);
+  EXPECT_EQ(m.totals(1).total, 3u);
+  EXPECT_EQ(m.window_reputation(1), 1);  // 2 pos - 1 neg
+}
+
+TEST(RatingMatrixTest, HighReputedFlagFollowsThreshold) {
+  const RatingStore store = populated_store();
+  const std::vector<double> reps{0.0, 0.5, 0.02, 0.1};
+  const RatingMatrix m = RatingMatrix::build(store, reps, 0.05);
+
+  EXPECT_FALSE(m.high_reputed(0));
+  EXPECT_TRUE(m.high_reputed(1));
+  EXPECT_FALSE(m.high_reputed(2));
+  EXPECT_TRUE(m.high_reputed(3));
+  EXPECT_EQ(m.high_reputed_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.global_reputation(1), 0.5);
+}
+
+TEST(RatingMatrixTest, ThresholdIsStrict) {
+  RatingStore store(2);
+  const std::vector<double> reps{0.05, 0.050001};
+  const RatingMatrix m = RatingMatrix::build(store, reps, 0.05);
+  EXPECT_FALSE(m.high_reputed(0));  // R > T_R, not >=
+  EXPECT_TRUE(m.high_reputed(1));
+}
+
+TEST(RatingMatrixTest, SetGlobalReputationMaintainsHighCount) {
+  RatingMatrix m(3);
+  EXPECT_EQ(m.high_reputed_count(), 0u);
+  m.set_global_reputation(0, 0.5, 0.05);
+  EXPECT_EQ(m.high_reputed_count(), 1u);
+  m.set_global_reputation(0, 0.6, 0.05);  // still high: count unchanged
+  EXPECT_EQ(m.high_reputed_count(), 1u);
+  m.set_global_reputation(0, 0.01, 0.05);
+  EXPECT_EQ(m.high_reputed_count(), 0u);
+}
+
+TEST(RatingMatrixTest, AddRatingUpdatesCellAndTotals) {
+  RatingMatrix m(3);
+  m.add_rating(1, 0, Score::kPositive);
+  m.add_rating(1, 0, Score::kNegative);
+  m.add_rating(1, 2, Score::kPositive);
+  EXPECT_EQ(m.cell(1, 0).total, 2u);
+  EXPECT_EQ(m.totals(1).total, 3u);
+  EXPECT_EQ(m.window_reputation(1), 1);
+}
+
+TEST(RatingMatrixTest, RowSpanMatchesCells) {
+  RatingMatrix m(3);
+  m.add_rating(1, 2, Score::kPositive);
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2].positive, 1u);
+  EXPECT_EQ(row[0].total, 0u);
+}
+
+TEST(RatingMatrixTest, MarkCheckedIsSymmetric) {
+  RatingMatrix m(3);
+  EXPECT_FALSE(m.checked(0, 1));
+  m.mark_checked(0, 1);
+  EXPECT_TRUE(m.checked(0, 1));
+  EXPECT_TRUE(m.checked(1, 0));
+  EXPECT_FALSE(m.checked(0, 2));
+  m.clear_marks();
+  EXPECT_FALSE(m.checked(0, 1));
+}
+
+TEST(RatingMatrixTest, BuildFlagsNothingWhenAllLow) {
+  RatingStore store(3);
+  const std::vector<double> reps{0.0, 0.0, 0.0};
+  const RatingMatrix m = RatingMatrix::build(store, reps, 0.05);
+  EXPECT_EQ(m.high_reputed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace p2prep::rating

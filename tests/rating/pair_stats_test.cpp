@@ -1,0 +1,96 @@
+#include "rating/pair_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::rating {
+namespace {
+
+TEST(PairStatsTest, StartsEmpty) {
+  PairStats s;
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.positive, 0u);
+  EXPECT_EQ(s.negative, 0u);
+  EXPECT_EQ(s.neutral(), 0u);
+  EXPECT_EQ(s.positive_fraction(), 0.0);
+  EXPECT_EQ(s.reputation_delta(), 0);
+}
+
+TEST(PairStatsTest, AddClassifiesScores) {
+  PairStats s;
+  s.add(Score::kPositive);
+  s.add(Score::kPositive);
+  s.add(Score::kNegative);
+  s.add(Score::kNeutral);
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.positive, 2u);
+  EXPECT_EQ(s.negative, 1u);
+  EXPECT_EQ(s.neutral(), 1u);
+}
+
+TEST(PairStatsTest, PositiveFraction) {
+  PairStats s;
+  s.add(Score::kPositive);
+  s.add(Score::kPositive);
+  s.add(Score::kPositive);
+  s.add(Score::kNegative);
+  EXPECT_DOUBLE_EQ(s.positive_fraction(), 0.75);
+}
+
+TEST(PairStatsTest, ReputationDeltaIsSignedSum) {
+  PairStats s;
+  s.add(Score::kPositive);
+  s.add(Score::kNegative);
+  s.add(Score::kNegative);
+  s.add(Score::kNeutral);
+  EXPECT_EQ(s.reputation_delta(), -1);
+}
+
+TEST(PairStatsTest, AdditionMergesCounters) {
+  PairStats a;
+  a.add(Score::kPositive);
+  PairStats b;
+  b.add(Score::kNegative);
+  b.add(Score::kNeutral);
+  const PairStats c = a + b;
+  EXPECT_EQ(c.total, 3u);
+  EXPECT_EQ(c.positive, 1u);
+  EXPECT_EQ(c.negative, 1u);
+  EXPECT_EQ(c.neutral(), 1u);
+}
+
+TEST(PairStatsTest, SubtractionRemovesSubAggregate) {
+  PairStats whole;
+  for (int i = 0; i < 5; ++i) whole.add(Score::kPositive);
+  for (int i = 0; i < 3; ++i) whole.add(Score::kNegative);
+  PairStats part;
+  part.add(Score::kPositive);
+  part.add(Score::kNegative);
+  const PairStats rest = whole - part;
+  EXPECT_EQ(rest.total, 6u);
+  EXPECT_EQ(rest.positive, 4u);
+  EXPECT_EQ(rest.negative, 2u);
+}
+
+TEST(PairStatsTest, AddSubRoundTrips) {
+  PairStats a;
+  a.add(Score::kPositive);
+  a.add(Score::kNegative);
+  PairStats b;
+  b.add(Score::kNeutral);
+  EXPECT_EQ((a + b) - b, a);
+}
+
+TEST(PairStatsTest, ConstexprUsable) {
+  constexpr PairStats s = [] {
+    PairStats x;
+    x.add(Score::kPositive);
+    x.add(Score::kNegative);
+    return x;
+  }();
+  static_assert(s.total == 2);
+  static_assert(s.reputation_delta() == 0);
+  EXPECT_EQ(s.total, 2u);
+}
+
+}  // namespace
+}  // namespace p2prep::rating

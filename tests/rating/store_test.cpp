@@ -1,0 +1,125 @@
+#include "rating/store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2prep::rating {
+namespace {
+
+Rating make(NodeId rater, NodeId ratee, Score s, Tick t = 0) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = t};
+}
+
+TEST(RatingStoreTest, StartsEmpty) {
+  RatingStore store(5);
+  EXPECT_EQ(store.num_nodes(), 5u);
+  EXPECT_EQ(store.event_count(), 0u);
+  EXPECT_EQ(store.window_totals(0).total, 0u);
+  EXPECT_EQ(store.reputation(0), 0);
+}
+
+TEST(RatingStoreTest, IngestUpdatesBothHorizons) {
+  RatingStore store(3);
+  ASSERT_TRUE(store.ingest(make(0, 1, Score::kPositive)));
+  ASSERT_TRUE(store.ingest(make(0, 1, Score::kNegative)));
+  ASSERT_TRUE(store.ingest(make(2, 1, Score::kPositive)));
+
+  EXPECT_EQ(store.event_count(), 3u);
+  EXPECT_EQ(store.window_pair(1, 0).total, 2u);
+  EXPECT_EQ(store.window_pair(1, 0).positive, 1u);
+  EXPECT_EQ(store.window_totals(1).total, 3u);
+  EXPECT_EQ(store.lifetime_pair(1, 0).total, 2u);
+  EXPECT_EQ(store.lifetime_totals(1).positive, 2u);
+  EXPECT_EQ(store.reputation(1), 1);  // +1 -1 +1
+}
+
+TEST(RatingStoreTest, RejectsSelfRating) {
+  RatingStore store(3);
+  EXPECT_FALSE(store.ingest(make(1, 1, Score::kPositive)));
+  EXPECT_EQ(store.event_count(), 0u);
+}
+
+TEST(RatingStoreTest, RejectsOutOfRangeIds) {
+  RatingStore store(3);
+  EXPECT_FALSE(store.ingest(make(0, 3, Score::kPositive)));
+  EXPECT_FALSE(store.ingest(make(3, 0, Score::kPositive)));
+  EXPECT_FALSE(store.ingest(make(kInvalidNode, 0, Score::kPositive)));
+}
+
+TEST(RatingStoreTest, WindowResetPreservesLifetime) {
+  RatingStore store(3);
+  store.ingest(make(0, 1, Score::kPositive));
+  store.ingest(make(2, 1, Score::kNegative));
+  store.reset_window();
+
+  EXPECT_EQ(store.window_pair(1, 0).total, 0u);
+  EXPECT_EQ(store.window_totals(1).total, 0u);
+  EXPECT_EQ(store.lifetime_pair(1, 0).total, 1u);
+  EXPECT_EQ(store.lifetime_totals(1).total, 2u);
+  EXPECT_EQ(store.reputation(1), 0);
+
+  // New window accumulates independently.
+  store.ingest(make(0, 1, Score::kPositive));
+  EXPECT_EQ(store.window_pair(1, 0).total, 1u);
+  EXPECT_EQ(store.lifetime_pair(1, 0).total, 2u);
+}
+
+TEST(RatingStoreTest, ComplementIsTotalsMinusPair) {
+  RatingStore store(4);
+  store.ingest(make(0, 1, Score::kPositive));
+  store.ingest(make(0, 1, Score::kPositive));
+  store.ingest(make(2, 1, Score::kNegative));
+  store.ingest(make(3, 1, Score::kPositive));
+
+  const PairStats comp = store.window_complement(1, 0);
+  EXPECT_EQ(comp.total, 2u);
+  EXPECT_EQ(comp.positive, 1u);
+  EXPECT_EQ(comp.negative, 1u);
+
+  const PairStats comp_absent = store.window_complement(1, 3);
+  EXPECT_EQ(comp_absent.total, 3u);
+}
+
+TEST(RatingStoreTest, ForEachWindowRaterVisitsAllAndOnlyWindowRaters) {
+  RatingStore store(4);
+  store.ingest(make(0, 1, Score::kPositive));
+  store.ingest(make(2, 1, Score::kNegative));
+  store.reset_window();
+  store.ingest(make(3, 1, Score::kPositive));
+
+  std::set<NodeId> seen;
+  store.for_each_window_rater(1, [&seen](NodeId rater, const PairStats& s) {
+    EXPECT_GT(s.total, 0u);
+    seen.insert(rater);
+  });
+  EXPECT_EQ(seen, std::set<NodeId>{3});
+  EXPECT_EQ(store.window_rater_count(1), 1u);
+}
+
+TEST(RatingStoreTest, ResizeGrowsAndPreserves) {
+  RatingStore store(2);
+  store.ingest(make(0, 1, Score::kPositive));
+  store.resize(5);
+  EXPECT_EQ(store.num_nodes(), 5u);
+  EXPECT_EQ(store.window_pair(1, 0).total, 1u);
+  EXPECT_TRUE(store.ingest(make(4, 1, Score::kNegative)));
+}
+
+TEST(RatingStoreTest, UnknownPairIsZero) {
+  RatingStore store(3);
+  store.ingest(make(0, 1, Score::kPositive));
+  EXPECT_EQ(store.window_pair(1, 2).total, 0u);
+  EXPECT_EQ(store.lifetime_pair(2, 0).total, 0u);
+}
+
+TEST(RatingStoreTest, ReputationSumsSignedValues) {
+  RatingStore store(3);
+  for (int i = 0; i < 5; ++i) store.ingest(make(0, 2, Score::kPositive));
+  for (int i = 0; i < 2; ++i) store.ingest(make(1, 2, Score::kNegative));
+  store.ingest(make(1, 2, Score::kNeutral));
+  EXPECT_EQ(store.reputation(2), 3);
+}
+
+}  // namespace
+}  // namespace p2prep::rating

@@ -1,0 +1,50 @@
+#include "rating/types.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::rating {
+namespace {
+
+TEST(ScoreTest, ValuesMatchPaperModel) {
+  EXPECT_EQ(score_value(Score::kNegative), -1);
+  EXPECT_EQ(score_value(Score::kNeutral), 0);
+  EXPECT_EQ(score_value(Score::kPositive), 1);
+}
+
+TEST(ScoreFromStarsTest, AmazonMapping) {
+  EXPECT_EQ(score_from_stars(1), Score::kNegative);
+  EXPECT_EQ(score_from_stars(2), Score::kNegative);
+  EXPECT_EQ(score_from_stars(3), Score::kNeutral);
+  EXPECT_EQ(score_from_stars(4), Score::kPositive);
+  EXPECT_EQ(score_from_stars(5), Score::kPositive);
+}
+
+TEST(ScoreFromStarsTest, OutOfRangeClamps) {
+  EXPECT_EQ(score_from_stars(0), Score::kNegative);
+  EXPECT_EQ(score_from_stars(-3), Score::kNegative);
+  EXPECT_EQ(score_from_stars(6), Score::kPositive);
+  EXPECT_EQ(score_from_stars(100), Score::kPositive);
+}
+
+TEST(RatingTest, DefaultIsInvalid) {
+  Rating r;
+  EXPECT_EQ(r.rater, kInvalidNode);
+  EXPECT_EQ(r.ratee, kInvalidNode);
+  EXPECT_EQ(r.score, Score::kNeutral);
+  EXPECT_EQ(r.time, 0u);
+}
+
+TEST(RatingTest, EqualityIsFieldWise) {
+  const Rating a{.rater = 1, .ratee = 2, .score = Score::kPositive, .time = 3};
+  Rating b = a;
+  EXPECT_EQ(a, b);
+  b.score = Score::kNegative;
+  EXPECT_NE(a, b);
+}
+
+TEST(NodeIdTest, InvalidIsMaxValue) {
+  EXPECT_EQ(kInvalidNode, static_cast<NodeId>(-1));
+}
+
+}  // namespace
+}  // namespace p2prep::rating

@@ -1,0 +1,157 @@
+#include "reputation/eigentrust.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace p2prep::reputation {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+double sum_of(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+TEST(EigenTrustTest, InitialTrustIsUniform) {
+  EigenTrustEngine e(4);
+  for (rating::NodeId i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(e.reputation(i), 0.25);
+}
+
+TEST(EigenTrustTest, TrustVectorIsDistribution) {
+  EigenTrustEngine e(5);
+  e.set_pretrusted({0});
+  e.ingest(make(0, 1, Score::kPositive));
+  e.ingest(make(1, 2, Score::kPositive));
+  e.ingest(make(2, 3, Score::kPositive));
+  e.update_epoch();
+  EXPECT_NEAR(sum_of(e.reputations()), 1.0, 1e-9);
+  for (double r : e.reputations()) EXPECT_GE(r, 0.0);
+}
+
+TEST(EigenTrustTest, WellRatedNodeOutranksUnrated) {
+  EigenTrustEngine e(4);
+  e.set_pretrusted({0});
+  for (int i = 0; i < 10; ++i) {
+    e.ingest(make(0, 1, Score::kPositive));
+    e.ingest(make(2, 1, Score::kPositive));
+    e.ingest(make(3, 1, Score::kPositive));
+  }
+  e.update_epoch();
+  EXPECT_GT(e.reputation(1), e.reputation(3));
+}
+
+TEST(EigenTrustTest, NegativeExperienceIsClampedNotRewarded) {
+  EigenTrustEngine e(3);
+  e.set_pretrusted({0});
+  for (int i = 0; i < 10; ++i) e.ingest(make(0, 1, Score::kPositive));
+  for (int i = 0; i < 10; ++i) e.ingest(make(0, 2, Score::kNegative));
+  e.update_epoch();
+  EXPECT_GT(e.reputation(1), e.reputation(2));
+  EXPECT_EQ(e.local_experience(0, 2), -10);
+}
+
+TEST(EigenTrustTest, PretrustedRestartKeepsPretrustedVisible) {
+  EigenTrustEngine e(4, {.alpha = 0.3});
+  e.set_pretrusted({0});
+  for (int i = 0; i < 20; ++i) {
+    e.ingest(make(1, 2, Score::kPositive));
+    e.ingest(make(2, 1, Score::kPositive));
+  }
+  e.update_epoch();
+  // Restart mass flows to node 0 every iteration.
+  EXPECT_GT(e.reputation(0), 0.0);
+}
+
+TEST(EigenTrustTest, ConvergesWithinIterationCap) {
+  EigenTrustEngine e(10);
+  e.set_pretrusted({0, 1});
+  for (rating::NodeId i = 0; i < 10; ++i)
+    for (rating::NodeId j = 0; j < 10; ++j)
+      if (i != j) e.ingest(make(i, j, Score::kPositive));
+  e.update_epoch();
+  EXPECT_GT(e.last_iterations(), 0u);
+  EXPECT_LT(e.last_iterations(), e.config().max_iterations);
+}
+
+TEST(EigenTrustTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    EigenTrustEngine e(6);
+    e.set_pretrusted({0});
+    for (int i = 0; i < 5; ++i) {
+      e.ingest(make(0, 1, Score::kPositive));
+      e.ingest(make(1, 2, Score::kPositive));
+      e.ingest(make(3, 4, Score::kNegative));
+    }
+    e.update_epoch();
+    return std::vector<double>(e.reputations().begin(),
+                               e.reputations().end());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EigenTrustTest, ParallelMatchesSerial) {
+  util::ThreadPool pool(4);
+  auto run = [](util::ThreadPool* p) {
+    EigenTrustEngine e(100, {}, p);
+    e.set_pretrusted({0, 1, 2});
+    util::Rng rng(99);
+    for (int k = 0; k < 2000; ++k) {
+      const auto i = static_cast<rating::NodeId>(rng.next_below(100));
+      auto j = static_cast<rating::NodeId>(rng.next_below(100));
+      if (j == i) j = (j + 1) % 100;
+      e.ingest(make(i, j,
+                    rng.chance(0.8) ? Score::kPositive : Score::kNegative));
+    }
+    e.update_epoch();
+    return std::vector<double>(e.reputations().begin(),
+                               e.reputations().end());
+  };
+  const auto serial = run(nullptr);
+  const auto parallel = run(&pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_NEAR(serial[i], parallel[i], 1e-12);
+}
+
+TEST(EigenTrustTest, SuppressZeroesTrust) {
+  EigenTrustEngine e(3);
+  e.set_pretrusted({0});
+  for (int i = 0; i < 5; ++i) e.ingest(make(0, 1, Score::kPositive));
+  e.suppress(1);
+  e.update_epoch();
+  EXPECT_EQ(e.reputation(1), 0.0);
+}
+
+TEST(EigenTrustTest, CostGrowsQuadraticallyWithN) {
+  EigenTrustEngine small(50);
+  small.update_epoch();
+  EigenTrustEngine big(100);
+  big.update_epoch();
+  // Same iteration structure; 2x nodes -> ~4x arithmetic.
+  ASSERT_GT(small.cost().arithmetic, 0u);
+  const double ratio = static_cast<double>(big.cost().arithmetic) /
+                       static_cast<double>(small.cost().arithmetic);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(EigenTrustTest, NoPretrustedFallsBackToUniformRestart) {
+  EigenTrustEngine e(4);
+  for (int i = 0; i < 5; ++i) e.ingest(make(0, 1, Score::kPositive));
+  e.update_epoch();
+  EXPECT_NEAR(sum_of(e.reputations()), 1.0, 1e-9);
+  EXPECT_GT(e.reputation(1), e.reputation(3));
+}
+
+}  // namespace
+}  // namespace p2prep::reputation

@@ -1,0 +1,129 @@
+#include "reputation/gossiptrust.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "reputation/eigentrust.h"
+#include "util/rng.h"
+
+namespace p2prep::reputation {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+void feed(ReputationEngine& e, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (std::size_t k = 0; k < n * 20; ++k) {
+    auto i = static_cast<rating::NodeId>(rng.next_below(n));
+    auto j = static_cast<rating::NodeId>(rng.next_below(n));
+    if (i == j) j = static_cast<rating::NodeId>((j + 1) % n);
+    e.ingest(make(i, j,
+                  rng.chance(0.8) ? Score::kPositive : Score::kNegative));
+  }
+}
+
+TEST(GossipTrustTest, PublishesDistribution) {
+  GossipTrustEngine e(30);
+  e.set_pretrusted({0, 1});
+  feed(e, 30, 7);
+  e.update_epoch();
+  const auto reps = e.reputations();
+  const double sum = std::accumulate(reps.begin(), reps.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double r : reps) EXPECT_GE(r, 0.0);
+}
+
+TEST(GossipTrustTest, ApproximatesEigenTrustRanking) {
+  // Gossip aggregation must reproduce the centrally-computed EigenTrust
+  // ordering for clearly separated nodes.
+  constexpr std::size_t kN = 40;
+  GossipTrustEngine gossip(kN, {.power_iterations = 12, .gossip_rounds = 80});
+  EigenTrustEngine central(kN, {.alpha = 0.15});
+  gossip.set_pretrusted({0});
+  central.set_pretrusted({0});
+
+  // Node 1 is widely praised, node 2 widely panned. The pretrusted node
+  // must vouch for someone or EigenTrust's stationary vector collapses
+  // onto it (its restart row is the only source of trust mass).
+  for (int k = 0; k < 5; ++k) {
+    gossip.ingest(make(0, 1, Score::kPositive));
+    central.ingest(make(0, 1, Score::kPositive));
+  }
+  for (rating::NodeId v = 3; v < kN; ++v) {
+    for (int k = 0; k < 5; ++k) {
+      gossip.ingest(make(v, 1, Score::kPositive));
+      central.ingest(make(v, 1, Score::kPositive));
+      gossip.ingest(make(v, 2, Score::kNegative));
+      central.ingest(make(v, 2, Score::kNegative));
+    }
+  }
+  gossip.update_epoch();
+  central.update_epoch();
+
+  EXPECT_GT(gossip.reputation(1), gossip.reputation(2));
+  EXPECT_GT(central.reputation(1), central.reputation(2));
+  // Values agree within gossip residual error.
+  EXPECT_NEAR(gossip.reputation(1), central.reputation(1), 0.08);
+}
+
+TEST(GossipTrustTest, MoreRoundsReduceErrorVsCentral) {
+  constexpr std::size_t kN = 30;
+  auto error_with_rounds = [&](std::size_t rounds) {
+    GossipTrustEngine gossip(
+        kN, {.power_iterations = 8, .gossip_rounds = rounds, .seed = 5});
+    EigenTrustEngine central(kN);
+    gossip.set_pretrusted({0});
+    central.set_pretrusted({0});
+    feed(gossip, kN, 11);
+    feed(central, kN, 11);
+    gossip.update_epoch();
+    central.update_epoch();
+    double err = 0.0;
+    for (rating::NodeId i = 0; i < kN; ++i)
+      err += std::abs(gossip.reputation(i) - central.reputation(i));
+    return err;
+  };
+  const double coarse = error_with_rounds(6);
+  const double fine = error_with_rounds(60);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.1);
+}
+
+TEST(GossipTrustTest, CountsGossipMessages) {
+  GossipTrustEngine e(20, {.power_iterations = 2, .gossip_rounds = 10});
+  feed(e, 20, 3);
+  EXPECT_EQ(e.gossip_messages(), 0u);
+  e.update_epoch();
+  // 2 iterations * 20 components * 10 rounds * 20 nodes.
+  EXPECT_EQ(e.gossip_messages(), 2u * 20u * 10u * 20u);
+  EXPECT_GE(e.cost().messages, e.gossip_messages());
+}
+
+TEST(GossipTrustTest, DeterministicForSeed) {
+  auto run = [] {
+    GossipTrustEngine e(15, {.seed = 77});
+    e.set_pretrusted({0});
+    feed(e, 15, 9);
+    e.update_epoch();
+    return std::vector<double>(e.reputations().begin(),
+                               e.reputations().end());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GossipTrustTest, SuppressZeroes) {
+  GossipTrustEngine e(10);
+  feed(e, 10, 1);
+  e.suppress(3);
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(3), 0.0);
+}
+
+}  // namespace
+}  // namespace p2prep::reputation

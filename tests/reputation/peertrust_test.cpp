@@ -1,0 +1,108 @@
+#include "reputation/peertrust.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::reputation {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+TEST(PeerTrustTest, UnratedNodesKeepPrior) {
+  PeerTrustEngine e(4, {.prior = 0.3});
+  e.update_epoch();
+  for (rating::NodeId i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(e.reputation(i), 0.3);
+}
+
+TEST(PeerTrustTest, UnanimousFeedbackGivesExtremeTrust) {
+  PeerTrustEngine e(5);
+  for (rating::NodeId v = 1; v < 5; ++v) {
+    for (int k = 0; k < 5; ++k) e.ingest(make(v, 0, Score::kPositive));
+  }
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(0), 1.0);
+  // All raters agree with consensus: full credibility.
+  for (rating::NodeId v = 1; v < 5; ++v)
+    EXPECT_DOUBLE_EQ(e.credibility(v), 1.0);
+}
+
+TEST(PeerTrustTest, DissentingRaterLosesCredibility) {
+  PeerTrustEngine e(6);
+  // Raters 1-4 rate node 0 negative; rater 5 rates it positive.
+  for (rating::NodeId v = 1; v < 5; ++v) {
+    for (int k = 0; k < 10; ++k) e.ingest(make(v, 0, Score::kNegative));
+  }
+  for (int k = 0; k < 10; ++k) e.ingest(make(5, 0, Score::kPositive));
+  e.update_epoch();
+  EXPECT_LT(e.credibility(5), e.credibility(1));
+  // The lone positive voice barely moves the trust value.
+  EXPECT_LT(e.reputation(0), 0.3);
+}
+
+TEST(PeerTrustTest, CollusionDampedByCredibility) {
+  // Colluders 0/1 rate each other positive; the community rates them
+  // negative. Their mutual praise disagrees with consensus, so their
+  // credibility (and thus their boost) drops.
+  PeerTrustEngine e(12);
+  for (int k = 0; k < 30; ++k) {
+    e.ingest(make(0, 1, Score::kPositive));
+    e.ingest(make(1, 0, Score::kPositive));
+  }
+  for (rating::NodeId v = 2; v < 12; ++v) {
+    for (int k = 0; k < 5; ++k) {
+      e.ingest(make(v, 0, Score::kNegative));
+      e.ingest(make(v, 1, Score::kNegative));
+      e.ingest(make(v, 2 + (v + 1) % 10, Score::kPositive));
+    }
+  }
+  e.update_epoch();
+  EXPECT_LT(e.credibility(0), 0.9);
+  // Damped but NOT eliminated — the paper's point about why credibility
+  // weighting alone is mitigation, not detection.
+  EXPECT_GT(e.reputation(0), 0.0);
+  EXPECT_LT(e.reputation(0), 0.6);
+}
+
+TEST(PeerTrustTest, CredibilityHasFloor) {
+  PeerTrustEngine e(4, {.min_credibility = 0.2});
+  // Rater 3 maximally disagrees everywhere.
+  for (int k = 0; k < 10; ++k) {
+    e.ingest(make(1, 0, Score::kNegative));
+    e.ingest(make(2, 0, Score::kNegative));
+    e.ingest(make(3, 0, Score::kPositive));
+  }
+  e.update_epoch();
+  EXPECT_GE(e.credibility(3), 0.2);
+}
+
+TEST(PeerTrustTest, SuppressAndReset) {
+  PeerTrustEngine e(4);
+  for (int k = 0; k < 5; ++k) e.ingest(make(1, 0, Score::kPositive));
+  e.update_epoch();
+  EXPECT_GT(e.reputation(0), 0.0);
+
+  e.reset_reputation(0);
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.0);
+  // Reset clears history: new ratings rebuild trust.
+  for (int k = 0; k < 5; ++k) e.ingest(make(1, 0, Score::kPositive));
+  e.update_epoch();
+  EXPECT_GT(e.reputation(0), 0.0);
+
+  e.suppress(0);
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.0);
+}
+
+TEST(PeerTrustTest, IngestAutoGrows) {
+  PeerTrustEngine e;
+  e.ingest(make(0, 9, Score::kPositive));
+  EXPECT_GE(e.num_nodes(), 10u);
+}
+
+}  // namespace
+}  // namespace p2prep::reputation

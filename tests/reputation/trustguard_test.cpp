@@ -1,0 +1,112 @@
+#include "reputation/trustguard.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::reputation {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+void rate_window(TrustGuardEngine& e, rating::NodeId node,
+                 int positives, int negatives) {
+  for (int k = 0; k < positives; ++k)
+    e.ingest(make(static_cast<rating::NodeId>(100 + k), node,
+                  Score::kPositive));
+  for (int k = 0; k < negatives; ++k)
+    e.ingest(make(static_cast<rating::NodeId>(200 + k), node,
+                  Score::kNegative));
+  e.update_epoch();
+}
+
+TEST(TrustGuardTest, UnratedStaysAtPrior) {
+  TrustGuardEngine e(4, {.prior = 0.1});
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.1);
+  EXPECT_EQ(e.history_depth(0), 1u);
+}
+
+TEST(TrustGuardTest, ConsistentlyGoodNodeScoresHigh) {
+  TrustGuardEngine e(300);
+  for (int w = 0; w < 6; ++w) rate_window(e, 0, 10, 0);
+  // current = history = 1.0, fluctuation 0: R = w_cur + w_hist = 1.0.
+  EXPECT_DOUBLE_EQ(e.reputation(0), 1.0);
+  EXPECT_DOUBLE_EQ(e.last_window_score(0), 1.0);
+}
+
+TEST(TrustGuardTest, ConsistentlyBadNodeScoresZero) {
+  TrustGuardEngine e(300);
+  for (int w = 0; w < 6; ++w) rate_window(e, 0, 0, 10);
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.0);
+}
+
+TEST(TrustGuardTest, DefectionDropsTrustImmediately) {
+  TrustGuardEngine e(300);
+  for (int w = 0; w < 6; ++w) rate_window(e, 0, 10, 0);
+  const double before = e.reputation(0);
+  rate_window(e, 0, 0, 10);  // traitor defects
+  const double after = e.reputation(0);
+  EXPECT_LT(after, before * 0.7);
+  // Current term is 0, history ~1, fluctuation penalty bites:
+  // R <= 0 + 0.5*1 - penalty < 0.5.
+  EXPECT_LT(after, 0.5);
+}
+
+TEST(TrustGuardTest, FluctuationPenalizedVsSteadyMediocrity) {
+  TrustGuardEngine e(300);
+  // Node 0 oscillates between perfect and awful; node 1 is steady 50%.
+  for (int w = 0; w < 8; ++w) {
+    if (w % 2 == 0) {
+      rate_window(e, 0, 10, 0);
+    } else {
+      rate_window(e, 0, 0, 10);
+    }
+  }
+  TrustGuardEngine steady(300);
+  for (int w = 0; w < 8; ++w) rate_window(steady, 1, 5, 5);
+  // Same long-run service quality, but the oscillator pays the
+  // fluctuation penalty.
+  EXPECT_LT(e.reputation(0), steady.reputation(1));
+}
+
+TEST(TrustGuardTest, HistoryWindowBounded) {
+  TrustGuardEngine e(300, {.history_windows = 3});
+  for (int w = 0; w < 10; ++w) rate_window(e, 0, 10, 0);
+  EXPECT_EQ(e.history_depth(0), 3u);
+  // Ancient bad behaviour ages out entirely after H good windows.
+  TrustGuardEngine aged(300, {.history_windows = 3});
+  rate_window(aged, 0, 0, 10);
+  for (int w = 0; w < 3; ++w) rate_window(aged, 0, 10, 0);
+  EXPECT_DOUBLE_EQ(aged.reputation(0), 1.0);
+}
+
+TEST(TrustGuardTest, QuietWindowCarriesPreviousScore) {
+  TrustGuardEngine e(300);
+  rate_window(e, 0, 10, 0);
+  e.update_epoch();  // nothing rated this window
+  EXPECT_DOUBLE_EQ(e.last_window_score(0), 1.0);
+  EXPECT_GT(e.reputation(0), 0.9);
+}
+
+TEST(TrustGuardTest, ResetClearsHistory) {
+  TrustGuardEngine e(300);
+  for (int w = 0; w < 4; ++w) rate_window(e, 0, 10, 0);
+  e.reset_reputation(0);
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.0);
+  EXPECT_EQ(e.history_depth(0), 0u);
+}
+
+TEST(TrustGuardTest, SuppressPins) {
+  TrustGuardEngine e(300);
+  rate_window(e, 0, 10, 0);
+  e.suppress(0);
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(0), 0.0);
+}
+
+}  // namespace
+}  // namespace p2prep::reputation

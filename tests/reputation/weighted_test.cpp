@@ -1,0 +1,108 @@
+#include "reputation/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace p2prep::reputation {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+Rating make(rating::NodeId rater, rating::NodeId ratee, Score s) {
+  return {.rater = rater, .ratee = ratee, .score = s, .time = 0};
+}
+
+TEST(WeightedFeedbackTest, DefaultWeightsArePaperValues) {
+  WeightedFeedbackEngine e(2);
+  EXPECT_DOUBLE_EQ(e.config().normal_weight, 0.2);
+  EXPECT_DOUBLE_EQ(e.config().pretrusted_weight, 0.5);
+}
+
+TEST(WeightedFeedbackTest, NormalRatingWeighted) {
+  WeightedFeedbackEngine e(3);
+  e.ingest(make(0, 1, Score::kPositive));
+  EXPECT_DOUBLE_EQ(e.raw(1), 0.2);
+  e.ingest(make(0, 1, Score::kNegative));
+  EXPECT_DOUBLE_EQ(e.raw(1), 0.0);
+}
+
+TEST(WeightedFeedbackTest, PretrustedRatingWeightedHigher) {
+  WeightedFeedbackEngine e(3);
+  e.set_pretrusted({0});
+  e.ingest(make(0, 1, Score::kPositive));
+  e.ingest(make(2, 1, Score::kPositive));
+  EXPECT_DOUBLE_EQ(e.raw(1), 0.7);  // 0.5 + 0.2
+}
+
+TEST(WeightedFeedbackTest, PublishedIsNormalizedDistribution) {
+  WeightedFeedbackEngine e(3);
+  e.ingest(make(0, 1, Score::kPositive));
+  e.ingest(make(0, 2, Score::kPositive));
+  e.ingest(make(1, 2, Score::kPositive));
+  e.update_epoch();
+  const auto reps = e.reputations();
+  EXPECT_NEAR(std::accumulate(reps.begin(), reps.end(), 0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.reputation(2), 2.0 / 3.0);
+}
+
+TEST(WeightedFeedbackTest, NegativeRawClampsToZero) {
+  WeightedFeedbackEngine e(2);
+  e.ingest(make(0, 1, Score::kNegative));
+  e.ingest(make(1, 0, Score::kPositive));
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(1), 0.0);
+  EXPECT_DOUBLE_EQ(e.reputation(0), 1.0);
+}
+
+TEST(WeightedFeedbackTest, NeutralRatingDoesNotMoveRaw) {
+  WeightedFeedbackEngine e(2);
+  e.ingest(make(0, 1, Score::kNeutral));
+  EXPECT_DOUBLE_EQ(e.raw(1), 0.0);
+}
+
+TEST(WeightedFeedbackTest, CustomWeights) {
+  WeightedFeedbackEngine e(2, {.normal_weight = 1.0, .pretrusted_weight = 2.0});
+  e.set_pretrusted({0});
+  e.ingest(make(0, 1, Score::kPositive));
+  EXPECT_DOUBLE_EQ(e.raw(1), 2.0);
+}
+
+TEST(WeightedFeedbackTest, SuppressPins) {
+  WeightedFeedbackEngine e(2);
+  e.ingest(make(0, 1, Score::kPositive));
+  e.suppress(1);
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(1), 0.0);
+  // New positive feedback cannot resurrect a suppressed node.
+  e.ingest(make(0, 1, Score::kPositive));
+  e.update_epoch();
+  EXPECT_DOUBLE_EQ(e.reputation(1), 0.0);
+}
+
+TEST(WeightedFeedbackTest, AllZeroPublishesZeros) {
+  WeightedFeedbackEngine e(3);
+  e.update_epoch();
+  for (rating::NodeId i = 0; i < 3; ++i) EXPECT_EQ(e.reputation(i), 0.0);
+}
+
+TEST(WeightedFeedbackTest, CollusionBoostOutweighsHonestService) {
+  // Two colluders exchanging many positives beat a normal node with a
+  // realistic service record — the paper's Fig. 5 mechanism in miniature.
+  WeightedFeedbackEngine e(10);
+  // Colluders 0 and 1 exchange 200 positives each.
+  for (int k = 0; k < 200; ++k) {
+    e.ingest(make(0, 1, Score::kPositive));
+    e.ingest(make(1, 0, Score::kPositive));
+  }
+  // Normal node 2 serves 40 requests at 80% quality.
+  for (int k = 0; k < 32; ++k) e.ingest(make(3, 2, Score::kPositive));
+  for (int k = 0; k < 8; ++k) e.ingest(make(3, 2, Score::kNegative));
+  e.update_epoch();
+  EXPECT_GT(e.reputation(0), e.reputation(2));
+  EXPECT_GT(e.reputation(1), e.reputation(2));
+}
+
+}  // namespace
+}  // namespace p2prep::reputation

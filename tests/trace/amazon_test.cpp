@@ -1,0 +1,140 @@
+#include "trace/amazon.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/analysis.h"
+
+namespace p2prep::trace {
+namespace {
+
+AmazonTraceConfig small_config() {
+  AmazonTraceConfig c;
+  c.num_sellers = 30;
+  c.num_buyers = 2000;
+  c.days = 120;
+  c.high_band_daily_mean = 10.0;
+  c.medium_band_daily_mean = 6.0;
+  c.low_band_daily_mean = 1.5;
+  c.num_suspicious_sellers = 5;
+  c.seed = 404;
+  return c;
+}
+
+TEST(AmazonTraceTest, GeneratesRatingsWithinDomains) {
+  const AmazonTrace trace = generate_amazon_trace(small_config());
+  EXPECT_GT(trace.ratings.size(), 1000u);
+  for (const MarketplaceRating& r : trace.ratings) {
+    EXPECT_GE(r.stars, 1);
+    EXPECT_LE(r.stars, 5);
+    EXPECT_LT(r.day, 120);
+    EXPECT_LT(r.ratee, 30u);   // only sellers are rated in Amazon mode
+    EXPECT_GE(r.rater, 30u);   // raters are buyers/partners/rivals
+  }
+}
+
+TEST(AmazonTraceTest, DeterministicForSeed) {
+  const AmazonTrace a = generate_amazon_trace(small_config());
+  const AmazonTrace b = generate_amazon_trace(small_config());
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  EXPECT_TRUE(std::equal(
+      a.ratings.begin(), a.ratings.end(), b.ratings.begin(),
+      [](const MarketplaceRating& x, const MarketplaceRating& y) {
+        return x.rater == y.rater && x.ratee == y.ratee &&
+               x.stars == y.stars && x.day == y.day;
+      }));
+}
+
+TEST(AmazonTraceTest, TruthListsSuspiciousSellersWithPartners) {
+  const AmazonTrace trace = generate_amazon_trace(small_config());
+  EXPECT_EQ(trace.truth.suspicious_sellers.size(), 5u);
+  EXPECT_GE(trace.truth.collusion_pairs.size(),
+            5u * small_config().partners_min);
+  for (const auto& [partner, seller] : trace.truth.collusion_pairs) {
+    EXPECT_TRUE(std::find(trace.truth.suspicious_sellers.begin(),
+                          trace.truth.suspicious_sellers.end(),
+                          seller) != trace.truth.suspicious_sellers.end());
+    EXPECT_GE(partner, static_cast<UserId>(small_config().num_sellers +
+                                           small_config().num_buyers));
+  }
+}
+
+TEST(AmazonTraceTest, PartnersRateFrequentlyAndTopScore) {
+  const AmazonTrace trace = generate_amazon_trace(small_config());
+  // C4: injected partner pairs dominate the frequent-pair filter at a
+  // threshold scaled to the trace duration (20/yr ~ 7 per 120 days).
+  const auto pairs = frequent_pairs(trace.ratings, 7);
+  ASSERT_FALSE(pairs.empty());
+  std::size_t matched = 0;
+  for (const auto& [partner, seller] : trace.truth.collusion_pairs) {
+    for (const PairCount& pc : pairs) {
+      if (pc.rater == partner && pc.ratee == seller) {
+        ++matched;
+        EXPECT_GT(pc.positive, pc.count * 9 / 10);  // 5-star campaigns
+        break;
+      }
+    }
+  }
+  // Poisson(20..55 per year * 120/365) leaves almost every partner above
+  // the scaled threshold.
+  EXPECT_GE(matched, trace.truth.collusion_pairs.size() * 7 / 10);
+}
+
+TEST(AmazonTraceTest, RivalsRateOne) {
+  AmazonTraceConfig c = small_config();
+  c.rival_prob = 1.0;  // force rivals for determinism of the property
+  const AmazonTrace trace = generate_amazon_trace(c);
+  EXPECT_EQ(trace.truth.rival_pairs.size(), 5u);
+  for (const auto& [rival, seller] : trace.truth.rival_pairs) {
+    for (const MarketplaceRating& r : trace.ratings) {
+      if (r.rater == rival) {
+        EXPECT_EQ(r.ratee, seller);
+        EXPECT_EQ(r.stars, 1);
+      }
+    }
+  }
+}
+
+TEST(AmazonTraceTest, ReputationBandsEmerge) {
+  const AmazonTrace trace = generate_amazon_trace(small_config());
+  const auto profiles = seller_profiles(trace.ratings, trace.num_sellers);
+  // High-band sellers (first ~45%) display >= 0.9; low-band sellers (last
+  // 20%) display <= 0.85.
+  const auto n = trace.num_sellers;
+  double high_avg = 0.0;
+  for (std::size_t s = 0; s < 10; ++s) high_avg += profiles[s].reputation;
+  high_avg /= 10.0;
+  double low_avg = 0.0;
+  for (std::size_t s = n - 6; s < n; ++s) low_avg += profiles[s].reputation;
+  low_avg /= 6.0;
+  EXPECT_GT(high_avg, 0.90);
+  EXPECT_LT(low_avg, 0.85);
+  EXPECT_GT(high_avg, low_avg + 0.1);
+}
+
+TEST(AmazonTraceTest, HigherReputationAttractsMoreTransactions) {
+  // Fig. 1(a)'s headline: high-reputed sellers transact more.
+  const AmazonTrace trace = generate_amazon_trace(small_config());
+  const auto profiles = seller_profiles(trace.ratings, trace.num_sellers);
+  std::uint64_t high_total = 0;
+  std::uint64_t low_total = 0;
+  for (std::size_t s = 0; s < 10; ++s) high_total += profiles[s].total();
+  for (std::size_t s = trace.num_sellers - 6; s < trace.num_sellers; ++s)
+    low_total += profiles[s].total();
+  EXPECT_GT(high_total / 10, low_total / 6 * 2);
+}
+
+TEST(AmazonTraceTest, NormalPairRateStaysNearOnePerYear) {
+  // The paper: "the average number of transactions of a seller-buyer pair
+  // is 1 per year". Organic pairs (excluding injected campaigns) must stay
+  // well under the suspicious threshold.
+  AmazonTraceConfig c = small_config();
+  c.num_suspicious_sellers = 0;  // organic only
+  const AmazonTrace trace = generate_amazon_trace(c);
+  const auto pairs = frequent_pairs(trace.ratings, 7);
+  EXPECT_TRUE(pairs.empty());
+}
+
+}  // namespace
+}  // namespace p2prep::trace

@@ -1,0 +1,214 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::trace {
+namespace {
+
+MarketplaceRating make(UserId rater, UserId ratee, std::int8_t stars,
+                       std::uint16_t day = 0) {
+  return {rater, ratee, stars, day};
+}
+
+TEST(SellerProfilesTest, ClassifiesStars) {
+  Trace trace{make(10, 0, 5), make(11, 0, 4), make(12, 0, 3),
+              make(13, 0, 2), make(14, 0, 1)};
+  const auto profiles = seller_profiles(trace, 2);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].positives, 2u);
+  EXPECT_EQ(profiles[0].negatives, 2u);
+  EXPECT_EQ(profiles[0].neutrals, 1u);
+  EXPECT_EQ(profiles[0].total(), 5u);
+  EXPECT_DOUBLE_EQ(profiles[0].reputation, 0.5);
+  // Unrated seller 1: zero reputation, zero counts.
+  EXPECT_EQ(profiles[1].total(), 0u);
+  EXPECT_DOUBLE_EQ(profiles[1].reputation, 0.0);
+}
+
+TEST(SellerProfilesTest, IgnoresRateesOutsideRange) {
+  Trace trace{make(10, 5, 5)};
+  const auto profiles = seller_profiles(trace, 2);
+  EXPECT_EQ(profiles[0].total(), 0u);
+  EXPECT_EQ(profiles[1].total(), 0u);
+}
+
+TEST(FrequentPairsTest, ThresholdAndOrdering) {
+  Trace trace;
+  for (int k = 0; k < 25; ++k) trace.push_back(make(1, 0, 5));
+  for (int k = 0; k < 30; ++k) trace.push_back(make(2, 0, 1));
+  for (int k = 0; k < 5; ++k) trace.push_back(make(3, 0, 5));
+  const auto pairs = frequent_pairs(trace, 20);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].rater, 2u);  // descending count: 30 first
+  EXPECT_EQ(pairs[0].count, 30u);
+  EXPECT_EQ(pairs[0].negative, 30u);
+  EXPECT_EQ(pairs[1].rater, 1u);
+  EXPECT_EQ(pairs[1].positive, 25u);
+}
+
+TEST(FrequentPairsTest, DirectionsCountedSeparately) {
+  Trace trace;
+  for (int k = 0; k < 15; ++k) trace.push_back(make(1, 2, 5));
+  for (int k = 0; k < 15; ++k) trace.push_back(make(2, 1, 5));
+  // Neither direction alone reaches 20.
+  EXPECT_TRUE(frequent_pairs(trace, 20).empty());
+  EXPECT_EQ(frequent_pairs(trace, 15).size(), 2u);
+}
+
+TEST(FindSuspiciousTest, CollectsSellersAndRaters) {
+  Trace trace;
+  for (int k = 0; k < 25; ++k) trace.push_back(make(1, 0, 5));
+  for (int k = 0; k < 25; ++k) trace.push_back(make(2, 0, 5));
+  for (int k = 0; k < 25; ++k) trace.push_back(make(3, 4, 5));
+  const auto summary = find_suspicious(trace, 20);
+  EXPECT_EQ(summary.sellers, (std::vector<UserId>{0, 4}));
+  EXPECT_EQ(summary.raters, (std::vector<UserId>{1, 2, 3}));
+  EXPECT_EQ(summary.pairs.size(), 3u);
+}
+
+TEST(RatingTimelineTest, ChronologicalAndFiltered) {
+  Trace trace{make(1, 0, 5, 30), make(1, 0, 4, 10), make(2, 0, 1, 5),
+              make(1, 3, 2, 1)};
+  const auto timeline = rating_timeline(trace, 1, 0);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].day, 10);
+  EXPECT_EQ(timeline[0].stars, 4);
+  EXPECT_EQ(timeline[1].day, 30);
+  EXPECT_EQ(timeline[1].stars, 5);
+}
+
+TEST(RaterDailyStatsTest, ComputesPerDayExtremes) {
+  Trace trace;
+  // Rater 1: 3 ratings on day 0, 1 on day 5.
+  trace.push_back(make(1, 0, 5, 0));
+  trace.push_back(make(1, 0, 5, 0));
+  trace.push_back(make(1, 0, 5, 0));
+  trace.push_back(make(1, 0, 5, 5));
+  // Rater 2: 1 rating.
+  trace.push_back(make(2, 0, 1, 3));
+  const auto stats = rater_daily_stats(trace, 0, 10);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].rater, 1u);  // more total ratings first
+  EXPECT_EQ(stats[0].total, 4u);
+  EXPECT_DOUBLE_EQ(stats[0].avg_per_day, 0.4);
+  EXPECT_EQ(stats[0].max_per_day, 3u);
+  EXPECT_EQ(stats[0].min_per_day, 1u);
+  EXPECT_EQ(stats[1].total, 1u);
+}
+
+TEST(InteractionGraphTest, EdgesAndDegrees) {
+  InteractionGraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);  // duplicate ignored
+  g.add_edge(4, 4);  // self-loop ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(InteractionGraphTest, ComponentsSortedAndComplete) {
+  InteractionGraph g;
+  g.add_edge(5, 6);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto comps = g.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<UserId>{1, 2, 3}));
+  EXPECT_EQ(comps[1], (std::vector<UserId>{5, 6}));
+  const auto hist = g.component_size_histogram();
+  EXPECT_EQ(hist.at(2), 1u);
+  EXPECT_EQ(hist.at(3), 1u);
+}
+
+TEST(InteractionGraphTest, TriangleDetection) {
+  InteractionGraph path;
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  EXPECT_EQ(path.triangle_count(), 0u);
+  EXPECT_TRUE(path.pairwise_only());
+
+  InteractionGraph tri = path;
+  tri.add_edge(1, 3);
+  EXPECT_EQ(tri.triangle_count(), 1u);
+  EXPECT_FALSE(tri.pairwise_only());
+}
+
+TEST(BuildInteractionGraphTest, SumsBothDirectionsAndThresholds) {
+  Trace trace;
+  // 12 each way = 24 between 1 and 2: above a 20 threshold.
+  for (int k = 0; k < 12; ++k) {
+    trace.push_back(make(1, 2, 5));
+    trace.push_back(make(2, 1, 5));
+  }
+  // 20 between 3 and 4: NOT above (strictly greater required).
+  for (int k = 0; k < 20; ++k) trace.push_back(make(3, 4, 5));
+  const auto graph = build_interaction_graph(trace, 20);
+  EXPECT_TRUE(graph.has_edge(1, 2));
+  EXPECT_FALSE(graph.has_edge(3, 4));
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(InteractionGraphTest, EmptyGraphBehaves) {
+  InteractionGraph g;
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.components().empty());
+  EXPECT_TRUE(g.pairwise_only());
+  EXPECT_TRUE(g.neighbors(7).empty());
+}
+
+
+TEST(ClassifyRatersTest, PatternsRecognized) {
+  Trace trace;
+  // Partner: 20x five stars. Rival: 18x one star. Normal frequent: mixed.
+  for (int k = 0; k < 20; ++k) trace.push_back(make(1, 0, 5, 0));
+  for (int k = 0; k < 18; ++k) trace.push_back(make(2, 0, 1, 0));
+  for (int k = 0; k < 16; ++k)
+    trace.push_back(make(3, 0, k % 2 == 0 ? 5 : 2, 0));
+  trace.push_back(make(4, 0, 5, 0));  // one-off buyer
+
+  const auto classes = classify_raters(trace, 0);
+  ASSERT_EQ(classes.size(), 4u);
+  auto find = [&](UserId rater) -> const RaterClassification& {
+    for (const auto& c : classes) {
+      if (c.rater == rater) return c;
+    }
+    static RaterClassification none;
+    return none;
+  };
+  EXPECT_EQ(find(1).pattern, RaterPattern::kPartner);
+  EXPECT_EQ(find(2).pattern, RaterPattern::kRival);
+  EXPECT_EQ(find(3).pattern, RaterPattern::kNormal);
+  EXPECT_EQ(find(4).pattern, RaterPattern::kInfrequent);
+  EXPECT_DOUBLE_EQ(find(1).positive_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(find(2).negative_fraction, 1.0);
+  // Ordered by descending count.
+  EXPECT_EQ(classes.front().rater, 1u);
+}
+
+TEST(ClassifyRatersTest, ExtremeFractionTolerance) {
+  Trace trace;
+  // 19 fives + 1 two: 95% positive passes the default threshold.
+  for (int k = 0; k < 19; ++k) trace.push_back(make(1, 0, 5, 0));
+  trace.push_back(make(1, 0, 2, 0));
+  const auto classes = classify_raters(trace, 0);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].pattern, RaterPattern::kPartner);
+
+  // Tightening the threshold demotes it to normal.
+  const auto strict = classify_raters(trace, 0, 15, 0.99);
+  EXPECT_EQ(strict[0].pattern, RaterPattern::kNormal);
+}
+
+TEST(ClassifyRatersTest, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(RaterPattern::kPartner), "partner");
+  EXPECT_STREQ(to_string(RaterPattern::kRival), "rival");
+  EXPECT_STREQ(to_string(RaterPattern::kNormal), "normal");
+  EXPECT_STREQ(to_string(RaterPattern::kInfrequent), "infrequent");
+}
+
+}  // namespace
+}  // namespace p2prep::trace

@@ -1,0 +1,115 @@
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/amazon.h"
+
+namespace p2prep::trace {
+namespace {
+
+TEST(TraceIoTest, TraceRoundTrips) {
+  Trace trace{{10, 0, 5, 3}, {11, 0, 1, 4}, {12, 1, 3, 100}};
+  std::stringstream ss;
+  write_trace_csv(ss, trace);
+  const auto parsed = read_trace_csv(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error.message;
+  ASSERT_EQ(parsed.value->size(), 3u);
+  EXPECT_EQ((*parsed.value)[0].rater, 10u);
+  EXPECT_EQ((*parsed.value)[1].stars, 1);
+  EXPECT_EQ((*parsed.value)[2].day, 100);
+}
+
+TEST(TraceIoTest, GeneratedTraceRoundTrips) {
+  AmazonTraceConfig config;
+  config.num_sellers = 10;
+  config.num_buyers = 200;
+  config.days = 30;
+  config.num_suspicious_sellers = 2;
+  config.high_band_daily_mean = 3.0;
+  config.medium_band_daily_mean = 2.0;
+  config.low_band_daily_mean = 1.0;
+  const AmazonTrace tr = generate_amazon_trace(config);
+  std::stringstream ss;
+  write_trace_csv(ss, tr.ratings);
+  const auto parsed = read_trace_csv(ss);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value->size(), tr.ratings.size());
+  for (std::size_t i = 0; i < tr.ratings.size(); i += 97) {
+    EXPECT_EQ((*parsed.value)[i].rater, tr.ratings[i].rater);
+    EXPECT_EQ((*parsed.value)[i].stars, tr.ratings[i].stars);
+  }
+}
+
+TEST(TraceIoTest, EmptyInputRejected) {
+  std::stringstream ss;
+  const auto parsed = read_trace_csv(ss);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 0u);
+}
+
+TEST(TraceIoTest, BadHeaderRejected) {
+  std::stringstream ss("a,b,c,d\n1,2,3,4\n");
+  const auto parsed = read_trace_csv(ss);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 1u);
+}
+
+TEST(TraceIoTest, MalformedLineReportsNumber) {
+  std::stringstream ss("rater,ratee,stars,day\n1,2,5,0\n1,2\n");
+  const auto parsed = read_trace_csv(ss);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 3u);
+  EXPECT_NE(parsed.error.message.find("4 fields"), std::string::npos);
+}
+
+TEST(TraceIoTest, NonNumericRejected) {
+  std::stringstream ss("rater,ratee,stars,day\n1,x,5,0\n");
+  EXPECT_FALSE(read_trace_csv(ss).ok());
+}
+
+TEST(TraceIoTest, StarsOutOfRangeRejected) {
+  std::stringstream ss("rater,ratee,stars,day\n1,2,6,0\n");
+  const auto parsed = read_trace_csv(ss);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.message.find("stars"), std::string::npos);
+}
+
+TEST(TraceIoTest, BlankLinesSkipped) {
+  std::stringstream ss("rater,ratee,stars,day\n1,2,5,0\n\n3,4,1,2\n");
+  const auto parsed = read_trace_csv(ss);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value->size(), 2u);
+}
+
+TEST(RatingsIoTest, RoundTrips) {
+  std::vector<rating::Rating> ratings{
+      {0, 1, rating::Score::kPositive, 5},
+      {2, 3, rating::Score::kNegative, 6},
+      {4, 5, rating::Score::kNeutral, 7},
+  };
+  std::stringstream ss;
+  write_ratings_csv(ss, ratings);
+  const auto parsed = read_ratings_csv(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.error.message;
+  EXPECT_EQ(*parsed.value, ratings);
+}
+
+TEST(RatingsIoTest, ScoreOutOfRangeRejected) {
+  std::stringstream ss("rater,ratee,score,time\n1,2,2,0\n");
+  EXPECT_FALSE(read_ratings_csv(ss).ok());
+}
+
+TEST(ToRatingsTest, AppliesAmazonMapping) {
+  const Trace trace{{1, 0, 5, 2}, {1, 0, 3, 3}, {1, 0, 2, 4}};
+  const auto ratings = to_ratings(trace);
+  ASSERT_EQ(ratings.size(), 3u);
+  EXPECT_EQ(ratings[0].score, rating::Score::kPositive);
+  EXPECT_EQ(ratings[1].score, rating::Score::kNeutral);
+  EXPECT_EQ(ratings[2].score, rating::Score::kNegative);
+  EXPECT_EQ(ratings[0].time, 2u);
+}
+
+}  // namespace
+}  // namespace p2prep::trace

@@ -1,0 +1,118 @@
+#include "trace/overstock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "trace/analysis.h"
+
+namespace p2prep::trace {
+namespace {
+
+OverstockTraceConfig small_config() {
+  OverstockTraceConfig c;
+  c.num_users = 5000;
+  c.num_transactions = 20000;
+  c.days = 365;
+  c.num_collusion_pairs = 12;
+  c.seed = 31337;
+  return c;
+}
+
+TEST(OverstockTraceTest, GeneratesBidirectionalRatings) {
+  const OverstockTrace trace = generate_overstock_trace(small_config());
+  EXPECT_GT(trace.ratings.size(), 20000u);
+  std::set<UserId> raters;
+  std::set<UserId> ratees;
+  for (const MarketplaceRating& r : trace.ratings) {
+    EXPECT_LT(r.rater, 5000u);
+    EXPECT_LT(r.ratee, 5000u);
+    EXPECT_NE(r.rater, r.ratee);
+    raters.insert(r.rater);
+    ratees.insert(r.ratee);
+  }
+  // Users appear on both sides (buyer and seller roles).
+  EXPECT_GT(raters.size(), 1000u);
+  EXPECT_GT(ratees.size(), 1000u);
+}
+
+TEST(OverstockTraceTest, DeterministicForSeed) {
+  const OverstockTrace a = generate_overstock_trace(small_config());
+  const OverstockTrace b = generate_overstock_trace(small_config());
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  EXPECT_EQ(a.truth.collusion_pairs, b.truth.collusion_pairs);
+}
+
+TEST(OverstockTraceTest, InjectedPairsExceedEdgeThreshold) {
+  const OverstockTrace trace = generate_overstock_trace(small_config());
+  std::map<std::pair<UserId, UserId>, std::size_t> counts;
+  for (const MarketplaceRating& r : trace.ratings) {
+    const auto key = std::minmax(r.rater, r.ratee);
+    ++counts[{key.first, key.second}];
+  }
+  for (const auto& [a, b] : trace.truth.collusion_pairs) {
+    const auto key = std::minmax(a, b);
+    const std::size_t count = counts[{key.first, key.second}];
+    EXPECT_GT(count, 20u) << "pair " << a << "," << b;
+  }
+}
+
+TEST(OverstockTraceTest, CollusionStructureIsPairwise) {
+  // C5: a colluder may appear in two pairs (chains), but two already
+  // colluding users are never joined, so no triangles exist in the truth.
+  const OverstockTrace trace = generate_overstock_trace(small_config());
+  std::map<UserId, std::set<UserId>> adj;
+  for (const auto& [a, b] : trace.truth.collusion_pairs) {
+    adj[a].insert(b);
+    adj[b].insert(a);
+  }
+  for (const auto& [u, nbrs] : adj) {
+    for (UserId v : nbrs) {
+      for (UserId w : nbrs) {
+        if (v < w) EXPECT_FALSE(adj[v].contains(w))
+            << "triangle " << u << "," << v << "," << w;
+      }
+    }
+  }
+}
+
+TEST(OverstockTraceTest, ChainedColludersExist) {
+  OverstockTraceConfig c = small_config();
+  c.num_collusion_pairs = 40;
+  c.chained_colluder_fraction = 0.5;
+  const OverstockTrace trace = generate_overstock_trace(c);
+  std::map<UserId, std::size_t> degree;
+  for (const auto& [a, b] : trace.truth.collusion_pairs) {
+    ++degree[a];
+    ++degree[b];
+  }
+  std::size_t chained = 0;
+  for (const auto& [u, d] : degree) {
+    EXPECT_LE(d, 2u);  // pairwise chains only
+    if (d == 2) ++chained;
+  }
+  EXPECT_GT(chained, 0u);
+}
+
+TEST(OverstockTraceTest, InteractionGraphRecoversTruth) {
+  // The Fig. 1(d) pipeline end to end on the synthetic trace: the >20
+  // ratings graph contains exactly the injected pairs and is triangle-free.
+  const OverstockTrace trace = generate_overstock_trace(small_config());
+  const InteractionGraph graph = build_interaction_graph(trace.ratings, 20);
+  EXPECT_EQ(graph.edge_count(), trace.truth.collusion_pairs.size());
+  for (const auto& [a, b] : trace.truth.collusion_pairs)
+    EXPECT_TRUE(graph.has_edge(a, b));
+  EXPECT_TRUE(graph.pairwise_only());
+}
+
+TEST(OverstockTraceTest, SuspiciousUsersAreDeduplicated) {
+  const OverstockTrace trace = generate_overstock_trace(small_config());
+  const auto& s = trace.truth.suspicious_sellers;
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+}
+
+}  // namespace
+}  // namespace p2prep::trace

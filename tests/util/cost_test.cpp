@@ -1,0 +1,92 @@
+#include "util/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::util {
+namespace {
+
+TEST(CostCounterTest, StartsAtZero) {
+  CostCounter c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.element_scans, 0u);
+  EXPECT_EQ(c.checks, 0u);
+  EXPECT_EQ(c.arithmetic, 0u);
+  EXPECT_EQ(c.messages, 0u);
+}
+
+TEST(CostCounterTest, AddersAccumulate) {
+  CostCounter c;
+  c.add_scan();
+  c.add_scan(4);
+  c.add_check(2);
+  c.add_arith(10);
+  c.add_message(3);
+  EXPECT_EQ(c.element_scans, 5u);
+  EXPECT_EQ(c.checks, 2u);
+  EXPECT_EQ(c.arithmetic, 10u);
+  EXPECT_EQ(c.messages, 3u);
+  EXPECT_EQ(c.total(), 20u);
+}
+
+TEST(CostCounterTest, PlusEqualsMergesFields) {
+  CostCounter a;
+  a.add_scan(1);
+  a.add_check(2);
+  CostCounter b;
+  b.add_arith(3);
+  b.add_message(4);
+  a += b;
+  EXPECT_EQ(a.element_scans, 1u);
+  EXPECT_EQ(a.checks, 2u);
+  EXPECT_EQ(a.arithmetic, 3u);
+  EXPECT_EQ(a.messages, 4u);
+}
+
+TEST(CostCounterTest, BinaryPlusDoesNotMutate) {
+  CostCounter a;
+  a.add_scan(5);
+  CostCounter b;
+  b.add_scan(7);
+  const CostCounter c = a + b;
+  EXPECT_EQ(c.element_scans, 12u);
+  EXPECT_EQ(a.element_scans, 5u);
+  EXPECT_EQ(b.element_scans, 7u);
+}
+
+TEST(CostCounterTest, EqualityIsFieldWise) {
+  CostCounter a;
+  CostCounter b;
+  EXPECT_EQ(a, b);
+  a.add_check();
+  EXPECT_NE(a, b);
+  b.add_check();
+  EXPECT_EQ(a, b);
+}
+
+TEST(CostCounterTest, ToStringMentionsAllFields) {
+  CostCounter c;
+  c.add_scan(1);
+  c.add_check(2);
+  c.add_arith(3);
+  c.add_message(4);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("scans=1"), std::string::npos);
+  EXPECT_NE(s.find("checks=2"), std::string::npos);
+  EXPECT_NE(s.find("arith=3"), std::string::npos);
+  EXPECT_NE(s.find("msgs=4"), std::string::npos);
+  EXPECT_NE(s.find("total=10"), std::string::npos);
+}
+
+TEST(CostCounterTest, ConstexprUsable) {
+  constexpr CostCounter c = [] {
+    CostCounter x;
+    x.add_scan(2);
+    x.add_check(3);
+    return x;
+  }();
+  static_assert(c.total() == 5);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+}  // namespace
+}  // namespace p2prep::util

@@ -1,0 +1,71 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace p2prep::util {
+namespace {
+
+TEST(PoissonTest, ZeroMeanIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(poisson(rng, 0.0), 0u);
+  EXPECT_EQ(poisson(rng, -1.0), 0u);
+}
+
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 7);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i)
+    stats.add(static_cast<double>(poisson(rng, mean)));
+  // Poisson: mean == variance.
+  EXPECT_NEAR(stats.mean(), mean, mean * 0.05 + 0.05);
+  EXPECT_NEAR(stats.variance(), mean, mean * 0.10 + 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMomentsTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 12.0, 50.0, 200.0));
+
+TEST(ZipfTest, SingleOrEmptyDomain) {
+  Rng rng(3);
+  EXPECT_EQ(zipf(rng, 0), 0u);
+  EXPECT_EQ(zipf(rng, 1), 0u);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng, 100, 1.0), 100u);
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  Rng rng(7);
+  constexpr std::size_t kN = 1000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng, kN, 1.0)];
+  // Rank 0 must beat rank 10 which must beat rank 100 (heavy skew).
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTest, SmallSkewIsFlatter) {
+  Rng rng(11);
+  constexpr std::size_t kN = 100;
+  std::vector<int> flat(kN, 0);
+  std::vector<int> steep(kN, 0);
+  Rng rng2(13);
+  for (int i = 0; i < 100000; ++i) {
+    ++flat[zipf(rng, kN, 0.2)];
+    ++steep[zipf(rng2, kN, 1.5)];
+  }
+  const double flat_top = static_cast<double>(flat[0]) / 100000.0;
+  const double steep_top = static_cast<double>(steep[0]) / 100000.0;
+  EXPECT_LT(flat_top, steep_top);
+}
+
+}  // namespace
+}  // namespace p2prep::util

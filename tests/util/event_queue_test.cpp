@@ -1,0 +1,91 @@
+#include "util/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2prep::util {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueueTest, ProcessesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(1.0, [&order, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(2.0, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule(5.0, [&] {
+    q.schedule(1.0, [&] { fired_at = q.now(); });  // "in the past"
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, CascadedSimulationIsDeterministic) {
+  auto run = [] {
+    EventQueue q;
+    std::vector<double> log;
+    for (int i = 0; i < 10; ++i) {
+      q.schedule(static_cast<double>(i % 3), [&q, &log] {
+        log.push_back(q.now());
+        if (log.size() < 30) q.schedule_in(1.5, [&q, &log] {
+          log.push_back(q.now());
+        });
+      });
+    }
+    q.run();
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace p2prep::util

@@ -1,0 +1,78 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prep::util {
+namespace {
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 1.0);
+}
+
+TEST(HistogramTest, BinOfMapsCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(0.24), 0u);
+  EXPECT_EQ(h.bin_of(0.25), 1u);
+  EXPECT_EQ(h.bin_of(0.5), 2u);
+  EXPECT_EQ(h.bin_of(0.99), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_of(-5.0), 0u);
+  EXPECT_EQ(h.bin_of(1.0), 3u);
+  EXPECT_EQ(h.bin_of(100.0), 3u);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 5);
+  h.add(0.9, 3);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(HistogramTest, FractionSums) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_EQ(h.fraction(0), 0.0);  // empty histogram
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.7);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 1.0 / 3.0);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('1'), std::string::npos);
+}
+
+TEST(HistogramTest, RenderEmptyDoesNotCrash) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.render().empty());
+}
+
+}  // namespace
+}  // namespace p2prep::util

@@ -1,0 +1,94 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace p2prep::util {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, ConstructionInitializes) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 7);
+}
+
+TEST(MatrixTest, ElementAccessReadsBack) {
+  Matrix<double> m(2, 2);
+  m(0, 1) = 3.5;
+  m(1, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowSpanIsContiguousView) {
+  Matrix<int> m(2, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0);
+  auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 3u);
+  EXPECT_EQ(row1[0], 3);
+  EXPECT_EQ(row1[2], 5);
+  row1[0] = 99;
+  EXPECT_EQ(m(1, 0), 99);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix<int> m(2, 2, 1);
+  m.fill(9);
+  for (int v : m.flat()) EXPECT_EQ(v, 9);
+}
+
+TEST(MatrixTest, ResizeGrowPreservesUpperLeft) {
+  Matrix<int> m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  m.resize(3, 4);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 1), 4);
+  EXPECT_EQ(m(2, 3), 0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(MatrixTest, ResizeShrinkKeepsOverlap) {
+  Matrix<int> m(3, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0);
+  m.resize(2, 2);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_EQ(m(0, 1), 1);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+TEST(MatrixTest, ResizeSameIsNoop) {
+  Matrix<int> m(2, 2, 5);
+  m.resize(2, 2);
+  EXPECT_EQ(m(1, 1), 5);
+}
+
+TEST(MatrixTest, EqualityComparesShapeAndData) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2;
+  EXPECT_FALSE(a == b);
+  Matrix<int> c(2, 3, 1);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace p2prep::util

@@ -1,0 +1,176 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace p2prep::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64Test, IsConstexprAndStable) {
+  constexpr std::uint64_t v = mix64(12345);
+  EXPECT_EQ(v, mix64(12345));
+  EXPECT_NE(v, mix64(12346));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(3.5, 7.25);
+    EXPECT_GE(x, 3.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(RngTest, NextBelowZeroAndOneAreZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowStaysBelowBound) {
+  Rng rng(23);
+  for (std::uint64_t bound : {2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(29);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(31);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all of -3..3 appear
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(43);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng root(47);
+  Rng forked = root.fork(1);
+  // The fork must not replay the parent's stream.
+  Rng root2(47);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (forked.next() == root2.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForksWithDifferentIdsDiffer) {
+  Rng a(53);
+  Rng b(53);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (fa.next() == fb.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+class RngBitBalanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBitBalanceTest, EveryBitIsRoughlyBalanced) {
+  Rng rng(GetParam());
+  constexpr int kN = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t v = rng.next();
+    for (int b = 0; b < 64; ++b)
+      if ((v >> b) & 1) ++ones[static_cast<std::size_t>(b)];
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<std::size_t>(b)]) / kN,
+                0.5, 0.02)
+        << "bit " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBitBalanceTest,
+                         ::testing::Values(1ull, 99ull, 0xdeadbeefull,
+                                           ~0ull));
+
+}  // namespace
+}  // namespace p2prep::util

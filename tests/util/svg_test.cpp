@@ -1,0 +1,114 @@
+#include "util/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+namespace p2prep::util {
+namespace {
+
+std::size_t count(const std::string& haystack, const std::string& needle) {
+  std::size_t hits = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++hits;
+  }
+  return hits;
+}
+
+TEST(SvgChartTest, BarChartContainsAllBars) {
+  SvgChart chart("Reputation", "node", "value");
+  chart.set_categories({"1", "2", "3"});
+  chart.add_bar_series("run", {0.1, 0.5, 0.3});
+  const std::string svg = chart.render();
+  EXPECT_EQ(count(svg, "<rect"), 1u + 3u);  // background + 3 bars
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Reputation"), std::string::npos);
+}
+
+TEST(SvgChartTest, GroupedBarsRenderPerSeries) {
+  SvgChart chart("t", "x", "y");
+  chart.set_categories({"a", "b"});
+  chart.add_bar_series("s1", {1.0, 2.0});
+  chart.add_bar_series("s2", {2.0, 1.0});
+  const std::string svg = chart.render();
+  // background + 4 bars + 2 legend swatches
+  EXPECT_EQ(count(svg, "<rect"), 1u + 4u + 2u);
+  EXPECT_NE(svg.find("s1"), std::string::npos);
+  EXPECT_NE(svg.find("s2"), std::string::npos);
+}
+
+TEST(SvgChartTest, LineChartHasPolylineAndMarkers) {
+  SvgChart chart("sweep", "colluders", "%");
+  chart.add_line_series("EigenTrust", {8, 18, 28}, {39, 86, 94});
+  chart.add_line_series("Optimized", {8, 18, 28}, {0.2, 0.8, 1.0});
+  const std::string svg = chart.render();
+  EXPECT_EQ(count(svg, "<polyline"), 2u);
+  EXPECT_EQ(count(svg, "<circle"), 6u);
+}
+
+TEST(SvgChartTest, TitleIsEscaped) {
+  SvgChart chart("a < b & c", "x", "y");
+  chart.add_line_series("s", {0, 1}, {0, 1});
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b &"), std::string::npos);
+}
+
+TEST(SvgChartTest, LogScaleHandlesWideRange) {
+  SvgChart chart("cost", "n", "work");
+  chart.set_log_y(true);
+  chart.add_line_series("s", {1, 2, 3}, {100.0, 1e6, 1e8});
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("1e"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgChartTest, EmptyChartStillValid) {
+  SvgChart chart("empty", "x", "y");
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgChartTest, ZeroValuesDoNotBreakScale) {
+  SvgChart chart("zeros", "x", "y");
+  chart.set_categories({"a", "b"});
+  chart.add_bar_series("s", {0.0, 0.0});
+  const std::string svg = chart.render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgChartTest, WriteFileRoundTrips) {
+  SvgChart chart("file", "x", "y");
+  chart.set_categories({"a"});
+  chart.add_bar_series("s", {1.0});
+  const std::string path = ::testing::TempDir() + "/chart_test.svg";
+  ASSERT_TRUE(chart.write_file(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, chart.render());
+}
+
+TEST(SvgChartTest, ManyCategoriesThinLabels) {
+  SvgChart chart("big", "node", "rep");
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(std::to_string(i));
+    values.push_back(static_cast<double>(i % 7));
+  }
+  chart.set_categories(labels);
+  chart.add_bar_series("s", values);
+  const std::string svg = chart.render();
+  // Far fewer category labels than bars (decluttered axis).
+  EXPECT_LT(count(svg, "font-size=\"9\""), 40u);
+  EXPECT_GE(count(svg, "<rect"), 200u);
+}
+
+}  // namespace
+}  // namespace p2prep::util

@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace p2prep::util {
+namespace {
+
+TEST(TableTest, RenderContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_NO_THROW(t.to_csv());
+}
+
+TEST(TableTest, LongRowsAreTruncated) {
+  Table t({"a"});
+  t.add_row({"x", "extra", "more"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv.find("extra"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  EXPECT_EQ(Table::num(0.12345, 3), "0.123");
+  EXPECT_EQ(Table::num(-2.0, 1), "-2.0");
+}
+
+TEST(TableTest, NumFormatsIntegers) {
+  EXPECT_EQ(Table::num(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(Table::num(std::int64_t{-5}), "-5");
+  EXPECT_EQ(Table::num(42), "42");
+  EXPECT_EQ(Table::num(std::size_t{7}), "7");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"field"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  t.add_row({"plain"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderRow) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv.rfind("x,y\n", 0), 0u);
+}
+
+TEST(TableTest, StreamOperatorMatchesRender) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"h", "i"});
+  t.add_row({"wide-cell-content", "x"});
+  const std::string s = t.render();
+  // The header line must be padded at least as wide as the widest cell.
+  const std::string header_line = s.substr(0, s.find('\n'));
+  EXPECT_GE(header_line.size(), std::string("wide-cell-content").size());
+}
+
+}  // namespace
+}  // namespace p2prep::util

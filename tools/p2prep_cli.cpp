@@ -1,0 +1,386 @@
+// p2prep command-line tool: generate traces, analyze them, run collusion
+// detection over rating dumps, calibrate thresholds, and run the P2P
+// simulation — the library's functionality without writing C++.
+//
+//   p2prep_cli trace amazon --sellers 97 --buyers 20000 --days 365 > t.csv
+//   p2prep_cli trace overstock --users 100000 --pairs 60 > o.csv
+//   p2prep_cli analyze --in t.csv --threshold 20
+//   p2prep_cli detect --in o.csv --from-trace --tn 21 --tr 0
+//   p2prep_cli calibrate --in t.csv --from-trace
+//   p2prep_cli simulate --colluders 8 --cycles 20 --detector optimized
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/basic_detector.h"
+#include "core/calibration.h"
+#include "core/group_detector.h"
+#include "core/optimized_detector.h"
+#include "net/experiment.h"
+#include "rating/matrix.h"
+#include "rating/store.h"
+#include "trace/amazon.h"
+#include "trace/analysis.h"
+#include "trace/io.h"
+#include "trace/overstock.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace p2prep;
+
+/// --flag value parser; flags without '--' prefix are positional.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[key] = argv[++i];
+        } else {
+          flags_[key] = "1";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                         nullptr, 10);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback
+                              : std::strtod(it->second.c_str(), nullptr);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags_.contains(key);
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: p2prep_cli <command> [flags]\n"
+               "  trace amazon|overstock [--seed N] [--out FILE] ...\n"
+               "  analyze   --in FILE [--threshold N] [--days N]\n"
+               "  detect    --in FILE [--from-trace] [--method basic|"
+               "optimized|group]\n"
+               "            [--ta F] [--tb F] [--tn N] [--tr F] "
+               "[--one-sided]\n"
+               "  calibrate --in FILE [--from-trace]\n"
+               "  simulate  [--nodes N] [--colluders N] [--cycles N] "
+               "[--b F]\n"
+               "            [--engine weighted|eigentrust|summation|"
+               "peertrust|gossiptrust]\n"
+               "            [--detector none|basic|optimized] [--runs N] "
+               "[--seed N]\n"
+               "            [--attack none|sybil|traitor|whitewash] "
+               "[--one-way] [--camouflage F]\n"
+               "            [--churn-leave F] [--churn-rejoin F]\n");
+  return 2;
+}
+
+/// Loads a ratings vector from --in, converting a 5-star trace when
+/// --from-trace is given. Returns false (with a message) on failure.
+bool load_ratings(const Args& args, std::vector<rating::Rating>& out) {
+  const std::string path = args.get("in");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --in FILE is required\n");
+    return false;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  if (args.has("from-trace")) {
+    const auto parsed = trace::read_trace_csv(in);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(),
+                   parsed.error.line, parsed.error.message.c_str());
+      return false;
+    }
+    out = trace::to_ratings(*parsed.value);
+  } else {
+    const auto parsed = trace::read_ratings_csv(in);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(),
+                   parsed.error.line, parsed.error.message.c_str());
+      return false;
+    }
+    out = *parsed.value;
+  }
+  return true;
+}
+
+rating::RatingStore build_store(const std::vector<rating::Rating>& ratings) {
+  rating::NodeId max_id = 0;
+  for (const auto& r : ratings) max_id = std::max({max_id, r.rater, r.ratee});
+  rating::RatingStore store(static_cast<std::size_t>(max_id) + 1);
+  for (const auto& r : ratings) store.ingest(r);
+  return store;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const std::string kind = args.positional()[0];
+
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    os = &file;
+  }
+
+  if (kind == "amazon") {
+    trace::AmazonTraceConfig config;
+    config.num_sellers = args.get_u64("sellers", config.num_sellers);
+    config.num_buyers = args.get_u64("buyers", config.num_buyers);
+    config.days = args.get_u64("days", config.days);
+    config.num_suspicious_sellers =
+        args.get_u64("suspicious", config.num_suspicious_sellers);
+    config.seed = args.get_u64("seed", config.seed);
+    const auto tr = trace::generate_amazon_trace(config);
+    trace::write_trace_csv(*os, tr.ratings);
+    std::fprintf(stderr, "wrote %zu ratings (%zu suspicious sellers)\n",
+                 tr.ratings.size(), tr.truth.suspicious_sellers.size());
+    return 0;
+  }
+  if (kind == "overstock") {
+    trace::OverstockTraceConfig config;
+    config.num_users = args.get_u64("users", config.num_users);
+    config.num_transactions =
+        args.get_u64("transactions", config.num_transactions);
+    config.num_collusion_pairs = args.get_u64("pairs",
+                                              config.num_collusion_pairs);
+    config.days = args.get_u64("days", config.days);
+    config.seed = args.get_u64("seed", config.seed);
+    const auto tr = trace::generate_overstock_trace(config);
+    trace::write_trace_csv(*os, tr.ratings);
+    std::fprintf(stderr, "wrote %zu ratings (%zu colluding pairs)\n",
+                 tr.ratings.size(), tr.truth.collusion_pairs.size());
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string path = args.get("in");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  const auto parsed = trace::read_trace_csv(in);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(),
+                 parsed.error.line, parsed.error.message.c_str());
+    return 1;
+  }
+  const trace::Trace& tr = *parsed.value;
+  const auto threshold =
+      static_cast<std::uint32_t>(args.get_u64("threshold", 20));
+
+  const auto summary = trace::find_suspicious(tr, threshold);
+  std::printf("%zu ratings; frequent-pair filter (>= %u): %zu pairs, "
+              "%zu ratees, %zu raters\n",
+              tr.size(), threshold, summary.pairs.size(),
+              summary.sellers.size(), summary.raters.size());
+  util::Table table({"rater", "ratee", "count", "positive", "negative"});
+  for (std::size_t i = 0; i < summary.pairs.size() && i < 20; ++i) {
+    const auto& p = summary.pairs[i];
+    table.add_row({util::Table::num(std::uint64_t{p.rater}),
+                   util::Table::num(std::uint64_t{p.ratee}),
+                   util::Table::num(std::uint64_t{p.count}),
+                   util::Table::num(std::uint64_t{p.positive}),
+                   util::Table::num(std::uint64_t{p.negative})});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto graph = trace::build_interaction_graph(tr, threshold);
+  std::printf("interaction graph (> %u ratings/pair): %zu nodes, %zu edges, "
+              "%zu components, %zu triangles, pairwise-only=%s\n",
+              threshold, graph.node_count(), graph.edge_count(),
+              graph.components().size(), graph.triangle_count(),
+              graph.pairwise_only() ? "yes" : "no");
+  return 0;
+}
+
+core::DetectorConfig detector_config_from(const Args& args) {
+  core::DetectorConfig dc;
+  dc.positive_fraction_min = args.get_double("ta", dc.positive_fraction_min);
+  dc.complement_fraction_max =
+      args.get_double("tb", dc.complement_fraction_max);
+  dc.frequency_min =
+      static_cast<std::uint32_t>(args.get_u64("tn", dc.frequency_min));
+  dc.high_rep_threshold = args.get_double("tr", dc.high_rep_threshold);
+  dc.require_mutual = !args.has("one-sided");
+  return dc;
+}
+
+int cmd_detect(const Args& args) {
+  std::vector<rating::Rating> ratings;
+  if (!load_ratings(args, ratings)) return 1;
+  const rating::RatingStore store = build_store(ratings);
+
+  const core::DetectorConfig dc = detector_config_from(args);
+  std::vector<double> reps(store.num_nodes());
+  for (rating::NodeId i = 0; i < store.num_nodes(); ++i)
+    reps[i] = static_cast<double>(store.window_totals(i).reputation_delta());
+  const auto matrix =
+      rating::RatingMatrix::build(store, reps, dc.high_rep_threshold,
+                                  dc.frequency_min);
+
+  const std::string method = args.get("method", "optimized");
+  if (method == "group") {
+    const auto report = core::GroupCollusionDetector(dc).detect(matrix);
+    std::printf("%zu collusion group(s), cost %llu work units\n",
+                report.groups.size(),
+                static_cast<unsigned long long>(report.cost.total()));
+    for (const auto& g : report.groups)
+      std::printf("  %s\n", g.to_string().c_str());
+    return 0;
+  }
+
+  core::DetectionReport report;
+  if (method == "basic") {
+    report = core::BasicCollusionDetector(dc).detect(matrix);
+  } else if (method == "optimized") {
+    report = core::OptimizedCollusionDetector(dc).detect(matrix);
+  } else {
+    return usage();
+  }
+  std::printf("%zu colluding pair(s), cost %llu work units\n",
+              report.pairs.size(),
+              static_cast<unsigned long long>(report.cost.total()));
+  for (const auto& pair : report.pairs)
+    std::printf("  %s\n", pair.to_string().c_str());
+  return 0;
+}
+
+int cmd_calibrate(const Args& args) {
+  std::vector<rating::Rating> ratings;
+  if (!load_ratings(args, ratings)) return 1;
+  const rating::RatingStore store = build_store(ratings);
+  const core::CalibrationReport r = core::calibrate_thresholds(store);
+  std::printf("pairs=%llu frequent=%llu mean_count=%.2f max_count=%.0f\n"
+              "global_pos=%.4f frequent_pos=%.4f frequent_complement=%.4f\n"
+              "suggested: --tn %u --ta %.4f --tb %.4f\n",
+              static_cast<unsigned long long>(r.rated_pairs),
+              static_cast<unsigned long long>(r.frequent_pairs),
+              r.mean_pair_count, r.max_pair_count,
+              r.global_positive_fraction, r.frequent_positive_fraction,
+              r.frequent_complement_fraction, r.suggested.frequency_min,
+              r.suggested.positive_fraction_min,
+              r.suggested.complement_fraction_max);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  net::ExperimentSpec spec;
+  spec.config.num_nodes = args.get_u64("nodes", 200);
+  spec.config.sim_cycles = args.get_u64("cycles", 20);
+  spec.config.colluder_good_prob = args.get_double("b", 0.2);
+  spec.config.seed = args.get_u64("seed", spec.config.seed);
+  spec.runs = args.get_u64("runs", 5);
+  spec.roles = net::paper_roles(args.get_u64("colluders", 8),
+                                args.get_u64("pretrusted", 3));
+
+  const std::string engine = args.get("engine", "weighted");
+  if (engine == "weighted") spec.engine = net::EngineKind::kWeighted;
+  else if (engine == "eigentrust") spec.engine = net::EngineKind::kEigenTrust;
+  else if (engine == "summation") spec.engine = net::EngineKind::kSummation;
+  else if (engine == "peertrust") spec.engine = net::EngineKind::kPeerTrust;
+  else if (engine == "gossiptrust")
+    spec.engine = net::EngineKind::kGossipTrust;
+  else return usage();
+
+  const std::string detector = args.get("detector", "none");
+  if (detector == "none") spec.detector = net::DetectorKind::kNone;
+  else if (detector == "basic") spec.detector = net::DetectorKind::kBasic;
+  else if (detector == "optimized")
+    spec.detector = net::DetectorKind::kOptimized;
+  else return usage();
+  spec.detector_config.positive_fraction_min = args.get_double("ta", 0.9);
+  spec.detector_config.complement_fraction_max = args.get_double("tb", 0.7);
+  spec.detector_config.frequency_min =
+      static_cast<std::uint32_t>(args.get_u64("tn", 20));
+
+  const std::string attack = args.get("attack", "none");
+  if (attack == "sybil") {
+    spec.roles = net::sybil_roles(args.get_u64("targets", 2),
+                                  args.get_u64("sybils", 4),
+                                  !args.has("one-way"),
+                                  args.get_u64("pretrusted", 3));
+  } else if (attack == "traitor") {
+    spec.roles = net::traitor_roles(args.get_u64("traitors", 6),
+                                    args.get_u64("pretrusted", 3));
+  } else if (attack == "whitewash") {
+    spec.config.whitewash_on_detection = true;
+  } else if (attack != "none") {
+    return usage();
+  }
+  spec.config.collusion_positive_prob =
+      args.get_double("camouflage", spec.config.collusion_positive_prob);
+  spec.config.churn_leave_prob =
+      args.get_double("churn-leave", spec.config.churn_leave_prob);
+  spec.config.churn_rejoin_prob =
+      args.get_double("churn-rejoin", spec.config.churn_rejoin_prob);
+
+  const net::ExperimentResult r = net::run_experiment(spec);
+  std::printf("engine=%s detector=%s runs=%zu\n",
+              net::to_string(spec.engine).c_str(),
+              net::to_string(spec.detector).c_str(), r.runs);
+  std::printf("requests-to-colluders=%.2f%%  recall=%.3f  false_pos=%.2f\n"
+              "engine_cost=%.0f  detector_cost=%.0f\n",
+              r.avg_percent_to_colluders, r.avg_recall,
+              r.avg_false_positives, r.avg_engine_cost, r.avg_detector_cost);
+  util::Table table({"node", "avg reputation"});
+  for (rating::NodeId id = 0; id < 20 && id < r.avg_reputation.size(); ++id)
+    table.add_row({util::Table::num(std::uint64_t{id} + 1),
+                   util::Table::num(r.avg_reputation[id], 5)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "trace") return cmd_trace(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "detect") return cmd_detect(args);
+  if (command == "calibrate") return cmd_calibrate(args);
+  if (command == "simulate") return cmd_simulate(args);
+  return usage();
+}

@@ -1,0 +1,164 @@
+// Renders the paper's evaluation figures as SVG files.
+//
+//   p2prep_figures --out DIR [--runs N] [--quick]
+//
+// Produces fig5/6/7/8/10/11 reputation bar charts (first 20 nodes, as the
+// paper's (b) panels) and the fig12/fig13 sweep line charts. The bench_*
+// binaries print the same data as text; this tool draws it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/experiment.h"
+#include "util/svg.h"
+
+namespace {
+
+using namespace p2prep;
+
+core::DetectorConfig sim_detector_config() {
+  core::DetectorConfig c;
+  c.positive_fraction_min = 0.9;
+  c.complement_fraction_max = 0.7;
+  c.frequency_min = 20;
+  c.high_rep_threshold = 0.05;
+  return c;
+}
+
+bool reputation_chart(const std::string& path, const std::string& title,
+                      const net::ExperimentResult& result,
+                      std::size_t first_k = 20) {
+  util::SvgChart chart(title, "node id (paper numbering)",
+                       "avg reputation");
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (std::size_t id = 0; id < first_k && id < result.avg_reputation.size();
+       ++id) {
+    labels.push_back(std::to_string(id + 1));
+    values.push_back(result.avg_reputation[id]);
+  }
+  chart.set_categories(std::move(labels));
+  chart.add_bar_series("avg reputation", std::move(values));
+  return chart.write_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::size_t runs = 5;
+  std::size_t cycles = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      runs = 2;
+      cycles = 8;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR] [--runs N] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto spec_for = [&](double b, const net::NodeRoles& roles,
+                      net::DetectorKind detector) {
+    net::ExperimentSpec spec;
+    spec.config.colluder_good_prob = b;
+    spec.config.sim_cycles = cycles;
+    spec.roles = roles;
+    spec.engine = net::EngineKind::kWeighted;
+    spec.detector = detector;
+    spec.detector_config = sim_detector_config();
+    spec.runs = runs;
+    return spec;
+  };
+  auto emit = [&](const std::string& name, const std::string& title,
+                  const net::ExperimentSpec& spec) {
+    const auto result = net::run_experiment(spec);
+    const std::string path = out_dir + "/" + name + ".svg";
+    if (!reputation_chart(path, title, result)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+
+  bool ok = true;
+  ok &= emit("fig5", "Fig.5 EigenTrust, B=0.6",
+             spec_for(0.6, net::paper_roles(8, 3), net::DetectorKind::kNone));
+  ok &= emit("fig6", "Fig.6 EigenTrust, B=0.2",
+             spec_for(0.2, net::paper_roles(8, 3), net::DetectorKind::kNone));
+  ok &= emit("fig7", "Fig.7 EigenTrust, compromised pretrusted",
+             spec_for(0.2, net::compromised_roles(),
+                      net::DetectorKind::kNone));
+  ok &= emit("fig8", "Fig.8 Detection alone, B=0.2",
+             spec_for(0.2, net::fig8_roles(8),
+                      net::DetectorKind::kOptimized));
+  ok &= emit("fig9", "Fig.9 EigenTrust+Optimized, B=0.6",
+             spec_for(0.6, net::paper_roles(8, 3),
+                      net::DetectorKind::kOptimized));
+  ok &= emit("fig10", "Fig.10 EigenTrust+Optimized, B=0.2",
+             spec_for(0.2, net::paper_roles(8, 3),
+                      net::DetectorKind::kOptimized));
+  ok &= emit("fig11", "Fig.11 EigenTrust+Optimized, compromised pretrusted",
+             spec_for(0.2, net::compromised_roles(),
+                      net::DetectorKind::kOptimized));
+
+  // Fig. 12 / 13 sweeps.
+  std::vector<double> xs;
+  std::vector<double> et_pct;
+  std::vector<double> unopt_pct;
+  std::vector<double> opt_pct;
+  std::vector<double> et_cost;
+  std::vector<double> unopt_cost;
+  std::vector<double> opt_cost;
+  for (std::size_t colluders : {8u, 18u, 28u, 38u, 48u, 58u}) {
+    xs.push_back(static_cast<double>(colluders));
+    auto spec = spec_for(0.2, net::paper_roles(colluders, 3),
+                         net::DetectorKind::kNone);
+    spec.engine = net::EngineKind::kEigenTrust;
+    const auto et = net::run_experiment(spec);
+    et_pct.push_back(et.avg_percent_to_colluders);
+    et_cost.push_back(et.avg_engine_cost);
+
+    spec.engine = net::EngineKind::kWeighted;
+    spec.detector = net::DetectorKind::kBasic;
+    const auto unopt = net::run_experiment(spec);
+    unopt_pct.push_back(unopt.avg_percent_to_colluders);
+    unopt_cost.push_back(unopt.avg_detector_cost);
+
+    spec.detector = net::DetectorKind::kOptimized;
+    const auto opt = net::run_experiment(spec);
+    opt_pct.push_back(opt.avg_percent_to_colluders);
+    opt_cost.push_back(opt.avg_detector_cost);
+  }
+
+  {
+    util::SvgChart chart("Fig.12 requests sent to colluders", "colluders",
+                         "% of requests");
+    chart.add_line_series("EigenTrust", xs, et_pct);
+    chart.add_line_series("Unoptimized", xs, unopt_pct);
+    chart.add_line_series("Optimized", xs, opt_pct);
+    const std::string path = out_dir + "/fig12.svg";
+    ok &= chart.write_file(path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  {
+    util::SvgChart chart("Fig.13 operation cost", "colluders",
+                         "work units (log)");
+    chart.set_log_y(true);
+    chart.add_line_series("EigenTrust", xs, et_cost);
+    chart.add_line_series("Unoptimized", xs, unopt_cost);
+    chart.add_line_series("Optimized", xs, opt_cost);
+    const std::string path = out_dir + "/fig13.svg";
+    ok &= chart.write_file(path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}
