@@ -1,0 +1,107 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "p2prep::p2prep_util" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_util )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_util "${_IMPORT_PREFIX}/lib/libp2prep_util.a" )
+
+# Import target "p2prep::p2prep_rating" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_rating APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_rating PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_rating.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_rating )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_rating "${_IMPORT_PREFIX}/lib/libp2prep_rating.a" )
+
+# Import target "p2prep::p2prep_reputation" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_reputation APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_reputation PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_reputation.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_reputation )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_reputation "${_IMPORT_PREFIX}/lib/libp2prep_reputation.a" )
+
+# Import target "p2prep::p2prep_dht" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_dht APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_dht PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_dht.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_dht )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_dht "${_IMPORT_PREFIX}/lib/libp2prep_dht.a" )
+
+# Import target "p2prep::p2prep_core" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_core )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_core "${_IMPORT_PREFIX}/lib/libp2prep_core.a" )
+
+# Import target "p2prep::p2prep_managers" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_managers APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_managers PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_managers.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_managers )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_managers "${_IMPORT_PREFIX}/lib/libp2prep_managers.a" )
+
+# Import target "p2prep::p2prep_net" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_net )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_net "${_IMPORT_PREFIX}/lib/libp2prep_net.a" )
+
+# Import target "p2prep::p2prep_trace" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libp2prep_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_trace )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_trace "${_IMPORT_PREFIX}/lib/libp2prep_trace.a" )
+
+# Import target "p2prep::p2prep_cli" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_cli APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_cli PROPERTIES
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/bin/p2prep_cli"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_cli )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_cli "${_IMPORT_PREFIX}/bin/p2prep_cli" )
+
+# Import target "p2prep::p2prep_figures" for configuration "RelWithDebInfo"
+set_property(TARGET p2prep::p2prep_figures APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(p2prep::p2prep_figures PROPERTIES
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/bin/p2prep_figures"
+  )
+
+list(APPEND _cmake_import_check_targets p2prep::p2prep_figures )
+list(APPEND _cmake_import_check_files_for_p2prep::p2prep_figures "${_IMPORT_PREFIX}/bin/p2prep_figures" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

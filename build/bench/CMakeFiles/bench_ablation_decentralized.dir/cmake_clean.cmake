@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decentralized.dir/bench_ablation_decentralized.cpp.o"
+  "CMakeFiles/bench_ablation_decentralized.dir/bench_ablation_decentralized.cpp.o.d"
+  "bench_ablation_decentralized"
+  "bench_ablation_decentralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

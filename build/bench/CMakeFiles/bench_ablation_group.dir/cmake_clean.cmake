@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_group.dir/bench_ablation_group.cpp.o"
+  "CMakeFiles/bench_ablation_group.dir/bench_ablation_group.cpp.o.d"
+  "bench_ablation_group"
+  "bench_ablation_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sybil.dir/bench_ablation_sybil.cpp.o"
+  "CMakeFiles/bench_ablation_sybil.dir/bench_ablation_sybil.cpp.o.d"
+  "bench_ablation_sybil"
+  "bench_ablation_sybil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sybil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

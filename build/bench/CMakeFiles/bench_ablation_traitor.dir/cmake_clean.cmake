@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_traitor.dir/bench_ablation_traitor.cpp.o"
+  "CMakeFiles/bench_ablation_traitor.dir/bench_ablation_traitor.cpp.o.d"
+  "bench_ablation_traitor"
+  "bench_ablation_traitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_traitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

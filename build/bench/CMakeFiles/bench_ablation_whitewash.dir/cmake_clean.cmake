@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_whitewash.dir/bench_ablation_whitewash.cpp.o"
+  "CMakeFiles/bench_ablation_whitewash.dir/bench_ablation_whitewash.cpp.o.d"
+  "bench_ablation_whitewash"
+  "bench_ablation_whitewash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_whitewash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

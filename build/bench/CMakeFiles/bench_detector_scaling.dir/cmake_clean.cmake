@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_scaling.dir/bench_detector_scaling.cpp.o"
+  "CMakeFiles/bench_detector_scaling.dir/bench_detector_scaling.cpp.o.d"
+  "bench_detector_scaling"
+  "bench_detector_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engines_collusion.dir/bench_engines_collusion.cpp.o"
+  "CMakeFiles/bench_engines_collusion.dir/bench_engines_collusion.cpp.o.d"
+  "bench_engines_collusion"
+  "bench_engines_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engines_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

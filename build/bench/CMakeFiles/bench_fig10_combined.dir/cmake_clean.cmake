@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_combined.dir/bench_fig10_combined.cpp.o"
+  "CMakeFiles/bench_fig10_combined.dir/bench_fig10_combined.cpp.o.d"
+  "bench_fig10_combined"
+  "bench_fig10_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_requests.dir/bench_fig12_requests.cpp.o"
+  "CMakeFiles/bench_fig12_requests.dir/bench_fig12_requests.cpp.o.d"
+  "bench_fig12_requests"
+  "bench_fig12_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_eigentrust.dir/bench_fig5_eigentrust.cpp.o"
+  "CMakeFiles/bench_fig5_eigentrust.dir/bench_fig5_eigentrust.cpp.o.d"
+  "bench_fig5_eigentrust"
+  "bench_fig5_eigentrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_eigentrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_eigentrust.dir/bench_fig6_eigentrust.cpp.o"
+  "CMakeFiles/bench_fig6_eigentrust.dir/bench_fig6_eigentrust.cpp.o.d"
+  "bench_fig6_eigentrust"
+  "bench_fig6_eigentrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_eigentrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_compromised.dir/bench_fig7_compromised.cpp.o"
+  "CMakeFiles/bench_fig7_compromised.dir/bench_fig7_compromised.cpp.o.d"
+  "bench_fig7_compromised"
+  "bench_fig7_compromised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_compromised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_combined.dir/bench_fig9_combined.cpp.o"
+  "CMakeFiles/bench_fig9_combined.dir/bench_fig9_combined.cpp.o.d"
+  "bench_fig9_combined"
+  "bench_fig9_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

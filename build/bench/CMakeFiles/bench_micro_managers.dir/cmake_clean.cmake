@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_managers.dir/bench_micro_managers.cpp.o"
+  "CMakeFiles/bench_micro_managers.dir/bench_micro_managers.cpp.o.d"
+  "bench_micro_managers"
+  "bench_micro_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_managers.dir/decentralized_managers.cpp.o"
+  "CMakeFiles/decentralized_managers.dir/decentralized_managers.cpp.o.d"
+  "decentralized_managers"
+  "decentralized_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

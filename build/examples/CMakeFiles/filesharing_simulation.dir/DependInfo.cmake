@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/filesharing_simulation.cpp" "examples/CMakeFiles/filesharing_simulation.dir/filesharing_simulation.cpp.o" "gcc" "examples/CMakeFiles/filesharing_simulation.dir/filesharing_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/p2prep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p2prep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/p2prep_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2prep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/p2prep_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/p2prep_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/p2prep_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

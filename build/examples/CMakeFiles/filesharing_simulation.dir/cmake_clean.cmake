@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesharing_simulation.dir/filesharing_simulation.cpp.o"
+  "CMakeFiles/filesharing_simulation.dir/filesharing_simulation.cpp.o.d"
+  "filesharing_simulation"
+  "filesharing_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesharing_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accomplice.cpp" "src/core/CMakeFiles/p2prep_core.dir/accomplice.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/accomplice.cpp.o.d"
+  "/root/repo/src/core/basic_detector.cpp" "src/core/CMakeFiles/p2prep_core.dir/basic_detector.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/basic_detector.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/p2prep_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/evidence.cpp" "src/core/CMakeFiles/p2prep_core.dir/evidence.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/core/group_detector.cpp" "src/core/CMakeFiles/p2prep_core.dir/group_detector.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/group_detector.cpp.o.d"
+  "/root/repo/src/core/optimized_detector.cpp" "src/core/CMakeFiles/p2prep_core.dir/optimized_detector.cpp.o" "gcc" "src/core/CMakeFiles/p2prep_core.dir/optimized_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rating/CMakeFiles/p2prep_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

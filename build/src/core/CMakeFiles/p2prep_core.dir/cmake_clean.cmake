@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_core.dir/accomplice.cpp.o"
+  "CMakeFiles/p2prep_core.dir/accomplice.cpp.o.d"
+  "CMakeFiles/p2prep_core.dir/basic_detector.cpp.o"
+  "CMakeFiles/p2prep_core.dir/basic_detector.cpp.o.d"
+  "CMakeFiles/p2prep_core.dir/calibration.cpp.o"
+  "CMakeFiles/p2prep_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/p2prep_core.dir/evidence.cpp.o"
+  "CMakeFiles/p2prep_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/p2prep_core.dir/group_detector.cpp.o"
+  "CMakeFiles/p2prep_core.dir/group_detector.cpp.o.d"
+  "CMakeFiles/p2prep_core.dir/optimized_detector.cpp.o"
+  "CMakeFiles/p2prep_core.dir/optimized_detector.cpp.o.d"
+  "libp2prep_core.a"
+  "libp2prep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

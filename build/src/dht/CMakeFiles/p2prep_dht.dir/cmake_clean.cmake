@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_dht.dir/chord.cpp.o"
+  "CMakeFiles/p2prep_dht.dir/chord.cpp.o.d"
+  "CMakeFiles/p2prep_dht.dir/hash.cpp.o"
+  "CMakeFiles/p2prep_dht.dir/hash.cpp.o.d"
+  "libp2prep_dht.a"
+  "libp2prep_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

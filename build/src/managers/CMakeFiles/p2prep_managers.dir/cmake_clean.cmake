@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_managers.dir/centralized.cpp.o"
+  "CMakeFiles/p2prep_managers.dir/centralized.cpp.o.d"
+  "CMakeFiles/p2prep_managers.dir/decentralized.cpp.o"
+  "CMakeFiles/p2prep_managers.dir/decentralized.cpp.o.d"
+  "CMakeFiles/p2prep_managers.dir/incremental.cpp.o"
+  "CMakeFiles/p2prep_managers.dir/incremental.cpp.o.d"
+  "CMakeFiles/p2prep_managers.dir/latency.cpp.o"
+  "CMakeFiles/p2prep_managers.dir/latency.cpp.o.d"
+  "libp2prep_managers.a"
+  "libp2prep_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

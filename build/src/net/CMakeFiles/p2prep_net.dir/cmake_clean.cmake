@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_net.dir/experiment.cpp.o"
+  "CMakeFiles/p2prep_net.dir/experiment.cpp.o.d"
+  "CMakeFiles/p2prep_net.dir/overlay.cpp.o"
+  "CMakeFiles/p2prep_net.dir/overlay.cpp.o.d"
+  "CMakeFiles/p2prep_net.dir/roles.cpp.o"
+  "CMakeFiles/p2prep_net.dir/roles.cpp.o.d"
+  "CMakeFiles/p2prep_net.dir/simulator.cpp.o"
+  "CMakeFiles/p2prep_net.dir/simulator.cpp.o.d"
+  "libp2prep_net.a"
+  "libp2prep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_rating.dir/matrix.cpp.o"
+  "CMakeFiles/p2prep_rating.dir/matrix.cpp.o.d"
+  "CMakeFiles/p2prep_rating.dir/store.cpp.o"
+  "CMakeFiles/p2prep_rating.dir/store.cpp.o.d"
+  "libp2prep_rating.a"
+  "libp2prep_rating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reputation/eigentrust.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/eigentrust.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/eigentrust.cpp.o.d"
+  "/root/repo/src/reputation/gossiptrust.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/gossiptrust.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/gossiptrust.cpp.o.d"
+  "/root/repo/src/reputation/peertrust.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/peertrust.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/peertrust.cpp.o.d"
+  "/root/repo/src/reputation/ratio.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/ratio.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/ratio.cpp.o.d"
+  "/root/repo/src/reputation/summation.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/summation.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/summation.cpp.o.d"
+  "/root/repo/src/reputation/trustguard.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/trustguard.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/trustguard.cpp.o.d"
+  "/root/repo/src/reputation/weighted.cpp" "src/reputation/CMakeFiles/p2prep_reputation.dir/weighted.cpp.o" "gcc" "src/reputation/CMakeFiles/p2prep_reputation.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rating/CMakeFiles/p2prep_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

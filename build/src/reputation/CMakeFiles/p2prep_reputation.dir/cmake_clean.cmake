@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_reputation.dir/eigentrust.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/eigentrust.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/gossiptrust.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/gossiptrust.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/peertrust.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/peertrust.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/ratio.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/ratio.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/summation.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/summation.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/trustguard.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/trustguard.cpp.o.d"
+  "CMakeFiles/p2prep_reputation.dir/weighted.cpp.o"
+  "CMakeFiles/p2prep_reputation.dir/weighted.cpp.o.d"
+  "libp2prep_reputation.a"
+  "libp2prep_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/amazon.cpp" "src/trace/CMakeFiles/p2prep_trace.dir/amazon.cpp.o" "gcc" "src/trace/CMakeFiles/p2prep_trace.dir/amazon.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/p2prep_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/p2prep_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/p2prep_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/p2prep_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/overstock.cpp" "src/trace/CMakeFiles/p2prep_trace.dir/overstock.cpp.o" "gcc" "src/trace/CMakeFiles/p2prep_trace.dir/overstock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rating/CMakeFiles/p2prep_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

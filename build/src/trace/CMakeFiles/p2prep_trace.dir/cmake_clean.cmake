@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_trace.dir/amazon.cpp.o"
+  "CMakeFiles/p2prep_trace.dir/amazon.cpp.o.d"
+  "CMakeFiles/p2prep_trace.dir/analysis.cpp.o"
+  "CMakeFiles/p2prep_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/p2prep_trace.dir/io.cpp.o"
+  "CMakeFiles/p2prep_trace.dir/io.cpp.o.d"
+  "CMakeFiles/p2prep_trace.dir/overstock.cpp.o"
+  "CMakeFiles/p2prep_trace.dir/overstock.cpp.o.d"
+  "libp2prep_trace.a"
+  "libp2prep_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

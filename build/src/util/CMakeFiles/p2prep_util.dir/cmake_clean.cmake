@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_util.dir/event_queue.cpp.o"
+  "CMakeFiles/p2prep_util.dir/event_queue.cpp.o.d"
+  "CMakeFiles/p2prep_util.dir/histogram.cpp.o"
+  "CMakeFiles/p2prep_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/p2prep_util.dir/stats.cpp.o"
+  "CMakeFiles/p2prep_util.dir/stats.cpp.o.d"
+  "CMakeFiles/p2prep_util.dir/svg.cpp.o"
+  "CMakeFiles/p2prep_util.dir/svg.cpp.o.d"
+  "CMakeFiles/p2prep_util.dir/table.cpp.o"
+  "CMakeFiles/p2prep_util.dir/table.cpp.o.d"
+  "CMakeFiles/p2prep_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/p2prep_util.dir/thread_pool.cpp.o.d"
+  "libp2prep_util.a"
+  "libp2prep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accomplice_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/accomplice_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/accomplice_test.cpp.o.d"
+  "/root/repo/tests/core/basic_detector_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/basic_detector_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/basic_detector_test.cpp.o.d"
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/detector_equivalence_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/detector_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/detector_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/detector_property_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/detector_property_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/detector_property_test.cpp.o.d"
+  "/root/repo/tests/core/evidence_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/evidence_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/evidence_test.cpp.o.d"
+  "/root/repo/tests/core/formula_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/formula_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/formula_test.cpp.o.d"
+  "/root/repo/tests/core/group_detector_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/group_detector_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/group_detector_test.cpp.o.d"
+  "/root/repo/tests/core/optimized_detector_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/optimized_detector_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/optimized_detector_test.cpp.o.d"
+  "/root/repo/tests/core/predicates_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/core/predicates_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/core/predicates_test.cpp.o.d"
+  "/root/repo/tests/dht/chord_property_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/dht/chord_property_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/dht/chord_property_test.cpp.o.d"
+  "/root/repo/tests/dht/chord_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/dht/chord_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/dht/chord_test.cpp.o.d"
+  "/root/repo/tests/dht/hash_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/dht/hash_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/dht/hash_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/integration/robustness_test.cpp.o.d"
+  "/root/repo/tests/integration/scale_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/integration/scale_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/integration/scale_test.cpp.o.d"
+  "/root/repo/tests/managers/centralized_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/managers/centralized_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/managers/centralized_test.cpp.o.d"
+  "/root/repo/tests/managers/churn_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/managers/churn_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/managers/churn_test.cpp.o.d"
+  "/root/repo/tests/managers/decentralized_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/managers/decentralized_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/managers/decentralized_test.cpp.o.d"
+  "/root/repo/tests/managers/incremental_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/managers/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/managers/incremental_test.cpp.o.d"
+  "/root/repo/tests/managers/latency_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/managers/latency_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/managers/latency_test.cpp.o.d"
+  "/root/repo/tests/net/attack_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/attack_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/attack_test.cpp.o.d"
+  "/root/repo/tests/net/churn_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/churn_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/churn_test.cpp.o.d"
+  "/root/repo/tests/net/experiment_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/experiment_test.cpp.o.d"
+  "/root/repo/tests/net/metrics_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/metrics_test.cpp.o.d"
+  "/root/repo/tests/net/overlay_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/overlay_test.cpp.o.d"
+  "/root/repo/tests/net/roles_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/roles_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/roles_test.cpp.o.d"
+  "/root/repo/tests/net/simulator_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/simulator_test.cpp.o.d"
+  "/root/repo/tests/net/whitewash_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/net/whitewash_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/net/whitewash_test.cpp.o.d"
+  "/root/repo/tests/rating/matrix_property_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/matrix_property_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/matrix_property_test.cpp.o.d"
+  "/root/repo/tests/rating/matrix_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/matrix_test.cpp.o.d"
+  "/root/repo/tests/rating/pair_stats_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/pair_stats_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/pair_stats_test.cpp.o.d"
+  "/root/repo/tests/rating/store_model_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/store_model_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/store_model_test.cpp.o.d"
+  "/root/repo/tests/rating/store_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/store_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/store_test.cpp.o.d"
+  "/root/repo/tests/rating/types_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/rating/types_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/rating/types_test.cpp.o.d"
+  "/root/repo/tests/reputation/eigentrust_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/eigentrust_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/eigentrust_test.cpp.o.d"
+  "/root/repo/tests/reputation/gossiptrust_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/gossiptrust_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/gossiptrust_test.cpp.o.d"
+  "/root/repo/tests/reputation/peertrust_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/peertrust_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/peertrust_test.cpp.o.d"
+  "/root/repo/tests/reputation/ratio_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/ratio_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/ratio_test.cpp.o.d"
+  "/root/repo/tests/reputation/summation_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/summation_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/summation_test.cpp.o.d"
+  "/root/repo/tests/reputation/trustguard_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/trustguard_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/trustguard_test.cpp.o.d"
+  "/root/repo/tests/reputation/weighted_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/reputation/weighted_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/reputation/weighted_test.cpp.o.d"
+  "/root/repo/tests/trace/amazon_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/trace/amazon_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/trace/amazon_test.cpp.o.d"
+  "/root/repo/tests/trace/analysis_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/trace/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/trace/analysis_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/overstock_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/trace/overstock_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/trace/overstock_test.cpp.o.d"
+  "/root/repo/tests/util/cost_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/cost_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/cost_test.cpp.o.d"
+  "/root/repo/tests/util/distributions_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/distributions_test.cpp.o.d"
+  "/root/repo/tests/util/event_queue_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/event_queue_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/matrix_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/matrix_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/svg_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/svg_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/svg_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/p2prep_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/p2prep_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/p2prep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p2prep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/p2prep_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2prep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/p2prep_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/p2prep_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/p2prep_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2prep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

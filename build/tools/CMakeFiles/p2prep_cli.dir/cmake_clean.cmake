@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_cli.dir/p2prep_cli.cpp.o"
+  "CMakeFiles/p2prep_cli.dir/p2prep_cli.cpp.o.d"
+  "p2prep_cli"
+  "p2prep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

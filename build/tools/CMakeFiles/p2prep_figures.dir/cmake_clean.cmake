@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2prep_figures.dir/p2prep_figures.cpp.o"
+  "CMakeFiles/p2prep_figures.dir/p2prep_figures.cpp.o.d"
+  "p2prep_figures"
+  "p2prep_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2prep_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
