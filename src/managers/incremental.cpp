@@ -34,9 +34,7 @@ void IncrementalCentralizedManager::update_reputations() {
 }
 
 void IncrementalCentralizedManager::reset_window() {
-  rating::RatingMatrix fresh(num_nodes_);
-  fresh.set_frequency_threshold(detector_config_.frequency_min);
-  matrix_ = std::move(fresh);
+  matrix_.clear_window();
   refresh_reputations();
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <unordered_set>
+#include <vector>
 
 #include "core/detector.h"
 #include "managers/centralized.h"
@@ -35,6 +36,24 @@ class IncrementalCentralizedManager {
   /// (reputations are refreshed from the engine).
   void reset_window();
 
+  /// Re-reads detection reputations from the engine into the matrix's
+  /// reputation column without running an engine epoch. Used after the
+  /// engine's state was mutated externally (e.g. checkpoint restore).
+  void refresh_reputations();
+
+  // --- Checkpoint restore hooks (service layer) ---
+
+  /// Reinstalls one window cell exactly as checkpointed. The manager must
+  /// not have seen ratings for that (ratee, rater) cell this window.
+  void restore_window_cell(rating::NodeId ratee, rating::NodeId rater,
+                           const rating::PairStats& stats) {
+    matrix_.restore_cell(ratee, rater, stats);
+  }
+  /// Reinstalls the detected-colluders set.
+  void restore_detected(const std::vector<rating::NodeId>& nodes) {
+    detected_.insert(nodes.begin(), nodes.end());
+  }
+
   core::DetectionReport run_detection(
       const core::CollusionDetector& detector,
       CentralizedManager::SuppressionMode mode =
@@ -49,8 +68,6 @@ class IncrementalCentralizedManager {
   }
 
  private:
-  void refresh_reputations();
-
   std::size_t num_nodes_;
   reputation::ReputationEngine& engine_;
   core::DetectorConfig detector_config_;

@@ -1,5 +1,6 @@
 #include "rating/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace p2prep::rating {
@@ -62,6 +63,30 @@ void RatingMatrix::add_rating(NodeId ratee, NodeId rater, Score score) {
   }
 }
 
+void RatingMatrix::clear_window() {
+  for (NodeId i = 0; i < size(); ++i) {
+    auto& meta = meta_[i];
+    if (meta.totals.total == 0) continue;  // row never touched this window
+    auto row = cells_.row(i);
+    std::fill(row.begin(), row.end(), PairStats{});
+    meta.totals = PairStats{};
+    meta.frequent_totals = PairStats{};
+  }
+  if (any_marks_) clear_marks();
+}
+
+void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
+                                const PairStats& stats) {
+  assert(ratee < size() && rater < size() && ratee != rater);
+  PairStats& cell = cells_(ratee, rater);
+  assert(cell.total == 0 && "restore_cell target must be empty");
+  cell = stats;
+  meta_[ratee].totals += stats;
+  if (frequency_threshold_ > 0 && stats.total >= frequency_threshold_) {
+    meta_[ratee].frequent_totals += stats;
+  }
+}
+
 bool RatingMatrix::checked(NodeId i, NodeId j) const {
   assert(i < size() && j < size());
   return checked_[static_cast<std::size_t>(i) * size() + j] != 0;
@@ -71,10 +96,12 @@ void RatingMatrix::mark_checked(NodeId i, NodeId j) {
   assert(i < size() && j < size());
   checked_[static_cast<std::size_t>(i) * size() + j] = 1;
   checked_[static_cast<std::size_t>(j) * size() + i] = 1;
+  any_marks_ = true;
 }
 
 void RatingMatrix::clear_marks() {
   checked_.assign(checked_.size(), 0);
+  any_marks_ = false;
 }
 
 }  // namespace p2prep::rating

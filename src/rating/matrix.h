@@ -95,6 +95,19 @@ class RatingMatrix {
     frequency_threshold_ = t;
   }
 
+  /// Resets the update window in place: zeroes every cell, the per-row
+  /// totals / frequent aggregates, and the checked-pair marks. Global
+  /// reputations, high-reputed flags, and the frequency threshold are
+  /// preserved — they belong to the host system, not the window. Rows
+  /// whose totals are already zero are skipped, so the cost is
+  /// proportional to the touched part of the matrix.
+  void clear_window();
+
+  /// Restores a window cell verbatim (checkpoint recovery): installs
+  /// `stats` at (ratee, rater) and folds it into the row totals and, when
+  /// frequent, the frequent aggregate. The target cell must be empty.
+  void restore_cell(NodeId ratee, NodeId rater, const PairStats& stats);
+
   // --- Checked-pair marking (paper: "the manager marks a_ij and a_ji") ---
 
   [[nodiscard]] bool checked(NodeId i, NodeId j) const;
@@ -115,6 +128,7 @@ class RatingMatrix {
   std::vector<std::uint8_t> checked_;  // n*n flags for pair marking
   std::size_t high_count_ = 0;
   std::uint32_t frequency_threshold_ = 0;
+  bool any_marks_ = false;  // lets clear_window skip the n*n mark sweep
 };
 
 }  // namespace p2prep::rating

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string_view>
 #include <unordered_set>
@@ -84,6 +85,32 @@ class ReputationEngine {
   /// Cumulative computation cost of all update_epoch() calls.
   [[nodiscard]] const util::CostCounter& cost() const noexcept { return cost_; }
   void reset_cost() noexcept { cost_ = {}; }
+
+  // --- Checkpoint support (service layer) ---
+
+  /// Serializes the engine's accumulated state (not the suppressed set —
+  /// the caller owns that) to `out`. Returns false when the engine does
+  /// not support checkpointing; callers then fall back to WAL-only
+  /// recovery. The default supports nothing.
+  virtual bool save_state(std::ostream& out) const {
+    (void)out;
+    return false;
+  }
+  /// Restores state written by save_state() of the same engine type.
+  /// Returns false on unsupported / malformed input.
+  virtual bool load_state(std::istream& in) {
+    (void)in;
+    return false;
+  }
+
+  /// Read/restore access to the suppressed set for checkpointing.
+  [[nodiscard]] const std::unordered_set<rating::NodeId>& suppressed_set()
+      const noexcept {
+    return suppressed_;
+  }
+  void restore_suppressed(const std::vector<rating::NodeId>& nodes) {
+    for (rating::NodeId i : nodes) suppress(i);
+  }
 
  protected:
   util::CostCounter cost_;

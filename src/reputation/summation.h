@@ -48,6 +48,11 @@ class SummationEngine final : public ReputationEngine {
     }
   }
 
+  /// Checkpointing: writes node count + raw sums; load recomputes the
+  /// published view so reputations() is valid immediately after.
+  bool save_state(std::ostream& out) const override;
+  bool load_state(std::istream& in) override;
+
  private:
   std::vector<std::int64_t> sums_;
   std::vector<double> published_;

@@ -1,0 +1,151 @@
+// Bounded MPMC ingest queue with selectable backpressure, the front door of
+// the sharded reputation service (DESIGN.md "Service layer").
+//
+// Producers are client threads calling ReputationService::ingest(); the
+// single consumer per queue is that shard's worker thread (the template is
+// nevertheless MPMC-safe — tests exercise multi-consumer draining). Two
+// overflow policies:
+//  * kBlock      — producers wait for space; end-to-end backpressure.
+//  * kDropOldest — the oldest *evictable* element is discarded to make
+//    room, so the queue favours fresh ratings under overload. Elements the
+//    `evictable` predicate rejects (epoch markers) are never discarded.
+//
+// push_forced() bypasses both capacity and policy; the service uses it for
+// epoch markers, which must reach every shard exactly once or the epoch
+// barrier would hang.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace p2prep::service {
+
+enum class OverflowPolicy {
+  kBlock,      ///< push() waits for space (backpressure).
+  kDropOldest, ///< push() evicts the oldest evictable element.
+};
+
+template <typename T>
+class IngestQueue {
+ public:
+  using Evictable = std::function<bool(const T&)>;
+
+  /// `capacity` must be >= 1. `evictable` tells kDropOldest which elements
+  /// may be discarded; the default allows all.
+  explicit IngestQueue(std::size_t capacity,
+                       OverflowPolicy policy = OverflowPolicy::kBlock,
+                       Evictable evictable = {})
+      : capacity_(capacity ? capacity : 1),
+        policy_(policy),
+        evictable_(std::move(evictable)) {}
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueues `value`. Under kBlock, waits until space is available;
+  /// returns false only when the queue was closed. Under kDropOldest,
+  /// never waits: a full queue discards its oldest evictable element
+  /// first (counted in dropped()); if nothing is evictable the queue
+  /// grows past capacity rather than lose the new element.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+    } else if (items_.size() >= capacity_) {
+      for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (!evictable_ || evictable_(*it)) {
+          items_.erase(it);
+          ++dropped_;
+          break;
+        }
+      }
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues regardless of capacity and policy; only fails when closed.
+  /// Never blocks and never causes an eviction.
+  bool push_forced(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and
+  /// drained; nullopt means no element will ever come again.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Stops accepting pushes; queued elements remain poppable (drain).
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Crash path: discards everything queued, then closes.
+  void purge_and_close() {
+    {
+      std::lock_guard lock(mu_);
+      items_.clear();
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard lock(mu_);
+    return dropped_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  const Evictable evictable_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace p2prep::service

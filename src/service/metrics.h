@@ -1,0 +1,50 @@
+// Operational metrics of the sharded reputation service. ServiceMetrics is
+// a plain value snapshot — ReputationService::metrics() assembles it from
+// the service's atomic counters, so polling it never blocks ingest.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace p2prep::service {
+
+struct ServiceMetrics {
+  // Ingest front door.
+  std::uint64_t ratings_accepted = 0;   ///< Routed into a shard queue.
+  std::uint64_t ratings_rejected = 0;   ///< Invalid (self-rating, bad id).
+  std::uint64_t ratings_dropped = 0;    ///< Evicted by kDropOldest overflow.
+  std::uint64_t ratings_applied = 0;    ///< Applied to shard state.
+  std::uint64_t queue_depth = 0;        ///< Current total across shards.
+  double ingest_rate_per_sec = 0.0;     ///< Applied ratings / wall seconds.
+
+  // Epochs and detection.
+  std::uint64_t epochs_completed = 0;       ///< Across all shards.
+  std::uint64_t detections_total = 0;       ///< Flagged pairs, cumulative.
+  std::uint64_t last_epoch_detections = 0;  ///< Flagged pairs, last epoch.
+  double epoch_latency_ms_mean = 0.0;
+  double epoch_latency_ms_p99 = 0.0;
+
+  // Durability.
+  std::uint64_t wal_records = 0;          ///< Current-generation records.
+  std::uint64_t wal_bytes = 0;            ///< Current-generation bytes.
+  std::uint64_t checkpoints_written = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "ingest: accepted=" << ratings_accepted
+       << " rejected=" << ratings_rejected << " dropped=" << ratings_dropped
+       << " applied=" << ratings_applied << " queue_depth=" << queue_depth
+       << " rate=" << ingest_rate_per_sec << "/s\n"
+       << "epochs: completed=" << epochs_completed
+       << " detections_total=" << detections_total
+       << " last_epoch_detections=" << last_epoch_detections
+       << " latency_mean_ms=" << epoch_latency_ms_mean
+       << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
+       << "wal: records=" << wal_records << " bytes=" << wal_bytes
+       << " checkpoints=" << checkpoints_written;
+    return os.str();
+  }
+};
+
+}  // namespace p2prep::service

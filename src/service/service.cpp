@@ -1,0 +1,647 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/formula.h"
+#include "core/predicates.h"
+
+namespace p2prep::service {
+
+namespace {
+constexpr std::uint64_t kWalHeaderBytes = 16;
+}  // namespace
+
+ReputationService::ReputationService(ServiceConfig config)
+    : config_(std::move(config)) {
+  if (!config_.valid())
+    throw std::invalid_argument("service: invalid ServiceConfig");
+  if (config_.epoch_scope == EpochScope::kGlobal) {
+    // Accomplice propagation walks matrix rows across the whole pair
+    // graph; rows span shard partitions here, so the fixpoint is not
+    // supported in global scope (ROADMAP open item).
+    config_.detector_config.flag_accomplices = false;
+  }
+
+  slots_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s)
+    slots_.push_back(std::make_unique<ShardSlot>(s, config_));
+
+  checkpoints_enabled_.store(config_.checkpoint_every_epochs > 0 &&
+                             !config_.wal_dir.empty());
+
+  if (!config_.wal_dir.empty()) {
+    std::filesystem::create_directories(config_.wal_dir);
+    if (std::filesystem::exists(config_.wal_dir + "/service.meta")) {
+      check_meta();
+      recover();
+      recovered_ = true;
+    } else {
+      write_meta();
+      for (std::size_t s = 0; s < slots_.size(); ++s)
+        slots_[s]->shard.attach_wal(WalWriter::create(wal_path(s), 0));
+    }
+  }
+
+  std::uint64_t applied = 0;
+  for (const auto& slot : slots_) applied += slot->shard.applied_total();
+  applied_base_ = applied;
+  start_time_ = std::chrono::steady_clock::now();
+
+  for (std::size_t s = 0; s < slots_.size(); ++s)
+    slots_[s]->worker = std::thread([this, s] { worker_loop(s); });
+}
+
+ReputationService::~ReputationService() { stop(); }
+
+// --- Paths and meta --------------------------------------------------------
+
+std::string ReputationService::wal_path(std::size_t shard) const {
+  std::ostringstream os;
+  os << config_.wal_dir << "/shard-" << std::setw(3) << std::setfill('0')
+     << shard << ".wal";
+  return os.str();
+}
+
+std::string ReputationService::ckpt_path(std::size_t shard) const {
+  std::ostringstream os;
+  os << config_.wal_dir << "/shard-" << std::setw(3) << std::setfill('0')
+     << shard << ".ckpt";
+  return os.str();
+}
+
+void ReputationService::write_meta() const {
+  std::ofstream out(config_.wal_dir + "/service.meta", std::ios::trunc);
+  out << "p2prep-service-meta 1\n"
+      << "num_nodes " << config_.num_nodes << "\n"
+      << "num_shards " << config_.num_shards << "\n"
+      << "scope "
+      << (config_.epoch_scope == EpochScope::kGlobal ? "global" : "per_shard")
+      << "\n"
+      << "detector "
+      << (config_.detector == DetectorKind::kBasic ? "basic" : "optimized")
+      << "\n";
+  if (!out) throw std::runtime_error("service: cannot write service.meta");
+}
+
+void ReputationService::check_meta() const {
+  std::ifstream in(config_.wal_dir + "/service.meta");
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "p2prep-service-meta" || version != "1")
+    throw std::runtime_error("service: unrecognized service.meta");
+  std::string key, value;
+  auto expect = [&](const std::string& want_key, const std::string& want) {
+    if (!(in >> key >> value) || key != want_key || value != want)
+      throw std::runtime_error("service: stored state was created with " +
+                               key + "=" + value + ", configured " + want_key +
+                               "=" + want);
+  };
+  expect("num_nodes", std::to_string(config_.num_nodes));
+  expect("num_shards", std::to_string(config_.num_shards));
+  expect("scope", config_.epoch_scope == EpochScope::kGlobal ? "global"
+                                                             : "per_shard");
+  expect("detector",
+         config_.detector == DetectorKind::kBasic ? "basic" : "optimized");
+}
+
+// --- Recovery --------------------------------------------------------------
+
+void ReputationService::recover() {
+  struct ShardRecovery {
+    WalReadResult wal;
+    std::size_t pos = 0;           // next unconsumed record index
+    std::uint64_t generation = 0;
+    std::uint64_t keep_bytes = kWalHeaderBytes;
+    std::uint64_t keep_records = 0;
+  };
+  std::vector<ShardRecovery> shards(slots_.size());
+
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    auto& r = shards[s];
+    const auto ckpt = read_checkpoint(ckpt_path(s));
+    r.wal = read_wal(wal_path(s));
+    if (ckpt) slots_[s]->shard.restore(*ckpt);
+
+    std::uint64_t skip = 0;
+    if (ckpt && r.wal.found) {
+      if (r.wal.generation < ckpt->wal_generation)
+        throw std::runtime_error("service recover: WAL generation " +
+                                 std::to_string(r.wal.generation) +
+                                 " older than checkpoint " +
+                                 std::to_string(ckpt->wal_generation));
+      if (r.wal.generation == ckpt->wal_generation)
+        skip = ckpt->wal_records_applied;
+      // A younger-generation WAL holds only post-checkpoint records.
+    }
+    if (skip > r.wal.records.size())
+      throw std::runtime_error(
+          "service recover: checkpoint claims more applied records than the "
+          "WAL holds");
+    r.pos = skip;
+    r.generation =
+        r.wal.found ? r.wal.generation : (ckpt ? ckpt->wal_generation : 0);
+    r.keep_bytes = r.wal.found ? r.wal.valid_bytes : kWalHeaderBytes;
+    r.keep_records = r.wal.records.size();
+    epoch_seq_ = std::max(epoch_seq_, slots_[s]->shard.epochs_completed());
+  }
+  epoch_done_seq_ = epoch_seq_;
+
+  rating::Tick max_tick = 0;
+  if (config_.epoch_scope == EpochScope::kPerShard) {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      auto& r = shards[s];
+      for (; r.pos < r.wal.records.size(); ++r.pos) {
+        const WalRecord& rec = r.wal.records[r.pos];
+        if (rec.kind == WalRecordKind::kRating)
+          slots_[s]->shard.apply_rating(rec.rating);
+        else
+          slots_[s]->shard.run_local_epoch();
+      }
+    }
+  } else {
+    for (;;) {
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        auto& r = shards[s];
+        while (r.pos < r.wal.records.size() &&
+               r.wal.records[r.pos].kind == WalRecordKind::kRating) {
+          slots_[s]->shard.apply_rating(r.wal.records[r.pos].rating);
+          max_tick = std::max(max_tick, r.wal.records[r.pos].rating.time);
+          ++r.pos;
+        }
+      }
+      bool all_at_marker = true;
+      for (const auto& r : shards)
+        all_at_marker = all_at_marker && r.pos < r.wal.records.size();
+      if (!all_at_marker) break;
+
+      const std::uint64_t seq = shards[0].wal.records[shards[0].pos].epoch_seq;
+      for (const auto& r : shards) {
+        if (r.wal.records[r.pos].epoch_seq != seq)
+          throw std::runtime_error(
+              "service recover: shards disagree on epoch marker sequence");
+      }
+      run_global_epoch(seq, /*live=*/false);
+      epoch_seq_ = std::max(epoch_seq_, seq);
+      epoch_done_seq_ = epoch_seq_;
+      global_last_epoch_tick_ = max_tick;
+      for (auto& r : shards) ++r.pos;
+    }
+
+    // An epoch marker not logged by every shard never ran (workers park at
+    // the barrier before the last shard's marker is written), so drop it
+    // from the resumed WAL; producers will inject that sequence again.
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      auto& r = shards[s];
+      if (r.pos >= r.wal.records.size()) continue;
+      if (r.pos + 1 < r.wal.records.size())
+        throw std::runtime_error(
+            "service recover: records found after an unpaired epoch marker");
+      r.keep_records = r.pos;
+      r.keep_bytes =
+          r.pos > 0 ? r.wal.end_offsets[r.pos - 1] : kWalHeaderBytes;
+    }
+
+    std::uint64_t since_epoch = 0;
+    for (const auto& slot : slots_)
+      since_epoch += slot->shard.applied_since_epoch_;
+    routed_since_epoch_ = since_epoch;
+  }
+
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    auto& r = shards[s];
+    if (r.wal.found)
+      slots_[s]->shard.attach_wal(WalWriter::resume(
+          wal_path(s), r.generation, r.keep_bytes, r.keep_records));
+    else
+      slots_[s]->shard.attach_wal(WalWriter::create(wal_path(s), r.generation));
+  }
+}
+
+// --- Ingest ----------------------------------------------------------------
+
+bool ReputationService::ingest(const rating::Rating& r) {
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  if (r.rater == r.ratee || r.rater >= config_.num_nodes ||
+      r.ratee >= config_.num_nodes) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::size_t s = shard_of(r.ratee);
+  const WalRecord rec = WalRecord::make_rating(r);
+
+  if (config_.epoch_scope == EpochScope::kPerShard) {
+    if (!slots_[s]->queue.push(rec)) return false;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    routed_records_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Global scope: the router owns the epoch cadence, so the rating push
+  // and any marker injection must be one atomic routing step.
+  const std::lock_guard lock(route_mu_);
+  if (!slots_[s]->queue.push(rec)) return false;
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  routed_records_.fetch_add(1, std::memory_order_relaxed);
+  ++routed_since_epoch_;
+
+  const bool due =
+      (config_.epoch_ratings > 0 &&
+       routed_since_epoch_ >= config_.epoch_ratings) ||
+      (config_.epoch_ticks > 0 &&
+       r.time >= global_last_epoch_tick_ + config_.epoch_ticks);
+  if (due) {
+    const std::uint64_t seq = ++epoch_seq_;
+    for (auto& slot : slots_) {
+      if (slot->queue.push_forced(WalRecord::make_marker(seq)))
+        routed_records_.fetch_add(1, std::memory_order_relaxed);
+    }
+    routed_since_epoch_ = 0;
+    global_last_epoch_tick_ = r.time;
+  }
+  return true;
+}
+
+std::uint64_t ReputationService::force_epoch() {
+  const std::lock_guard lock(route_mu_);
+  const std::uint64_t seq = ++epoch_seq_;
+  for (auto& slot : slots_) {
+    if (slot->queue.push_forced(WalRecord::make_marker(seq)))
+      routed_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.epoch_scope == EpochScope::kGlobal) routed_since_epoch_ = 0;
+  return seq;
+}
+
+void ReputationService::drain() {
+  for (;;) {
+    bool barrier_busy = false;
+    {
+      const std::lock_guard lock(epoch_mu_);
+      barrier_busy = arrived_ != 0;
+    }
+    std::uint64_t dropped = 0;
+    std::uint64_t depth = 0;
+    for (const auto& slot : slots_) {
+      dropped += slot->queue.dropped();
+      depth += slot->queue.size();
+    }
+    if (!barrier_busy && depth == 0 &&
+        handled_records_.load(std::memory_order_acquire) + dropped >=
+            routed_records_.load(std::memory_order_acquire))
+      return;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void ReputationService::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  for (auto& slot : slots_) slot->queue.close();
+  for (auto& slot : slots_)
+    if (slot->worker.joinable()) slot->worker.join();
+}
+
+void ReputationService::crash_stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  crashing_.store(true);
+  for (auto& slot : slots_) slot->queue.purge_and_close();
+  {
+    const std::lock_guard lock(epoch_mu_);
+  }
+  epoch_cv_.notify_all();
+  for (auto& slot : slots_)
+    if (slot->worker.joinable()) slot->worker.join();
+}
+
+// --- Workers and epochs ----------------------------------------------------
+
+void ReputationService::worker_loop(std::size_t index) {
+  ShardSlot& slot = *slots_[index];
+  while (auto rec = slot.queue.pop()) {
+    if (crashing_.load(std::memory_order_relaxed)) return;
+    if (rec->kind == WalRecordKind::kRating) {
+      slot.shard.log_record(*rec);
+      slot.shard.apply_rating(rec->rating);
+      if (config_.epoch_scope == EpochScope::kPerShard &&
+          slot.shard.epoch_due(rec->rating.time)) {
+        slot.shard.log_record(
+            WalRecord::make_marker(slot.shard.epochs_completed() + 1));
+        run_shard_epoch(slot);
+      }
+    } else {
+      slot.shard.log_record(*rec);
+      if (config_.epoch_scope == EpochScope::kPerShard)
+        run_shard_epoch(slot);
+      else
+        global_barrier(slot, rec->epoch_seq);
+    }
+    handled_records_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ReputationService::run_shard_epoch(ShardSlot& slot) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t pairs = slot.shard.run_local_epoch();
+  record_epoch_metrics(start, pairs);
+  if (checkpoints_enabled_.load(std::memory_order_relaxed) &&
+      slot.shard.wal_attached() &&
+      slot.shard.epochs_completed() % config_.checkpoint_every_epochs == 0)
+    checkpoint_shard(slot);
+}
+
+void ReputationService::global_barrier(ShardSlot&, std::uint64_t seq) {
+  std::unique_lock lock(epoch_mu_);
+  ++arrived_;
+  if (arrived_ == slots_.size()) {
+    // Last arriver: every other worker is parked, all shard state is
+    // frozen — run the cross-shard epoch single-threaded.
+    arrived_ = 0;
+    run_global_epoch(seq, /*live=*/true);
+    epoch_done_seq_ = seq;
+    lock.unlock();
+    epoch_cv_.notify_all();
+  } else {
+    epoch_cv_.wait(lock, [this, seq] {
+      return epoch_done_seq_ >= seq ||
+             crashing_.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& slot : slots_) slot->shard.manager().update_reputations();
+
+  const core::DetectionReport report = global_detect();
+  const std::vector<rating::NodeId> flagged = report.colluders();
+
+  using SuppressionMode = managers::CentralizedManager::SuppressionMode;
+  if (config_.suppression != SuppressionMode::kNone && !flagged.empty()) {
+    for (rating::NodeId id : flagged) {
+      ServiceShard& owner = slots_[shard_of(id)]->shard;
+      owner.manager().restore_detected({id});
+      if (config_.suppression == SuppressionMode::kPin)
+        owner.engine().suppress(id);
+      else
+        owner.engine().reset_reputation(id);
+    }
+    for (auto& slot : slots_) slot->shard.manager().update_reputations();
+  }
+
+  std::string text;
+  if (config_.record_reports) {
+    text = format_epoch_report("global", seq, report);
+    const std::lock_guard lock(log_mu_);
+    report_log_ += text;
+  }
+  for (auto& slot : slots_) {
+    std::vector<rating::NodeId> owned;
+    for (rating::NodeId id : flagged)
+      if (shard_of(id) == slot->shard.index()) owned.push_back(id);
+    slot->shard.finish_global_epoch(seq, owned, text);
+  }
+
+  if (live) {
+    record_epoch_metrics(start, report.pairs.size());
+    if (checkpoints_enabled_.load(std::memory_order_relaxed) &&
+        seq % config_.checkpoint_every_epochs == 0) {
+      for (auto& slot : slots_) checkpoint_shard(*slot);
+    }
+  }
+}
+
+core::DetectionReport ReputationService::global_detect() const {
+  const core::DetectorConfig& cfg = config_.detector_config;
+  const std::size_t n = config_.num_nodes;
+  core::DetectionReport report;
+
+  auto matrix_of = [this](rating::NodeId id) -> const rating::RatingMatrix& {
+    return slots_[shard_of(id)]->shard.manager().matrix();
+  };
+
+  // One-directional predicates mirroring the detector classes; every
+  // quantity about ratee i (row, totals, frequent aggregate, window
+  // reputation) is read from i's owner matrix `mi`.
+  auto optimized_dir = [&](const rating::RatingMatrix& mi, rating::NodeId i,
+                           rating::NodeId j) {
+    const rating::PairStats& cell = mi.cell(i, j);
+    report.cost.add_scan();
+    report.cost.add_check();
+    if (cell.total < cfg.frequency_min) return false;  // C4
+    if (!cfg.joint_complement) {
+      report.cost.add_check();
+      return core::formula2_satisfied(
+          static_cast<double>(mi.window_reputation(i)),
+          cfg.positive_fraction_min, cfg.complement_fraction_max,
+          mi.totals(i).total, cell.total, cfg.inclusive_bounds);
+    }
+    report.cost.add_check();
+    if (!core::positive_fraction_ok(cell, cfg)) return false;  // C3
+    report.cost.add_scan();
+    const rating::PairStats complement =
+        mi.totals(i) - mi.frequent_totals(i);
+    report.cost.add_check();
+    return core::complement_ok(complement, cfg);  // C2
+  };
+
+  auto basic_dir = [&](const rating::RatingMatrix& mi, rating::NodeId i,
+                       rating::NodeId j, double& positive_fraction,
+                       double& complement_fraction) {
+    const rating::PairStats& cell = mi.cell(i, j);
+    // The Basic method scans row i for the complement; the incremental
+    // aggregates yield the same sums, but the scan's cost is charged.
+    report.cost.add_scan(mi.size());
+    rating::PairStats complement;
+    if (cfg.joint_complement) {
+      complement = mi.totals(i) - mi.frequent_totals(i);
+      if (cell.total < cfg.frequency_min) complement -= cell;
+    } else {
+      complement = mi.totals(i) - cell;
+    }
+    report.cost.add_check();
+    if (cell.total < cfg.frequency_min) return false;  // C4
+    positive_fraction = cell.positive_fraction();
+    report.cost.add_check();
+    if (positive_fraction < cfg.positive_fraction_min) return false;  // C3
+    report.cost.add_check();
+    if (complement.total == 0) {
+      complement_fraction = 0.0;
+      return cfg.empty_complement_is_suspicious;
+    }
+    complement_fraction = complement.positive_fraction();
+    return complement_fraction < cfg.complement_fraction_max;  // C2
+  };
+
+  if (config_.detector == DetectorKind::kBasic) {
+    // Marks-equivalent enumeration: each unordered pair is examined once,
+    // from its first high-reputed endpoint in ascending order.
+    for (rating::NodeId a = 0; a < n; ++a) {
+      for (rating::NodeId b = a + 1; b < n; ++b) {
+        rating::NodeId i, j;
+        report.cost.add_check();
+        if (matrix_of(a).high_reputed(a)) {
+          i = a;
+          j = b;
+        } else if (matrix_of(b).high_reputed(b)) {
+          i = b;
+          j = a;
+        } else {
+          continue;  // C1 fails on both sides
+        }
+        const rating::RatingMatrix& mi = matrix_of(i);
+        const rating::RatingMatrix& mj = matrix_of(j);
+        report.cost.add_scan();
+        report.cost.add_check();
+        if (cfg.require_mutual && !mj.high_reputed(j)) continue;
+
+        core::PairEvidence ev;
+        ev.first = i;
+        ev.second = j;
+        ev.ratings_to_first = mi.cell(i, j).total;
+        ev.ratings_to_second = mj.cell(j, i).total;
+        ev.global_rep_first = mi.global_reputation(i);
+        ev.global_rep_second = mj.global_reputation(j);
+        if (!basic_dir(mi, i, j, ev.positive_fraction_first,
+                       ev.complement_fraction_first))
+          continue;
+        if (cfg.require_mutual &&
+            !basic_dir(mj, j, i, ev.positive_fraction_second,
+                       ev.complement_fraction_second))
+          continue;
+        report.pairs.push_back(ev);
+      }
+    }
+  } else {
+    // Mirrors OptimizedCollusionDetector: all ordered (i, j); a mutual
+    // pair surfaces from both sides and canonicalize() dedups.
+    for (rating::NodeId i = 0; i < n; ++i) {
+      const rating::RatingMatrix& mi = matrix_of(i);
+      report.cost.add_check();
+      if (!mi.high_reputed(i)) continue;  // C1
+      for (rating::NodeId j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (!optimized_dir(mi, i, j)) continue;
+        const rating::RatingMatrix& mj = matrix_of(j);
+        if (cfg.require_mutual) {
+          report.cost.add_check();
+          if (!mj.high_reputed(j)) continue;
+          if (!optimized_dir(mj, j, i)) continue;
+        }
+        core::PairEvidence ev;
+        ev.first = i;
+        ev.second = j;
+        ev.ratings_to_first = mi.cell(i, j).total;
+        ev.ratings_to_second = mj.cell(j, i).total;
+        ev.positive_fraction_first = mi.cell(i, j).positive_fraction();
+        ev.positive_fraction_second = mj.cell(j, i).positive_fraction();
+        const rating::PairStats comp_i = mi.totals(i) - mi.cell(i, j);
+        const rating::PairStats comp_j = mj.totals(j) - mj.cell(j, i);
+        ev.complement_fraction_first = comp_i.positive_fraction();
+        ev.complement_fraction_second = comp_j.positive_fraction();
+        ev.global_rep_first = mi.global_reputation(i);
+        ev.global_rep_second = mj.global_reputation(j);
+        report.pairs.push_back(ev);
+      }
+    }
+  }
+
+  report.canonicalize();
+  return report;
+}
+
+void ReputationService::checkpoint_shard(ShardSlot& slot) {
+  if (slot.shard.checkpoint_and_rotate(ckpt_path(slot.shard.index())))
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  else
+    checkpoints_enabled_.store(false, std::memory_order_relaxed);
+}
+
+void ReputationService::record_epoch_metrics(
+    std::chrono::steady_clock::time_point start, std::size_t pairs) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  detections_total_.fetch_add(pairs, std::memory_order_relaxed);
+  last_epoch_detections_.store(pairs, std::memory_order_relaxed);
+  const std::lock_guard lock(latency_mu_);
+  epoch_latency_ms_.push_back(ms);
+  if (epoch_latency_ms_.size() > 8192) {
+    epoch_latency_ms_.erase(epoch_latency_ms_.begin(),
+                            epoch_latency_ms_.begin() + 4096);
+  }
+}
+
+// --- Read side -------------------------------------------------------------
+
+ServiceSnapshot ReputationService::snapshot() const {
+  ServiceSnapshot snap;
+  snap.shards.reserve(slots_.size());
+  for (const auto& slot : slots_) snap.shards.push_back(slot->shard.view());
+  return snap;
+}
+
+ServiceMetrics ReputationService::metrics() const {
+  ServiceMetrics m;
+  m.ratings_accepted = accepted_.load(std::memory_order_relaxed);
+  m.ratings_rejected = rejected_.load(std::memory_order_relaxed);
+  std::uint64_t applied = 0;
+  for (const auto& slot : slots_) {
+    m.ratings_dropped += slot->queue.dropped();
+    m.queue_depth += slot->queue.size();
+    applied += slot->shard.applied_total();
+    m.wal_records += slot->shard.wal_records();
+    m.wal_bytes += slot->shard.wal_bytes();
+  }
+  m.ratings_applied = applied;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  if (secs > 0.0)
+    m.ingest_rate_per_sec =
+        static_cast<double>(applied - applied_base_) / secs;
+
+  if (config_.epoch_scope == EpochScope::kGlobal) {
+    m.epochs_completed = slots_.empty() ? 0 : slots_[0]->shard.epochs_completed();
+  } else {
+    for (const auto& slot : slots_)
+      m.epochs_completed += slot->shard.epochs_completed();
+  }
+  m.detections_total = detections_total_.load(std::memory_order_relaxed);
+  m.last_epoch_detections =
+      last_epoch_detections_.load(std::memory_order_relaxed);
+  m.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+
+  const std::lock_guard lock(latency_mu_);
+  if (!epoch_latency_ms_.empty()) {
+    std::vector<double> sorted = epoch_latency_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted) sum += v;
+    m.epoch_latency_ms_mean = sum / static_cast<double>(sorted.size());
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(
+            static_cast<double>(sorted.size()) * 0.99));
+    m.epoch_latency_ms_p99 = sorted[idx];
+  }
+  return m;
+}
+
+std::string ReputationService::report_log() const {
+  if (config_.epoch_scope == EpochScope::kGlobal) {
+    const std::lock_guard lock(log_mu_);
+    return report_log_;
+  }
+  std::string out;
+  for (const auto& slot : slots_) out += slot->shard.report_log();
+  return out;
+}
+
+}  // namespace p2prep::service

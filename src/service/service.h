@@ -1,0 +1,206 @@
+// ReputationService: the sharded online front-end of the collusion
+// detection pipeline (DESIGN.md "Service layer").
+//
+// Topology: ingest() consistent-hashes each rating by ratee id onto one of
+// N shards and enqueues it on that shard's bounded IngestQueue; a worker
+// thread per shard drains its queue into the shard's incremental manager.
+// Epochs (reputation update + detection) are triggered by rating-count or
+// virtual-time thresholds:
+//
+//  * EpochScope::kGlobal — the router injects an epoch marker into every
+//    queue; workers barrier on it and the last arriver runs one detection
+//    sweep over all shards' frozen state (cross-shard pairs included),
+//    then releases the barrier. Epochs are totally ordered and replay-
+//    deterministic.
+//  * EpochScope::kPerShard — each shard epochs independently on its own
+//    applied-rating count; detection is shard-local and shards never wait
+//    for each other.
+//
+// Reads (snapshot(), metrics(), report_log()) never block ingest: each
+// shard publishes an immutable ShardView behind a shared_ptr swap.
+//
+// Durability: when configured with a wal_dir, every shard logs its applied
+// record stream (ratings + epoch markers) to a per-shard WAL before
+// applying it, and periodically compacts the log into a checkpoint (see
+// service/wal.h). Constructing a service over a directory that already
+// holds service state recovers it: checkpoints are loaded, WAL suffixes
+// replayed — re-running every epoch whose marker reached all shards — and
+// the service resumes accepting ratings. Replay regenerates byte-identical
+// detection reports (tested).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dht/hash.h"
+#include "service/ingest_queue.h"
+#include "service/metrics.h"
+#include "service/shard.h"
+
+namespace p2prep::service {
+
+/// Owner shard of node `id` among `num_shards` (consistent hash).
+[[nodiscard]] inline std::size_t shard_for(rating::NodeId id,
+                                           std::size_t num_shards) noexcept {
+  return static_cast<std::size_t>(dht::hash_node(id) %
+                                  static_cast<dht::Key>(num_shards));
+}
+
+/// Point-in-time read view over all shards. Holding one pins the views it
+/// references; the service keeps publishing newer ones concurrently.
+struct ServiceSnapshot {
+  std::vector<std::shared_ptr<const ShardView>> shards;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards.size();
+  }
+  /// Node i's published reputation, read from its owner shard's view.
+  [[nodiscard]] double reputation(rating::NodeId i) const {
+    const auto& view = *shards[shard_for(i, shards.size())];
+    return i < view.reputations.size() ? view.reputations[i] : 0.0;
+  }
+  /// Whether node i has been flagged as a colluder by its owner shard.
+  [[nodiscard]] bool suspected(rating::NodeId i) const {
+    const auto& view = *shards[shard_for(i, shards.size())];
+    return i < view.suspected.size() && view.suspected[i] != 0;
+  }
+  /// Lowest epoch any shard has published (== the epoch in kGlobal scope).
+  [[nodiscard]] std::uint64_t min_epoch() const {
+    std::uint64_t e = ~0ull;
+    for (const auto& v : shards) e = std::min(e, v->epoch);
+    return shards.empty() ? 0 : e;
+  }
+};
+
+class ReputationService {
+ public:
+  /// Starts the shard workers. When config.wal_dir names a directory that
+  /// already holds service state (service.meta present), recovers from
+  /// checkpoint + WAL replay first; a config mismatch with the stored
+  /// meta throws std::runtime_error.
+  explicit ReputationService(ServiceConfig config);
+  ~ReputationService();
+
+  ReputationService(const ReputationService&) = delete;
+  ReputationService& operator=(const ReputationService&) = delete;
+
+  /// Routes one rating to its owner shard. Returns false when the rating
+  /// is invalid (self-rating / id out of range) or the service has been
+  /// stopped. Under OverflowPolicy::kBlock a full shard queue blocks the
+  /// caller (backpressure); under kDropOldest it never blocks.
+  bool ingest(const rating::Rating& r);
+
+  /// Blocks until every routed record has been fully processed and no
+  /// epoch is in flight. Deterministic quiesce point for tests/CLI.
+  void drain();
+
+  /// Injects an epoch marker into every shard queue (asynchronously; use
+  /// drain() to wait for completion). Returns the marker's sequence
+  /// number. Works in both scopes; forced epochs are WAL-logged and thus
+  /// replayed at the same stream position on recovery.
+  std::uint64_t force_epoch();
+
+  /// Closes the ingest queues, lets workers drain them, and joins. Safe
+  /// to call twice. The destructor calls it implicitly.
+  void stop();
+
+  /// Test hook simulating a hard crash: discards everything still queued,
+  /// abandons any in-flight epoch barrier and joins the workers without
+  /// flushing state — only the WAL survives, as in a real crash.
+  void crash_stop();
+
+  [[nodiscard]] ServiceSnapshot snapshot() const;
+  [[nodiscard]] ServiceMetrics metrics() const;
+  /// Concatenated detection reports: the global epoch log (kGlobal) or
+  /// the shard logs in shard order (kPerShard).
+  [[nodiscard]] std::string report_log() const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t shard_of(rating::NodeId id) const noexcept {
+    return shard_for(id, slots_.size());
+  }
+  /// Whether the constructor restored state from a previous run.
+  [[nodiscard]] bool recovered() const noexcept { return recovered_; }
+
+ private:
+  struct ShardSlot {
+    ShardSlot(std::size_t index, const ServiceConfig& config)
+        : queue(config.queue_capacity, config.overflow,
+                [](const WalRecord& r) {
+                  return r.kind == WalRecordKind::kRating;
+                }),
+          shard(index, config) {}
+
+    IngestQueue<WalRecord> queue;
+    ServiceShard shard;
+    std::thread worker;
+  };
+
+  [[nodiscard]] std::string wal_path(std::size_t shard) const;
+  [[nodiscard]] std::string ckpt_path(std::size_t shard) const;
+  void write_meta() const;
+  void check_meta() const;
+  void recover();
+
+  void worker_loop(std::size_t index);
+  void run_shard_epoch(ShardSlot& slot);
+  void global_barrier(ShardSlot& slot, std::uint64_t seq);
+  /// The cross-shard epoch body; `live` gates wall-clock metrics and
+  /// checkpoint compaction (both skipped during recovery replay).
+  void run_global_epoch(std::uint64_t seq, bool live);
+  [[nodiscard]] core::DetectionReport global_detect() const;
+  void record_epoch_metrics(std::chrono::steady_clock::time_point start,
+                            std::size_t pairs);
+  void checkpoint_shard(ShardSlot& slot);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
+  bool recovered_ = false;
+  /// Cleared (from any worker) when a checkpoint attempt fails, so the
+  /// service degrades to WAL-only durability instead of retrying forever.
+  std::atomic<bool> checkpoints_enabled_{false};
+
+  // Router state (kGlobal cadence), guarded by route_mu_.
+  mutable std::mutex route_mu_;
+  std::uint64_t epoch_seq_ = 0;
+  std::uint64_t routed_since_epoch_ = 0;
+  rating::Tick global_last_epoch_tick_ = 0;
+
+  // Epoch barrier (kGlobal scope).
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t epoch_done_seq_ = 0;
+
+  // Lifecycle.
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> crashing_{false};
+
+  // Metrics.
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> routed_records_{0};
+  std::atomic<std::uint64_t> handled_records_{0};
+  std::atomic<std::uint64_t> detections_total_{0};
+  std::atomic<std::uint64_t> last_epoch_detections_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::uint64_t applied_base_ = 0;  ///< Applied count restored by recovery.
+  std::chrono::steady_clock::time_point start_time_;
+  mutable std::mutex latency_mu_;
+  std::vector<double> epoch_latency_ms_;
+
+  // Global-scope report log.
+  mutable std::mutex log_mu_;
+  std::string report_log_;
+};
+
+}  // namespace p2prep::service

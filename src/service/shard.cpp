@@ -1,0 +1,206 @@
+#include "service/shard.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/basic_detector.h"
+#include "core/optimized_detector.h"
+
+namespace p2prep::service {
+
+namespace {
+
+std::unique_ptr<core::CollusionDetector> make_detector(
+    DetectorKind kind, const core::DetectorConfig& config) {
+  if (kind == DetectorKind::kBasic)
+    return std::make_unique<core::BasicCollusionDetector>(config);
+  return std::make_unique<core::OptimizedCollusionDetector>(config);
+}
+
+}  // namespace
+
+std::string format_epoch_report(const std::string& label, std::uint64_t epoch,
+                                const core::DetectionReport& report) {
+  std::ostringstream os;
+  os << "epoch " << epoch << ' ' << label << ": pairs=" << report.pairs.size()
+     << " flagged=[";
+  const auto flagged = report.colluders();
+  for (std::size_t i = 0; i < flagged.size(); ++i) {
+    if (i) os << ' ';
+    os << flagged[i];
+  }
+  os << "]\n";
+  for (const auto& ev : report.pairs) os << "  " << ev.to_string() << '\n';
+  return os.str();
+}
+
+ServiceShard::ServiceShard(std::size_t index, const ServiceConfig& config)
+    : index_(index),
+      config_(&config),
+      engine_(config.num_nodes, config.engine_normalize),
+      manager_(std::make_unique<managers::IncrementalCentralizedManager>(
+          config.num_nodes, engine_, config.detector_config)),
+      detector_(make_detector(config.detector, config.detector_config)),
+      view_(std::make_shared<const ShardView>()) {}
+
+void ServiceShard::attach_wal(WalWriter writer) {
+  wal_.emplace(std::move(writer));
+  wal_records_.store(wal_->records(), std::memory_order_relaxed);
+  wal_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
+}
+
+void ServiceShard::log_record(const WalRecord& rec) {
+  if (!wal_) return;
+  wal_->append(rec);
+  wal_records_.store(wal_->records(), std::memory_order_relaxed);
+  wal_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
+}
+
+bool ServiceShard::apply_rating(const rating::Rating& r) {
+  if (!manager_->ingest(r)) return false;
+  applied_total_.fetch_add(1, std::memory_order_relaxed);
+  ++applied_since_epoch_;
+  last_applied_tick_ = r.time;
+  return true;
+}
+
+bool ServiceShard::epoch_due(rating::Tick now) const noexcept {
+  if (config_->epoch_ratings > 0 &&
+      applied_since_epoch_ >= config_->epoch_ratings)
+    return true;
+  if (config_->epoch_ticks > 0 &&
+      now >= last_epoch_tick_ + config_->epoch_ticks)
+    return true;
+  return false;
+}
+
+std::size_t ServiceShard::run_local_epoch() {
+  manager_->update_reputations();
+  const core::DetectionReport report =
+      manager_->run_detection(*detector_, config_->suppression);
+  const std::uint64_t epoch =
+      epochs_completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  applied_since_epoch_ = 0;
+  last_epoch_tick_ = last_applied_tick_;
+
+  std::string text;
+  if (config_->record_reports) {
+    text = format_epoch_report("shard " + std::to_string(index_), epoch,
+                               report);
+    append_report(text);
+  }
+  publish_view(epoch, report.colluders(), std::move(text));
+  return report.pairs.size();
+}
+
+void ServiceShard::finish_global_epoch(
+    std::uint64_t epoch_seq, const std::vector<rating::NodeId>& flagged,
+    const std::string& report_text) {
+  epochs_completed_.store(epoch_seq, std::memory_order_relaxed);
+  applied_since_epoch_ = 0;
+  last_epoch_tick_ = last_applied_tick_;
+  publish_view(epoch_seq, flagged, report_text);
+}
+
+void ServiceShard::publish_view(std::uint64_t epoch,
+                                std::vector<rating::NodeId> flagged,
+                                std::string report_text) {
+  auto view = std::make_shared<ShardView>();
+  view->epoch = epoch;
+  const auto reps = engine_.reputations();
+  view->reputations.assign(reps.begin(), reps.end());
+  view->reputations.resize(config_->num_nodes, 0.0);
+  view->suspected.assign(config_->num_nodes, 0);
+  for (rating::NodeId id : manager_->detected()) {
+    if (id < view->suspected.size()) view->suspected[id] = 1;
+  }
+  view->flagged_last_epoch = std::move(flagged);
+  view->last_report = std::move(report_text);
+
+  const std::lock_guard lock(view_mu_);
+  view_ = std::move(view);
+}
+
+std::shared_ptr<const ShardView> ServiceShard::view() const {
+  const std::lock_guard lock(view_mu_);
+  return view_;
+}
+
+void ServiceShard::append_report(const std::string& text) {
+  const std::lock_guard lock(log_mu_);
+  report_log_ += text;
+}
+
+std::string ServiceShard::report_log() const {
+  const std::lock_guard lock(log_mu_);
+  return report_log_;
+}
+
+std::optional<ShardCheckpoint> ServiceShard::make_checkpoint() const {
+  ShardCheckpoint ckpt;
+  std::ostringstream blob;
+  if (!engine_.save_state(blob)) return std::nullopt;
+  ckpt.engine_blob = blob.str();
+
+  ckpt.wal_generation = wal_ ? wal_->generation() : 0;
+  ckpt.wal_records_applied = wal_ ? wal_->records() : 0;
+  ckpt.epochs_completed = epochs_completed_.load(std::memory_order_relaxed);
+  ckpt.applied_total = applied_total_.load(std::memory_order_relaxed);
+  ckpt.applied_since_epoch = applied_since_epoch_;
+  ckpt.last_epoch_tick = last_epoch_tick_;
+
+  ckpt.suppressed.assign(engine_.suppressed_set().begin(),
+                         engine_.suppressed_set().end());
+  std::sort(ckpt.suppressed.begin(), ckpt.suppressed.end());
+  ckpt.detected.assign(manager_->detected().begin(),
+                       manager_->detected().end());
+  std::sort(ckpt.detected.begin(), ckpt.detected.end());
+
+  const auto& matrix = manager_->matrix();
+  for (rating::NodeId i = 0; i < matrix.size(); ++i) {
+    if (matrix.totals(i).total == 0) continue;
+    const auto row = matrix.row(i);
+    for (rating::NodeId k = 0; k < row.size(); ++k) {
+      if (row[k].total > 0) ckpt.cells.push_back({i, k, row[k]});
+    }
+  }
+  return ckpt;
+}
+
+bool ServiceShard::checkpoint_and_rotate(const std::string& ckpt_path) {
+  const auto ckpt = make_checkpoint();
+  if (!ckpt) return false;
+  if (!write_checkpoint(ckpt_path, *ckpt)) return false;
+  if (wal_) {
+    wal_->rotate();
+    wal_records_.store(wal_->records(), std::memory_order_relaxed);
+    wal_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ServiceShard::restore(const ShardCheckpoint& ckpt) {
+  if (!ckpt.engine_blob.empty()) {
+    std::istringstream blob(ckpt.engine_blob);
+    if (!engine_.load_state(blob))
+      throw std::runtime_error("shard restore: malformed engine state");
+  }
+  engine_.restore_suppressed(ckpt.suppressed);
+  manager_->restore_detected(ckpt.detected);
+  for (const CheckpointCell& cell : ckpt.cells) {
+    manager_->restore_window_cell(cell.ratee, cell.rater, cell.stats);
+  }
+  applied_total_.store(ckpt.applied_total, std::memory_order_relaxed);
+  applied_since_epoch_ = ckpt.applied_since_epoch;
+  last_epoch_tick_ = ckpt.last_epoch_tick;
+  last_applied_tick_ = ckpt.last_epoch_tick;
+  epochs_completed_.store(ckpt.epochs_completed, std::memory_order_relaxed);
+
+  // Republish: engine epoch re-derives the published vector (idempotent
+  // for the summation engine) and refreshes the matrix reputation column.
+  manager_->update_reputations();
+  publish_view(ckpt.epochs_completed, {}, std::string());
+}
+
+}  // namespace p2prep::service

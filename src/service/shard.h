@@ -1,0 +1,211 @@
+// One shard of the online reputation service: an IncrementalCentralizedManager
+// plus its SummationEngine, detector, WAL writer, epoch counters and the
+// published read view. Shards own disjoint ratee partitions (ratee id
+// consistent-hashed with dht::hash_node modulo shard count), so every
+// quantity detection needs about node i — its matrix row, window totals,
+// engine reputation — lives wholly inside shard_of(i). The shard's worker
+// thread (owned by ReputationService) is the only mutator; readers go
+// through the immutable ShardView snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/detector.h"
+#include "managers/centralized.h"
+#include "managers/incremental.h"
+#include "reputation/summation.h"
+#include "service/ingest_queue.h"
+#include "service/wal.h"
+
+namespace p2prep::service {
+
+enum class DetectorKind { kBasic, kOptimized };
+
+/// Which state an epoch freezes and detects over.
+enum class EpochScope {
+  /// Epoch markers are injected into every shard queue; workers barrier on
+  /// them and the last arriver runs one detection sweep across all shards'
+  /// frozen state. Catches colluding pairs that span shards; epochs are
+  /// totally ordered service-wide.
+  kGlobal,
+  /// Each shard runs epochs on its own cadence over its own partition.
+  /// Detection is shard-local (a pair spanning two shards is never
+  /// mutually checked), but shards never wait for each other — the
+  /// throughput configuration.
+  kPerShard,
+};
+
+struct ServiceConfig {
+  std::size_t num_nodes = 0;
+  std::size_t num_shards = 1;
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+
+  EpochScope epoch_scope = EpochScope::kGlobal;
+  /// Rating-count epoch trigger: total accepted ratings (kGlobal) or
+  /// per-shard applied ratings (kPerShard). 0 disables.
+  std::uint64_t epoch_ratings = 1024;
+  /// Virtual-time epoch trigger: an epoch fires when an ingested rating's
+  /// tick is >= last epoch tick + epoch_ticks. 0 disables.
+  std::uint64_t epoch_ticks = 0;
+
+  DetectorKind detector = DetectorKind::kOptimized;
+  core::DetectorConfig detector_config{};
+  managers::CentralizedManager::SuppressionMode suppression =
+      managers::CentralizedManager::SuppressionMode::kReset;
+  /// SummationEngine publication mode. The default (false) publishes raw
+  /// sums, which are meaningful per shard; normalized values would only
+  /// be comparable within a shard's partition anyway.
+  bool engine_normalize = false;
+  /// Keep per-epoch detection report text (report_log()).
+  bool record_reports = true;
+
+  /// Directory for WAL + checkpoint files; empty disables durability.
+  std::string wal_dir;
+  /// Compact (checkpoint + WAL rotate) every N epochs; 0 = never.
+  std::uint64_t checkpoint_every_epochs = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return num_nodes >= 2 && num_shards >= 1 && queue_capacity >= 1 &&
+           (epoch_ratings > 0 || epoch_ticks > 0) && detector_config.valid();
+  }
+};
+
+/// Immutable published state of one shard; swapped wholesale at epoch end
+/// so readers never observe a half-updated epoch.
+struct ShardView {
+  std::uint64_t epoch = 0;
+  /// Engine-published reputations (full node range; entries for nodes the
+  /// shard does not own are 0 — consult their owner's view).
+  std::vector<double> reputations;
+  /// Bitmap of nodes this shard has ever flagged as colluders.
+  std::vector<std::uint8_t> suspected;
+  /// Nodes newly implicated in the last epoch, ascending.
+  std::vector<rating::NodeId> flagged_last_epoch;
+  /// Detection report text of the last epoch (empty if record_reports off).
+  std::string last_report;
+};
+
+/// Deterministic detection-report text: header line with epoch number,
+/// source label ("shard k" / "global") and flagged ids, then one evidence
+/// line per pair. Byte-stable across runs — the recovery tests compare it.
+[[nodiscard]] std::string format_epoch_report(
+    const std::string& label, std::uint64_t epoch,
+    const core::DetectionReport& report);
+
+class ServiceShard {
+ public:
+  ServiceShard(std::size_t index, const ServiceConfig& config);
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  // --- Durability ---
+  void attach_wal(WalWriter writer);
+  [[nodiscard]] bool wal_attached() const noexcept {
+    return wal_.has_value();
+  }
+  /// Appends to the WAL (no-op when detached) and updates WAL metrics.
+  void log_record(const WalRecord& rec);
+
+  /// Builds a checkpoint of the full shard state; nullopt when the engine
+  /// cannot serialize itself (checkpointing then stays disabled).
+  [[nodiscard]] std::optional<ShardCheckpoint> make_checkpoint() const;
+  /// Atomically writes the checkpoint and rotates the WAL. Returns false
+  /// (leaving the WAL unrotated) when either step fails.
+  bool checkpoint_and_rotate(const std::string& ckpt_path);
+  /// Restores state from a checkpoint (fresh shard only), republishes the
+  /// engine view and the read snapshot.
+  void restore(const ShardCheckpoint& ckpt);
+
+  // --- Ingest path (worker thread only) ---
+  /// Applies one rating to the manager + engine. Returns false when the
+  /// manager rejected it (cannot happen for ratings that passed service
+  /// validation).
+  bool apply_rating(const rating::Rating& r);
+  /// Per-shard cadence check, evaluated after each applied rating.
+  [[nodiscard]] bool epoch_due(rating::Tick now) const noexcept;
+  /// Runs one shard-local epoch: engine update, detection, suppression,
+  /// view publication. Returns the number of flagged pairs.
+  std::size_t run_local_epoch();
+
+  // --- Hooks for service-driven (global) epochs ---
+  [[nodiscard]] managers::IncrementalCentralizedManager& manager() noexcept {
+    return *manager_;
+  }
+  [[nodiscard]] const managers::IncrementalCentralizedManager& manager()
+      const noexcept {
+    return *manager_;
+  }
+  [[nodiscard]] reputation::ReputationEngine& engine() noexcept {
+    return engine_;
+  }
+  /// Closes an epoch driven by the service (global scope): bumps counters
+  /// and publishes the view with the given epoch number / report text.
+  void finish_global_epoch(std::uint64_t epoch_seq,
+                           const std::vector<rating::NodeId>& flagged,
+                           const std::string& report_text);
+
+  // --- Read side ---
+  [[nodiscard]] std::shared_ptr<const ShardView> view() const;
+  [[nodiscard]] std::string report_log() const;
+
+  // --- Counters (atomic: read by metrics() from any thread) ---
+  [[nodiscard]] std::uint64_t applied_total() const noexcept {
+    return applied_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t epochs_completed() const noexcept {
+    return epochs_completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wal_records() const noexcept {
+    return wal_records_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wal_bytes() const noexcept {
+    return wal_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wal_generation() const noexcept {
+    return wal_ ? wal_->generation() : 0;
+  }
+  [[nodiscard]] std::uint64_t wal_records_written() const noexcept {
+    return wal_ ? wal_->records() : 0;
+  }
+
+ private:
+  void publish_view(std::uint64_t epoch,
+                    std::vector<rating::NodeId> flagged,
+                    std::string report_text);
+  void append_report(const std::string& text);
+
+  std::size_t index_;
+  const ServiceConfig* config_;
+  reputation::SummationEngine engine_;
+  std::unique_ptr<managers::IncrementalCentralizedManager> manager_;
+  std::unique_ptr<core::CollusionDetector> detector_;
+  std::optional<WalWriter> wal_;
+
+  // Worker-thread state (global-epoch access happens while workers are
+  // parked at the barrier, so no locking is needed beyond the atomics).
+  std::atomic<std::uint64_t> applied_total_{0};
+  std::uint64_t applied_since_epoch_ = 0;
+  rating::Tick last_epoch_tick_ = 0;
+  rating::Tick last_applied_tick_ = 0;
+  std::atomic<std::uint64_t> epochs_completed_{0};
+  std::atomic<std::uint64_t> wal_records_{0};
+  std::atomic<std::uint64_t> wal_bytes_{0};
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ShardView> view_;
+
+  mutable std::mutex log_mu_;
+  std::string report_log_;
+
+  friend class ReputationService;
+};
+
+}  // namespace p2prep::service

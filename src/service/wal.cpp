@@ -1,0 +1,335 @@
+#include "service/wal.h"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace p2prep::service {
+
+namespace {
+
+constexpr std::array<char, 8> kWalMagic = {'P', '2', 'P', 'W',
+                                           'A', 'L', '1', '\0'};
+constexpr std::array<char, 8> kCkptMagic = {'P', '2', 'P', 'C',
+                                            'K', 'P', 'T', '1'};
+constexpr std::size_t kHeaderBytes = 16;  // magic + u64 generation
+constexpr std::size_t kFrameBytes = 8;    // u32 len + u32 crc
+
+// --- Little-endian encoding into / out of byte strings ---
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// Sequential reader over a byte string; get_* return false on underrun.
+struct Cursor {
+  const std::string& data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool get_u8(std::uint8_t& v) {
+    if (pos + 1 > data.size()) return false;
+    v = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+  [[nodiscard]] bool get_u32(std::uint32_t& v) {
+    if (pos + 4 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 4;
+    return true;
+  }
+  [[nodiscard]] bool get_u64(std::uint64_t& v) {
+    if (pos + 8 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 8;
+    return true;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos == data.size(); }
+};
+
+std::string encode_payload(const WalRecord& rec) {
+  std::string payload;
+  put_u8(payload, static_cast<std::uint8_t>(rec.kind));
+  if (rec.kind == WalRecordKind::kRating) {
+    put_u32(payload, rec.rating.rater);
+    put_u32(payload, rec.rating.ratee);
+    put_u8(payload,
+           static_cast<std::uint8_t>(rating::score_value(rec.rating.score) + 1));
+    put_u64(payload, rec.rating.time);
+  } else {
+    put_u64(payload, rec.epoch_seq);
+  }
+  return payload;
+}
+
+bool decode_payload(const std::string& payload, WalRecord& rec) {
+  Cursor c{payload};
+  std::uint8_t kind = 0;
+  if (!c.get_u8(kind)) return false;
+  if (kind == static_cast<std::uint8_t>(WalRecordKind::kRating)) {
+    rec.kind = WalRecordKind::kRating;
+    std::uint8_t biased_score = 0;
+    if (!c.get_u32(rec.rating.rater) || !c.get_u32(rec.rating.ratee) ||
+        !c.get_u8(biased_score) || !c.get_u64(rec.rating.time))
+      return false;
+    if (biased_score > 2) return false;
+    rec.rating.score = static_cast<rating::Score>(
+        static_cast<int>(biased_score) - 1);
+  } else if (kind == static_cast<std::uint8_t>(WalRecordKind::kEpochMarker)) {
+    rec.kind = WalRecordKind::kEpochMarker;
+    if (!c.get_u64(rec.epoch_seq)) return false;
+  } else {
+    return false;
+  }
+  return c.done();
+}
+
+std::string encode_frame(const WalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+std::string encode_header(std::uint64_t generation) {
+  std::string header(kWalMagic.begin(), kWalMagic.end());
+  put_u64(header, generation);
+  return header;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  // Table generated on first use (polynomial 0xEDB88320, reflected).
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+WalWriter WalWriter::create(const std::string& path,
+                            std::uint64_t generation) {
+  WalWriter w;
+  w.path_ = path;
+  w.generation_ = generation;
+  w.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!w.out_) throw std::runtime_error("wal: cannot create " + path);
+  const std::string header = encode_header(generation);
+  w.out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  w.out_.flush();
+  w.bytes_ = header.size();
+  return w;
+}
+
+WalWriter WalWriter::resume(const std::string& path, std::uint64_t generation,
+                            std::uint64_t valid_bytes,
+                            std::uint64_t valid_records) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("wal: cannot stat " + path);
+  if (size > valid_bytes) {
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) throw std::runtime_error("wal: cannot truncate " + path);
+  }
+  WalWriter w;
+  w.path_ = path;
+  w.generation_ = generation;
+  w.records_ = valid_records;
+  w.bytes_ = valid_bytes;
+  w.out_.open(path, std::ios::binary | std::ios::app);
+  if (!w.out_) throw std::runtime_error("wal: cannot reopen " + path);
+  return w;
+}
+
+void WalWriter::append(const WalRecord& rec) {
+  const std::string frame = encode_frame(rec);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error("wal: write failed on " + path_);
+  ++records_;
+  bytes_ += frame.size();
+}
+
+void WalWriter::rotate() {
+  out_.close();
+  ++generation_;
+  records_ = 0;
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("wal: cannot rotate " + path_);
+  const std::string header = encode_header(generation_);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.flush();
+  bytes_ = header.size();
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < kHeaderBytes ||
+      !std::equal(kWalMagic.begin(), kWalMagic.end(), content.begin()))
+    return result;
+
+  Cursor c{content, kWalMagic.size()};
+  if (!c.get_u64(result.generation)) return result;
+  result.found = true;
+  result.valid_bytes = kHeaderBytes;
+
+  while (!c.done()) {
+    std::uint32_t len = 0, crc = 0;
+    if (!c.get_u32(len) || !c.get_u32(crc) || c.pos + len > content.size()) {
+      result.truncated_tail = true;
+      break;
+    }
+    const std::string payload = content.substr(c.pos, len);
+    if (crc32(payload.data(), payload.size()) != crc) {
+      result.truncated_tail = true;
+      break;
+    }
+    WalRecord rec;
+    if (!decode_payload(payload, rec)) {
+      result.truncated_tail = true;
+      break;
+    }
+    c.pos += len;
+    result.records.push_back(rec);
+    result.end_offsets.push_back(c.pos);
+    result.valid_bytes = c.pos;
+  }
+  return result;
+}
+
+bool write_checkpoint(const std::string& path, const ShardCheckpoint& ckpt) {
+  std::string payload;
+  put_u64(payload, ckpt.wal_generation);
+  put_u64(payload, ckpt.wal_records_applied);
+  put_u64(payload, ckpt.epochs_completed);
+  put_u64(payload, ckpt.applied_total);
+  put_u64(payload, ckpt.applied_since_epoch);
+  put_u64(payload, ckpt.last_epoch_tick);
+  put_u32(payload, static_cast<std::uint32_t>(ckpt.engine_blob.size()));
+  payload += ckpt.engine_blob;
+  put_u32(payload, static_cast<std::uint32_t>(ckpt.suppressed.size()));
+  for (rating::NodeId id : ckpt.suppressed) put_u32(payload, id);
+  put_u32(payload, static_cast<std::uint32_t>(ckpt.detected.size()));
+  for (rating::NodeId id : ckpt.detected) put_u32(payload, id);
+  put_u64(payload, ckpt.cells.size());
+  for (const CheckpointCell& cell : ckpt.cells) {
+    put_u32(payload, cell.ratee);
+    put_u32(payload, cell.rater);
+    put_u32(payload, cell.stats.total);
+    put_u32(payload, cell.stats.positive);
+    put_u32(payload, cell.stats.negative);
+  }
+
+  std::string blob(kCkptMagic.begin(), kCkptMagic.end());
+  put_u32(blob, static_cast<std::uint32_t>(payload.size()));
+  put_u32(blob, crc32(payload.data(), payload.size()));
+  blob += payload;
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<ShardCheckpoint> read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < kCkptMagic.size() + kFrameBytes ||
+      !std::equal(kCkptMagic.begin(), kCkptMagic.end(), content.begin()))
+    return std::nullopt;
+
+  Cursor header{content, kCkptMagic.size()};
+  std::uint32_t len = 0, crc = 0;
+  if (!header.get_u32(len) || !header.get_u32(crc) ||
+      header.pos + len != content.size())
+    return std::nullopt;
+  const std::string payload = content.substr(header.pos, len);
+  if (crc32(payload.data(), payload.size()) != crc) return std::nullopt;
+
+  ShardCheckpoint ckpt;
+  Cursor c{payload};
+  std::uint32_t blob_len = 0;
+  if (!c.get_u64(ckpt.wal_generation) ||
+      !c.get_u64(ckpt.wal_records_applied) ||
+      !c.get_u64(ckpt.epochs_completed) || !c.get_u64(ckpt.applied_total) ||
+      !c.get_u64(ckpt.applied_since_epoch) ||
+      !c.get_u64(ckpt.last_epoch_tick) || !c.get_u32(blob_len) ||
+      c.pos + blob_len > payload.size())
+    return std::nullopt;
+  ckpt.engine_blob = payload.substr(c.pos, blob_len);
+  c.pos += blob_len;
+
+  std::uint32_t count = 0;
+  if (!c.get_u32(count)) return std::nullopt;
+  ckpt.suppressed.resize(count);
+  for (auto& id : ckpt.suppressed)
+    if (!c.get_u32(id)) return std::nullopt;
+  if (!c.get_u32(count)) return std::nullopt;
+  ckpt.detected.resize(count);
+  for (auto& id : ckpt.detected)
+    if (!c.get_u32(id)) return std::nullopt;
+
+  std::uint64_t cell_count = 0;
+  if (!c.get_u64(cell_count)) return std::nullopt;
+  ckpt.cells.resize(cell_count);
+  for (auto& cell : ckpt.cells) {
+    if (!c.get_u32(cell.ratee) || !c.get_u32(cell.rater) ||
+        !c.get_u32(cell.stats.total) || !c.get_u32(cell.stats.positive) ||
+        !c.get_u32(cell.stats.negative))
+      return std::nullopt;
+  }
+  if (!c.done()) return std::nullopt;
+  return ckpt;
+}
+
+}  // namespace p2prep::service

@@ -1,0 +1,153 @@
+// Durable ingest for the reputation service: a per-shard append-only
+// write-ahead log of the *applied* rating stream, plus snapshot
+// checkpoints for compaction (DESIGN.md "Service layer").
+//
+// WAL file layout (all integers little-endian, host-order independent):
+//
+//   header:  8-byte magic "P2PWAL1\0" | u64 generation
+//   record:  u32 payload_len | u32 crc32(payload) | payload
+//   payload: u8 kind | kind-specific fields
+//     kRating      — u32 rater | u32 ratee | u8 score(+1 bias) | u64 tick
+//     kEpochMarker — u64 epoch_seq
+//
+// The shard worker appends each record immediately before applying it, so
+// replaying the log reproduces the shard's state transition sequence
+// exactly — including epoch boundaries, which are logged as markers. A
+// torn tail (crash mid-write) fails its CRC or length check; readers keep
+// the valid prefix and report the cut so recovery can truncate before
+// appending again.
+//
+// Compaction: a checkpoint file captures the shard's full state together
+// with (wal_generation, wal_records_applied); the WAL is then rotated
+// (truncated, generation + 1). The generation number resolves every
+// crash window: records in a WAL whose generation matches the checkpoint
+// are skipped up to wal_records_applied, records in a younger-generation
+// WAL are all post-checkpoint, and a WAL older than its checkpoint is
+// corruption. Checkpoints are written to a temp file and renamed so a
+// crash never leaves a half-written snapshot in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rating/pair_stats.h"
+#include "rating/types.h"
+
+namespace p2prep::service {
+
+/// CRC-32 (IEEE 802.3, reflected) over `len` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len) noexcept;
+
+enum class WalRecordKind : std::uint8_t {
+  kRating = 1,
+  kEpochMarker = 2,
+};
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kRating;
+  rating::Rating rating{};       ///< Valid when kind == kRating.
+  std::uint64_t epoch_seq = 0;   ///< Valid when kind == kEpochMarker.
+
+  static WalRecord make_rating(const rating::Rating& r) {
+    WalRecord rec;
+    rec.kind = WalRecordKind::kRating;
+    rec.rating = r;
+    return rec;
+  }
+  static WalRecord make_marker(std::uint64_t seq) {
+    WalRecord rec;
+    rec.kind = WalRecordKind::kEpochMarker;
+    rec.epoch_seq = seq;
+    return rec;
+  }
+};
+
+class WalWriter {
+ public:
+  /// Creates (or truncates) a WAL file starting at `generation`.
+  static WalWriter create(const std::string& path, std::uint64_t generation);
+
+  /// Reopens a WAL for appending after recovery. `valid_bytes` /
+  /// `valid_records` come from read_wal(); any bytes beyond `valid_bytes`
+  /// (torn tail, or markers recovery chose to discard) are truncated away
+  /// first. Throws std::runtime_error if the file cannot be opened.
+  static WalWriter resume(const std::string& path, std::uint64_t generation,
+                          std::uint64_t valid_bytes,
+                          std::uint64_t valid_records);
+
+  /// Appends one record and flushes it to the OS.
+  void append(const WalRecord& rec);
+
+  /// Truncates the file and starts generation + 1 (post-checkpoint).
+  void rotate();
+
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  /// Records present in the current-generation file.
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  /// Bytes in the current-generation file (header included).
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  WalWriter() = default;
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+struct WalReadResult {
+  bool found = false;            ///< File existed and had a valid header.
+  bool truncated_tail = false;   ///< A torn/corrupt suffix was discarded.
+  std::uint64_t generation = 0;
+  std::vector<WalRecord> records;
+  /// Byte offset just past record [i]; end_offsets.size() == records.size().
+  std::vector<std::uint64_t> end_offsets;
+  /// Bytes of the valid prefix (header + intact records).
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Reads every intact record; stops at the first bad frame.
+[[nodiscard]] WalReadResult read_wal(const std::string& path);
+
+// --- Shard checkpoints -----------------------------------------------------
+
+/// One non-empty window cell of the shard's rating matrix.
+struct CheckpointCell {
+  rating::NodeId ratee = 0;
+  rating::NodeId rater = 0;
+  rating::PairStats stats;
+};
+
+/// Full recoverable state of one shard at an epoch boundary.
+struct ShardCheckpoint {
+  std::uint64_t wal_generation = 0;
+  std::uint64_t wal_records_applied = 0;  ///< Of that generation, consumed.
+  std::uint64_t epochs_completed = 0;
+  std::uint64_t applied_total = 0;
+  std::uint64_t applied_since_epoch = 0;
+  std::uint64_t last_epoch_tick = 0;
+  std::string engine_blob;                ///< ReputationEngine::save_state.
+  std::vector<rating::NodeId> suppressed; ///< Sorted ascending.
+  std::vector<rating::NodeId> detected;   ///< Sorted ascending.
+  std::vector<CheckpointCell> cells;      ///< Row-major, deterministic order.
+};
+
+/// Serializes `ckpt` to `path` atomically (temp file + rename). Returns
+/// false on I/O failure (the previous checkpoint, if any, is preserved).
+[[nodiscard]] bool write_checkpoint(const std::string& path,
+                                    const ShardCheckpoint& ckpt);
+
+/// Loads a checkpoint; nullopt when missing or malformed (CRC mismatch).
+[[nodiscard]] std::optional<ShardCheckpoint> read_checkpoint(
+    const std::string& path);
+
+}  // namespace p2prep::service

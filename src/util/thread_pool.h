@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,12 +32,16 @@ class ThreadPool {
   /// Enqueues a task; it may run on any worker at any later point.
   void submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished.
+  /// Blocks until every task submitted so far has finished. If any task
+  /// threw, rethrows the first captured exception (and clears it, leaving
+  /// the pool usable); further exceptions from the same batch are dropped.
   void wait_idle();
 
   /// Runs fn(i) for i in [begin, end), split into `size()*4` chunks and
   /// executed on the pool. Blocks until complete. fn must be safe to call
-  /// concurrently for distinct i.
+  /// concurrently for distinct i. Rethrows the first exception any chunk
+  /// threw (after all chunks finished); remaining indices of a throwing
+  /// chunk are skipped.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -56,6 +61,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first exception thrown by any task
 };
 
 /// Serial fallback with the same signature as ThreadPool::parallel_for, used

@@ -55,6 +55,47 @@ TEST(EventQueueTest, PastSchedulingClampsToNow) {
   EXPECT_EQ(fired_at, 5.0);
 }
 
+TEST(EventQueueTest, PastClampKeepsFifoOrderWithPresentEvents) {
+  // Two events clamped to now() must still fire in scheduling order,
+  // interleaved correctly with an event genuinely scheduled at now().
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] {
+    q.schedule(0.5, [&] { order.push_back(1); });  // clamped to 2.0
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(1.0, [&] { order.push_back(3); });  // clamped to 2.0
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleInNegativeDelayClampsToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule(4.0, [&] {
+    q.schedule_in(-3.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 4.0);
+}
+
+TEST(EventQueueTest, RunUntilBoundaryIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockEvenWhenIdle) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(7.5), 0u);
+  EXPECT_EQ(q.now(), 7.5);
+  // A later run_until with an earlier bound must not move time backwards.
+  EXPECT_EQ(q.run_until(3.0), 0u);
+  EXPECT_EQ(q.now(), 7.5);
+}
+
 TEST(EventQueueTest, RunUntilLeavesLaterEvents) {
   EventQueue q;
   int fired = 0;

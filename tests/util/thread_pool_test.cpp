@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace p2prep::util {
@@ -93,6 +95,61 @@ TEST(SerialForTest, MatchesParallelSemantics) {
   serial_for(10, 40, [&hits](std::size_t i) { ++hits[i]; });
   for (std::size_t i = 0; i < 50; ++i)
     EXPECT_EQ(hits[i], (i >= 10 && i < 40) ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionPropagatesThroughWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [](std::size_t i) {
+                                   if (i == 500) throw std::logic_error("mid");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error slot is cleared: a clean batch completes normally.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 100, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+  pool.wait_idle();  // no stale exception left behind
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] {
+      ++ran;
+      throw std::runtime_error("each task throws");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+  pool.wait_idle();  // later exceptions were dropped, not queued
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmissionFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(8);
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 500; ++i) pool.submit([&counter] { ++counter; });
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 8 * 500);
 }
 
 TEST(ThreadPoolTest, DestructionWithPendingTasksCompletes) {
