@@ -67,13 +67,13 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
     epochs = m.epochs_completed;
     svc.stop();
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * ratings.size()));
+  const std::uint64_t total_ratings =
+      static_cast<std::uint64_t>(state.iterations()) * ratings.size();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_ratings));
   state.counters["epochs"] = static_cast<double>(epochs);
   state.counters["epoch_p99_ms"] = latency_p99_ms;
   state.counters["ratings_per_sec"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * ratings.size()),
-      benchmark::Counter::kIsRate);
+      static_cast<double>(total_ratings), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServiceIngestThroughput)
     ->Arg(1)

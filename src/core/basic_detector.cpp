@@ -1,10 +1,10 @@
 #include "core/basic_detector.h"
 
 #include <cassert>
-#include <mutex>
 #include <vector>
 
 #include "core/accomplice.h"
+#include "util/mutex.h"
 
 namespace p2prep::core {
 
@@ -158,11 +158,11 @@ DetectionReport BasicCollusionDetector::detect(
     // Parallel sweep: workers own disjoint row ranges and local reports.
     // Pair marks are not shared across workers (a pair spanning two ranges
     // may be examined twice); duplicates are removed by canonicalize().
-    std::mutex mu;
+    util::Mutex mu;
     pool_->parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
       DetectionReport local;
       detect_rows(matrix, lo, hi, nullptr, local);
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       report.cost += local.cost;
       report.pairs.insert(report.pairs.end(), local.pairs.begin(),
                           local.pairs.end());

@@ -1,10 +1,9 @@
 #include "core/optimized_detector.h"
 
-#include <mutex>
-
 #include "core/accomplice.h"
 #include "core/formula.h"
 #include "core/predicates.h"
+#include "util/mutex.h"
 
 namespace p2prep::core {
 
@@ -108,11 +107,11 @@ DetectionReport OptimizedCollusionDetector::detect(
   if (pool_ == nullptr || n < 64) {
     detect_rows(matrix, 0, n, report);
   } else {
-    std::mutex mu;
+    util::Mutex mu;
     pool_->parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
       DetectionReport local;
       detect_rows(matrix, lo, hi, local);
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       report.cost += local.cost;
       report.pairs.insert(report.pairs.end(), local.pairs.begin(),
                           local.pairs.end());

@@ -15,14 +15,15 @@
 // barrier would hang.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::service {
 
@@ -54,23 +55,23 @@ class IngestQueue {
   /// first (counted in dropped()); if nothing is evictable the queue
   /// grows past capacity rather than lose the new element.
   bool push(T value) {
-    std::unique_lock lock(mu_);
-    if (policy_ == OverflowPolicy::kBlock) {
-      not_full_.wait(lock,
-                     [this] { return closed_ || items_.size() < capacity_; });
-      if (closed_) return false;
-    } else if (items_.size() >= capacity_) {
-      for (auto it = items_.begin(); it != items_.end(); ++it) {
-        if (!evictable_ || evictable_(*it)) {
-          items_.erase(it);
-          ++dropped_;
-          break;
+    {
+      util::MutexLock lock(mu_);
+      if (policy_ == OverflowPolicy::kBlock) {
+        while (!closed_ && items_.size() >= capacity_) not_full_.wait(mu_);
+        if (closed_) return false;
+      } else if (items_.size() >= capacity_) {
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+          if (!evictable_ || evictable_(*it)) {
+            items_.erase(it);
+            ++dropped_;
+            break;
+          }
         }
       }
+      if (closed_) return false;
+      items_.push_back(std::move(value));
     }
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
@@ -79,7 +80,7 @@ class IngestQueue {
   /// Never blocks and never causes an eviction.
   bool push_forced(T value) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(value));
     }
@@ -90,12 +91,14 @@ class IngestQueue {
   /// Blocks until an element is available or the queue is closed and
   /// drained; nullopt means no element will ever come again.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> value;
+    {
+      util::MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
@@ -103,7 +106,7 @@ class IngestQueue {
   /// Stops accepting pushes; queued elements remain poppable (drain).
   void close() {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -113,7 +116,7 @@ class IngestQueue {
   /// Crash path: discards everything queued, then closes.
   void purge_and_close() {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       items_.clear();
       closed_ = true;
     }
@@ -122,15 +125,15 @@ class IngestQueue {
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] std::uint64_t dropped() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return dropped_;
   }
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -140,12 +143,12 @@ class IngestQueue {
   const OverflowPolicy policy_;
   const Evictable evictable_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::uint64_t dropped_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ P2PREP_GUARDED_BY(mu_);
+  std::uint64_t dropped_ P2PREP_GUARDED_BY(mu_) = 0;
+  bool closed_ P2PREP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace p2prep::service

@@ -121,6 +121,13 @@ void ReputationService::recover() {
   };
   std::vector<ShardRecovery> shards(slots_.size());
 
+  // Replay runs before the workers are spawned, so it accumulates the
+  // router/barrier state in locals and publishes it under the proper
+  // locks at the end — keeping the thread-safety contracts checkable.
+  std::uint64_t max_epoch = 0;
+  rating::Tick last_epoch_tick = 0;
+  std::uint64_t since_epoch = 0;
+
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     auto& r = shards[s];
     const auto ckpt = read_checkpoint(ckpt_path(s));
@@ -147,9 +154,8 @@ void ReputationService::recover() {
         r.wal.found ? r.wal.generation : (ckpt ? ckpt->wal_generation : 0);
     r.keep_bytes = r.wal.found ? r.wal.valid_bytes : kWalHeaderBytes;
     r.keep_records = r.wal.records.size();
-    epoch_seq_ = std::max(epoch_seq_, slots_[s]->shard.epochs_completed());
+    max_epoch = std::max(max_epoch, slots_[s]->shard.epochs_completed());
   }
-  epoch_done_seq_ = epoch_seq_;
 
   rating::Tick max_tick = 0;
   if (config_.epoch_scope == EpochScope::kPerShard) {
@@ -186,9 +192,8 @@ void ReputationService::recover() {
               "service recover: shards disagree on epoch marker sequence");
       }
       run_global_epoch(seq, /*live=*/false);
-      epoch_seq_ = std::max(epoch_seq_, seq);
-      epoch_done_seq_ = epoch_seq_;
-      global_last_epoch_tick_ = max_tick;
+      max_epoch = std::max(max_epoch, seq);
+      last_epoch_tick = max_tick;
       for (auto& r : shards) ++r.pos;
     }
 
@@ -206,10 +211,19 @@ void ReputationService::recover() {
           r.pos > 0 ? r.wal.end_offsets[r.pos - 1] : kWalHeaderBytes;
     }
 
-    std::uint64_t since_epoch = 0;
     for (const auto& slot : slots_)
       since_epoch += slot->shard.applied_since_epoch_;
+  }
+
+  {
+    const util::MutexLock lock(route_mu_);
+    epoch_seq_ = max_epoch;
+    global_last_epoch_tick_ = last_epoch_tick;
     routed_since_epoch_ = since_epoch;
+  }
+  {
+    const util::MutexLock lock(epoch_mu_);
+    epoch_done_seq_ = max_epoch;
   }
 
   for (std::size_t s = 0; s < slots_.size(); ++s) {
@@ -243,7 +257,7 @@ bool ReputationService::ingest(const rating::Rating& r) {
 
   // Global scope: the router owns the epoch cadence, so the rating push
   // and any marker injection must be one atomic routing step.
-  const std::lock_guard lock(route_mu_);
+  const util::MutexLock lock(route_mu_);
   if (!slots_[s]->queue.push(rec)) return false;
   accepted_.fetch_add(1, std::memory_order_relaxed);
   routed_records_.fetch_add(1, std::memory_order_relaxed);
@@ -267,7 +281,7 @@ bool ReputationService::ingest(const rating::Rating& r) {
 }
 
 std::uint64_t ReputationService::force_epoch() {
-  const std::lock_guard lock(route_mu_);
+  const util::MutexLock lock(route_mu_);
   const std::uint64_t seq = ++epoch_seq_;
   for (auto& slot : slots_) {
     if (slot->queue.push_forced(WalRecord::make_marker(seq)))
@@ -281,7 +295,7 @@ void ReputationService::drain() {
   for (;;) {
     bool barrier_busy = false;
     {
-      const std::lock_guard lock(epoch_mu_);
+      const util::MutexLock lock(epoch_mu_);
       barrier_busy = arrived_ != 0;
     }
     std::uint64_t dropped = 0;
@@ -312,7 +326,9 @@ void ReputationService::crash_stop() {
   crashing_.store(true);
   for (auto& slot : slots_) slot->queue.purge_and_close();
   {
-    const std::lock_guard lock(epoch_mu_);
+    // Fence: any worker past the crashing_ check inside the barrier wait
+    // re-evaluates after this lock/notify pair.
+    const util::MutexLock lock(epoch_mu_);
   }
   epoch_cv_.notify_all();
   for (auto& slot : slots_)
@@ -356,22 +372,24 @@ void ReputationService::run_shard_epoch(ShardSlot& slot) {
 }
 
 void ReputationService::global_barrier(ShardSlot&, std::uint64_t seq) {
-  std::unique_lock lock(epoch_mu_);
-  ++arrived_;
-  if (arrived_ == slots_.size()) {
-    // Last arriver: every other worker is parked, all shard state is
-    // frozen — run the cross-shard epoch single-threaded.
-    arrived_ = 0;
-    run_global_epoch(seq, /*live=*/true);
-    epoch_done_seq_ = seq;
-    lock.unlock();
-    epoch_cv_.notify_all();
-  } else {
-    epoch_cv_.wait(lock, [this, seq] {
-      return epoch_done_seq_ >= seq ||
-             crashing_.load(std::memory_order_relaxed);
-    });
+  bool last_arriver = false;
+  {
+    util::MutexLock lock(epoch_mu_);
+    ++arrived_;
+    if (arrived_ == slots_.size()) {
+      // Last arriver: every other worker is parked, all shard state is
+      // frozen — run the cross-shard epoch single-threaded.
+      arrived_ = 0;
+      run_global_epoch(seq, /*live=*/true);
+      epoch_done_seq_ = seq;
+      last_arriver = true;
+    } else {
+      while (epoch_done_seq_ < seq &&
+             !crashing_.load(std::memory_order_relaxed))
+        epoch_cv_.wait(epoch_mu_);
+    }
   }
+  if (last_arriver) epoch_cv_.notify_all();
 }
 
 void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
@@ -397,7 +415,7 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   std::string text;
   if (config_.record_reports) {
     text = format_epoch_report("global", seq, report);
-    const std::lock_guard lock(log_mu_);
+    const util::MutexLock lock(log_mu_);
     report_log_ += text;
   }
   for (auto& slot : slots_) {
@@ -569,7 +587,7 @@ void ReputationService::record_epoch_metrics(
                         .count();
   detections_total_.fetch_add(pairs, std::memory_order_relaxed);
   last_epoch_detections_.store(pairs, std::memory_order_relaxed);
-  const std::lock_guard lock(latency_mu_);
+  const util::MutexLock lock(latency_mu_);
   epoch_latency_ms_.push_back(ms);
   if (epoch_latency_ms_.size() > 8192) {
     epoch_latency_ms_.erase(epoch_latency_ms_.begin(),
@@ -618,7 +636,7 @@ ServiceMetrics ReputationService::metrics() const {
       last_epoch_detections_.load(std::memory_order_relaxed);
   m.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
 
-  const std::lock_guard lock(latency_mu_);
+  const util::MutexLock lock(latency_mu_);
   if (!epoch_latency_ms_.empty()) {
     std::vector<double> sorted = epoch_latency_ms_;
     std::sort(sorted.begin(), sorted.end());
@@ -636,7 +654,7 @@ ServiceMetrics ReputationService::metrics() const {
 
 std::string ReputationService::report_log() const {
   if (config_.epoch_scope == EpochScope::kGlobal) {
-    const std::lock_guard lock(log_mu_);
+    const util::MutexLock lock(log_mu_);
     return report_log_;
   }
   std::string out;

@@ -31,10 +31,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +41,8 @@
 #include "service/ingest_queue.h"
 #include "service/metrics.h"
 #include "service/shard.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::service {
 
@@ -155,7 +155,9 @@ class ReputationService {
   void run_shard_epoch(ShardSlot& slot);
   void global_barrier(ShardSlot& slot, std::uint64_t seq);
   /// The cross-shard epoch body; `live` gates wall-clock metrics and
-  /// checkpoint compaction (both skipped during recovery replay).
+  /// checkpoint compaction (both skipped during recovery replay). Shard
+  /// state needs no lock here: callers guarantee every worker is parked
+  /// at the barrier (or not yet started, during recovery).
   void run_global_epoch(std::uint64_t seq, bool live);
   [[nodiscard]] core::DetectionReport global_detect() const;
   void record_epoch_metrics(std::chrono::steady_clock::time_point start,
@@ -169,17 +171,17 @@ class ReputationService {
   /// service degrades to WAL-only durability instead of retrying forever.
   std::atomic<bool> checkpoints_enabled_{false};
 
-  // Router state (kGlobal cadence), guarded by route_mu_.
-  mutable std::mutex route_mu_;
-  std::uint64_t epoch_seq_ = 0;
-  std::uint64_t routed_since_epoch_ = 0;
-  rating::Tick global_last_epoch_tick_ = 0;
+  // Router state (kGlobal cadence).
+  mutable util::Mutex route_mu_;
+  std::uint64_t epoch_seq_ P2PREP_GUARDED_BY(route_mu_) = 0;
+  std::uint64_t routed_since_epoch_ P2PREP_GUARDED_BY(route_mu_) = 0;
+  rating::Tick global_last_epoch_tick_ P2PREP_GUARDED_BY(route_mu_) = 0;
 
   // Epoch barrier (kGlobal scope).
-  std::mutex epoch_mu_;
-  std::condition_variable epoch_cv_;
-  std::size_t arrived_ = 0;
-  std::uint64_t epoch_done_seq_ = 0;
+  util::Mutex epoch_mu_;
+  util::CondVar epoch_cv_;
+  std::size_t arrived_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
+  std::uint64_t epoch_done_seq_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
 
   // Lifecycle.
   std::atomic<bool> stopped_{false};
@@ -195,12 +197,12 @@ class ReputationService {
   std::atomic<std::uint64_t> checkpoints_written_{0};
   std::uint64_t applied_base_ = 0;  ///< Applied count restored by recovery.
   std::chrono::steady_clock::time_point start_time_;
-  mutable std::mutex latency_mu_;
-  std::vector<double> epoch_latency_ms_;
+  mutable util::Mutex latency_mu_;
+  std::vector<double> epoch_latency_ms_ P2PREP_GUARDED_BY(latency_mu_);
 
   // Global-scope report log.
-  mutable std::mutex log_mu_;
-  std::string report_log_;
+  mutable util::Mutex log_mu_;
+  std::string report_log_ P2PREP_GUARDED_BY(log_mu_);
 };
 
 }  // namespace p2prep::service

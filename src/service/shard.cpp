@@ -118,22 +118,22 @@ void ServiceShard::publish_view(std::uint64_t epoch,
   view->flagged_last_epoch = std::move(flagged);
   view->last_report = std::move(report_text);
 
-  const std::lock_guard lock(view_mu_);
+  const util::MutexLock lock(view_mu_);
   view_ = std::move(view);
 }
 
 std::shared_ptr<const ShardView> ServiceShard::view() const {
-  const std::lock_guard lock(view_mu_);
+  const util::MutexLock lock(view_mu_);
   return view_;
 }
 
 void ServiceShard::append_report(const std::string& text) {
-  const std::lock_guard lock(log_mu_);
+  const util::MutexLock lock(log_mu_);
   report_log_ += text;
 }
 
 std::string ServiceShard::report_log() const {
-  const std::lock_guard lock(log_mu_);
+  const util::MutexLock lock(log_mu_);
   return report_log_;
 }
 

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +22,8 @@
 #include "reputation/summation.h"
 #include "service/ingest_queue.h"
 #include "service/wal.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::service {
 
@@ -199,11 +200,11 @@ class ServiceShard {
   std::atomic<std::uint64_t> wal_records_{0};
   std::atomic<std::uint64_t> wal_bytes_{0};
 
-  mutable std::mutex view_mu_;
-  std::shared_ptr<const ShardView> view_;
+  mutable util::Mutex view_mu_;
+  std::shared_ptr<const ShardView> view_ P2PREP_GUARDED_BY(view_mu_);
 
-  mutable std::mutex log_mu_;
-  std::string report_log_;
+  mutable util::Mutex log_mu_;
+  std::string report_log_ P2PREP_GUARDED_BY(log_mu_);
 
   friend class ReputationService;
 };

@@ -140,17 +140,27 @@ std::uint32_t crc32(const void* data, std::size_t len) noexcept {
   return crc ^ 0xFFFFFFFFu;
 }
 
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      out_(std::move(other.out_)),
+      generation_(other.generation_),
+      records_(other.records_),
+      bytes_(other.bytes_) {}
+
 WalWriter WalWriter::create(const std::string& path,
                             std::uint64_t generation) {
   WalWriter w;
   w.path_ = path;
-  w.generation_ = generation;
-  w.out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!w.out_) throw std::runtime_error("wal: cannot create " + path);
-  const std::string header = encode_header(generation);
-  w.out_.write(header.data(), static_cast<std::streamsize>(header.size()));
-  w.out_.flush();
-  w.bytes_ = header.size();
+  {
+    util::MutexLock lock(w.mu_);
+    w.generation_ = generation;
+    w.out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!w.out_) throw std::runtime_error("wal: cannot create " + path);
+    const std::string header = encode_header(generation);
+    w.out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    w.out_.flush();
+    w.bytes_ = header.size();
+  }
   return w;
 }
 
@@ -166,16 +176,20 @@ WalWriter WalWriter::resume(const std::string& path, std::uint64_t generation,
   }
   WalWriter w;
   w.path_ = path;
-  w.generation_ = generation;
-  w.records_ = valid_records;
-  w.bytes_ = valid_bytes;
-  w.out_.open(path, std::ios::binary | std::ios::app);
-  if (!w.out_) throw std::runtime_error("wal: cannot reopen " + path);
+  {
+    util::MutexLock lock(w.mu_);
+    w.generation_ = generation;
+    w.records_ = valid_records;
+    w.bytes_ = valid_bytes;
+    w.out_.open(path, std::ios::binary | std::ios::app);
+    if (!w.out_) throw std::runtime_error("wal: cannot reopen " + path);
+  }
   return w;
 }
 
 void WalWriter::append(const WalRecord& rec) {
   const std::string frame = encode_frame(rec);
+  util::MutexLock lock(mu_);
   out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   out_.flush();
   if (!out_) throw std::runtime_error("wal: write failed on " + path_);
@@ -184,6 +198,7 @@ void WalWriter::append(const WalRecord& rec) {
 }
 
 void WalWriter::rotate() {
+  util::MutexLock lock(mu_);
   out_.close();
   ++generation_;
   records_ = 0;

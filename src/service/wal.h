@@ -36,6 +36,8 @@
 
 #include "rating/pair_stats.h"
 #include "rating/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::service {
 
@@ -79,29 +81,47 @@ class WalWriter {
                           std::uint64_t valid_bytes,
                           std::uint64_t valid_records);
 
-  /// Appends one record and flushes it to the OS.
-  void append(const WalRecord& rec);
+  /// Moving is only safe before the writer is shared across threads (the
+  /// service moves writers into their shards during single-threaded
+  /// startup); the mutex itself is not moved.
+  WalWriter(WalWriter&& other) noexcept P2PREP_NO_THREAD_SAFETY_ANALYSIS;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  WalWriter& operator=(WalWriter&&) = delete;
+
+  /// Appends one record and flushes it to the OS. Single appender; the
+  /// internal mutex only makes the counter getters safe to poll from
+  /// other threads (metrics, tests).
+  void append(const WalRecord& rec) P2PREP_EXCLUDES(mu_);
 
   /// Truncates the file and starts generation + 1 (post-checkpoint).
-  void rotate();
+  void rotate() P2PREP_EXCLUDES(mu_);
 
-  [[nodiscard]] std::uint64_t generation() const noexcept {
+  [[nodiscard]] std::uint64_t generation() const P2PREP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return generation_;
   }
   /// Records present in the current-generation file.
-  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t records() const P2PREP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return records_;
+  }
   /// Bytes in the current-generation file (header included).
-  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t bytes() const P2PREP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return bytes_;
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   WalWriter() = default;
 
-  std::string path_;
-  std::ofstream out_;
-  std::uint64_t generation_ = 0;
-  std::uint64_t records_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::string path_;  ///< Immutable after create()/resume().
+  mutable util::Mutex mu_;
+  std::ofstream out_ P2PREP_GUARDED_BY(mu_);
+  std::uint64_t generation_ P2PREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t records_ P2PREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_ P2PREP_GUARDED_BY(mu_) = 0;
 };
 
 struct WalReadResult {

@@ -1,40 +1,80 @@
 #include "util/event_queue.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 namespace p2prep::util {
 
 void EventQueue::schedule(double at, Handler handler) {
+  MutexLock lock(mu_);
+  schedule_locked(at, std::move(handler));
+}
+
+void EventQueue::schedule_in(double delay, Handler handler) {
+  MutexLock lock(mu_);
+  schedule_locked(now_ + delay, std::move(handler));
+}
+
+void EventQueue::schedule_locked(double at, Handler handler) {
   heap_.push(Event{std::max(at, now_), next_seq_++, std::move(handler)});
 }
 
+bool EventQueue::pop_due_locked(double until, Event& event) {
+  if (heap_.empty() || heap_.top().at > until) return false;
+  // priority_queue::top is const; the handler must be moved out before
+  // pop, so copy the metadata and steal the handler.
+  event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.at;
+  return true;
+}
+
 std::size_t EventQueue::run() {
-  std::size_t count = 0;
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the handler must be moved out before
-    // pop, so copy the metadata and steal the handler.
-    Event event = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = event.at;
-    event.handler();
-    ++count;
-    ++processed_;
-  }
-  return count;
+  return run_until(std::numeric_limits<double>::infinity());
 }
 
 std::size_t EventQueue::run_until(double until) {
   std::size_t count = 0;
-  while (!heap_.empty() && heap_.top().at <= until) {
-    Event event = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = event.at;
+  for (;;) {
+    Event event;
+    {
+      MutexLock lock(mu_);
+      if (!pop_due_locked(until, event)) break;
+    }
+    // The mutex is released while the handler runs so it may re-enter
+    // schedule()/now() (and other threads may produce concurrently).
     event.handler();
     ++count;
+    MutexLock lock(mu_);
     ++processed_;
   }
-  now_ = std::max(now_, until);
+  if (std::isfinite(until)) {
+    MutexLock lock(mu_);
+    now_ = std::max(now_, until);
+  }
   return count;
+}
+
+double EventQueue::now() const {
+  MutexLock lock(mu_);
+  return now_;
+}
+
+bool EventQueue::empty() const {
+  MutexLock lock(mu_);
+  return heap_.empty();
+}
+
+std::size_t EventQueue::pending() const {
+  MutexLock lock(mu_);
+  return heap_.size();
+}
+
+std::size_t EventQueue::processed() const {
+  MutexLock lock(mu_);
+  return processed_;
 }
 
 }  // namespace p2prep::util

@@ -1,12 +1,23 @@
 // Minimal discrete-event simulation kernel: schedule handlers at virtual
 // timestamps, run them in time order. Handlers may schedule further
 // events. Ties break in scheduling (FIFO) order so runs are deterministic.
+//
+// Thread safety: internally synchronized. schedule()/schedule_in() may be
+// called from any thread — including from handlers executing inside
+// run(), because the queue's mutex is dropped while a handler runs. Only
+// one thread should drive run()/run_until() at a time (two concurrent
+// drivers would interleave handlers arbitrarily); concurrent producers
+// against one consumer are the supported topology, mirroring the service
+// layer's ingest model.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::util {
 
@@ -19,9 +30,7 @@ class EventQueue {
   void schedule(double at, Handler handler);
 
   /// Convenience: schedule at now() + delay.
-  void schedule_in(double delay, Handler handler) {
-    schedule(now_ + delay, std::move(handler));
-  }
+  void schedule_in(double delay, Handler handler);
 
   /// Processes events in (time, insertion) order until none remain.
   /// Returns the number of events processed.
@@ -30,15 +39,15 @@ class EventQueue {
   /// Processes events with time <= `until`; later events stay queued.
   std::size_t run_until(double until);
 
-  [[nodiscard]] double now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
-  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+  [[nodiscard]] double now() const;
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t processed() const;
 
  private:
   struct Event {
-    double at;
-    std::uint64_t seq;  // FIFO tie-break
+    double at = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break
     Handler handler;
   };
   struct Later {
@@ -48,10 +57,17 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t processed_ = 0;
+  void schedule_locked(double at, Handler handler) P2PREP_REQUIRES(mu_);
+  /// Pops the next event due (<= `until`) and advances now_; false when
+  /// nothing qualifies.
+  bool pop_due_locked(double until, Event& event) P2PREP_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_
+      P2PREP_GUARDED_BY(mu_);
+  double now_ P2PREP_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t next_seq_ P2PREP_GUARDED_BY(mu_) = 0;
+  std::size_t processed_ P2PREP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace p2prep::util

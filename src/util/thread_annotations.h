@@ -1,0 +1,89 @@
+// Clang Thread Safety Analysis annotation macros (P2PREP_ prefix).
+//
+// Under Clang with -Wthread-safety these expand to the capability
+// attributes the analysis consumes; under every other compiler they expand
+// to nothing, so annotated code builds everywhere while race conditions
+// and lock-discipline violations become *compile errors* on Clang
+// (-Werror=thread-safety, see the top-level CMakeLists and
+// tools/run_static_analysis.sh).
+//
+// Use the annotated wrappers in util/mutex.h (Mutex, MutexLock, CondVar)
+// rather than raw std::mutex: the standard library types carry no
+// capability attributes, so the analysis cannot see through them.
+//
+// Annotation cheat sheet (full docs: clang.llvm.org/docs/ThreadSafetyAnalysis):
+//   P2PREP_GUARDED_BY(mu)      data member may only be touched with mu held
+//   P2PREP_PT_GUARDED_BY(mu)   pointee of the member is guarded by mu
+//   P2PREP_REQUIRES(mu)        caller must hold mu before calling
+//   P2PREP_ACQUIRE(mu)         function acquires mu and does not release it
+//   P2PREP_RELEASE(mu)         function releases mu
+//   P2PREP_EXCLUDES(mu)        caller must NOT hold mu (deadlock guard)
+//   P2PREP_CAPABILITY("mutex") class is a lockable capability
+//   P2PREP_SCOPED_CAPABILITY   RAII class that acquires in ctor / releases in dtor
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define P2PREP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define P2PREP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define P2PREP_CAPABILITY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define P2PREP_SCOPED_CAPABILITY \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define P2PREP_GUARDED_BY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define P2PREP_PT_GUARDED_BY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define P2PREP_ACQUIRED_BEFORE(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define P2PREP_ACQUIRED_AFTER(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define P2PREP_REQUIRES(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define P2PREP_REQUIRES_SHARED(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define P2PREP_ACQUIRE(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define P2PREP_ACQUIRE_SHARED(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define P2PREP_RELEASE(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define P2PREP_RELEASE_SHARED(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define P2PREP_RELEASE_GENERIC(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define P2PREP_TRY_ACQUIRE(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define P2PREP_TRY_ACQUIRE_SHARED(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define P2PREP_EXCLUDES(...) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define P2PREP_ASSERT_CAPABILITY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define P2PREP_ASSERT_SHARED_CAPABILITY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define P2PREP_RETURN_CAPABILITY(x) \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define P2PREP_NO_THREAD_SAFETY_ANALYSIS \
+  P2PREP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

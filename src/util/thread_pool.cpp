@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -34,25 +34,22 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) idle_.wait(mu_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(mu_);
+      if (tasks_.empty()) return;  // stopping, queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -63,7 +60,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = std::move(error);
       if (--in_flight_ == 0) idle_.notify_all();
     }

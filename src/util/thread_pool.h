@@ -7,14 +7,15 @@
 // that is needed — no futures, no task graph.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace p2prep::util {
 
@@ -55,13 +56,14 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;  // first exception thrown by any task
+  mutable Mutex mu_;
+  std::queue<std::function<void()>> tasks_ P2PREP_GUARDED_BY(mu_);
+  CondVar task_ready_;
+  CondVar idle_;
+  std::size_t in_flight_ P2PREP_GUARDED_BY(mu_) = 0;
+  bool stopping_ P2PREP_GUARDED_BY(mu_) = false;
+  /// First exception thrown by any task.
+  std::exception_ptr first_error_ P2PREP_GUARDED_BY(mu_);
 };
 
 /// Serial fallback with the same signature as ThreadPool::parallel_for, used

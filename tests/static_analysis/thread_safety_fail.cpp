@@ -1,0 +1,38 @@
+// Deliberately-misannotated negative example: this file MUST NOT compile
+// under Clang with -Wthread-safety -Werror=thread-safety. It is the
+// canary proving the analysis gate is actually armed — if the
+// StaticAnalysis.ThreadSafetyNegative ctest check (tests/CMakeLists.txt,
+// WILL_FAIL) ever sees this build succeed, the -Wthread-safety wiring is
+// broken, not this file.
+//
+// The target is registered only under Clang and EXCLUDE_FROM_ALL, so
+// regular builds never touch it.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Racy {
+ public:
+  // BUG (by design): touches guarded_ without acquiring mu_.
+  void unguarded_write(int v) { guarded_ = v; }
+
+  // BUG (by design): claims to require the lock but the caller below
+  // invokes it bare.
+  void requires_lock(int v) P2PREP_REQUIRES(mu_) { guarded_ = v; }
+
+  void caller_without_lock() { requires_lock(1); }
+
+ private:
+  p2prep::util::Mutex mu_;
+  int guarded_ P2PREP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Racy racy;
+  racy.unguarded_write(42);
+  racy.caller_without_lock();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate over all tracked C++ sources (.clang-format
+# at the repo root). Never rewrites anything — prints a diff-style report
+# via `clang-format --dry-run` and exits nonzero if any file is
+# mis-formatted. Skips gracefully (exit 0) when clang-format is absent.
+#
+# Usage: tools/check_format.sh [file ...]    (default: all tracked sources)
+# Environment:
+#   P2PREP_CLANG_FORMAT   clang-format binary (default: clang-format in PATH)
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+clang_format="${P2PREP_CLANG_FORMAT:-$(command -v clang-format || true)}"
+
+if [[ -z "${clang_format}" ]]; then
+  echo "SKIP: clang-format not found in PATH (set P2PREP_CLANG_FORMAT)"
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(cd "${repo_root}" &&
+    git ls-files -- '*.cpp' '*.h' '*.cc' '*.hpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "no C++ sources to check"
+  exit 0
+fi
+
+echo "checking ${#files[@]} files with $("${clang_format}" --version)"
+failed=0
+for f in "${files[@]}"; do
+  if ! (cd "${repo_root}" &&
+    "${clang_format}" --dry-run -Werror --style=file "${f}" 2>&1); then
+    failed=1
+  fi
+done
+
+if [[ "${failed}" -ne 0 ]]; then
+  echo
+  echo "FORMAT VIOLATIONS FOUND — fix with:"
+  echo "  clang-format -i --style=file <file>"
+  exit 1
+fi
+echo "all files clean"

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
-      runs = static_cast<std::size_t>(std::atoi(argv[++i]));
+      runs = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       runs = 2;
       cycles = 8;

@@ -1,20 +1,8 @@
 #!/usr/bin/env bash
-# Builds the test suite with ThreadSanitizer (P2PREP_SANITIZE=thread) in a
-# dedicated build directory and runs the service concurrency stress tests.
+# Back-compat wrapper: the TSan service gate is now the `tsan` stage of
+# tools/run_static_analysis.sh. Builds in build-tsan as before.
 # Usage: tools/run_tsan_service.sh [ctest -R regex, default ServiceConcurrency]
 set -euo pipefail
 
-repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-tsan"
-filter="${1:-ServiceConcurrency}"
-
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DP2PREP_SANITIZE=thread \
-  -DP2PREP_BUILD_BENCH=OFF \
-  -DP2PREP_BUILD_EXAMPLES=OFF
-cmake --build "${build_dir}" -j --target p2prep_tests
-
-cd "${build_dir}"
-TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R "${filter}" --output-on-failure
+exec env P2PREP_TSAN_FILTER="${1:-ServiceConcurrency}" \
+  "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/run_static_analysis.sh" tsan
