@@ -23,7 +23,7 @@ core::DetectorConfig config() {
   return c;
 }
 
-rating::RatingMatrix make_world(std::size_t n) {
+rating::RatingMatrix make_world(std::size_t n, rating::MatrixBackend backend) {
   util::Rng rng(n);
   rating::RatingStore store(n);
   // 5% of nodes are colluders in consecutive pairs.
@@ -49,12 +49,21 @@ rating::RatingMatrix make_world(std::size_t n) {
     }
   }
   std::vector<double> reps(n, 0.2);  // everyone high-reputed: m = n
-  return rating::RatingMatrix::build(store, reps, 0.05);
+  return rating::RatingMatrix::build(store, reps, 0.05, 0, backend);
+}
+
+// Arg 0: n. Arg 1: matrix backend (0 = dense oracle, 1 = sparse rows).
+// The dense work counters are the paper's Figure 13 quantities; the sparse
+// rows trade the fixed n-wide Basic row scan for an O(row nnz) one at
+// identical verdicts, and matrix_bytes shows the footprint gap.
+rating::MatrixBackend backend_of(const benchmark::State& state) {
+  return state.range(1) == 0 ? rating::MatrixBackend::kDense
+                             : rating::MatrixBackend::kSparse;
 }
 
 void BM_BasicDetect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const auto matrix = make_world(n);
+  const auto matrix = make_world(n, backend_of(state));
   core::BasicCollusionDetector detector(config());
   std::uint64_t work = 0;
   for (auto _ : state) {
@@ -66,12 +75,15 @@ void BM_BasicDetect(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(work));
   state.counters["work_per_n2"] = benchmark::Counter(
       static_cast<double>(work) / (static_cast<double>(n) * static_cast<double>(n)));
+  state.counters["matrix_bytes"] =
+      benchmark::Counter(static_cast<double>(matrix.approx_memory_bytes()));
 }
-BENCHMARK(BM_BasicDetect)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_BasicDetect)
+    ->ArgsProduct({{50, 100, 200, 400}, {0, 1}});
 
 void BM_OptimizedDetect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const auto matrix = make_world(n);
+  const auto matrix = make_world(n, backend_of(state));
   core::OptimizedCollusionDetector detector(config());
   std::uint64_t work = 0;
   for (auto _ : state) {
@@ -83,8 +95,11 @@ void BM_OptimizedDetect(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(work));
   state.counters["work_per_n"] = benchmark::Counter(
       static_cast<double>(work) / static_cast<double>(n));
+  state.counters["matrix_bytes"] =
+      benchmark::Counter(static_cast<double>(matrix.approx_memory_bytes()));
 }
-BENCHMARK(BM_OptimizedDetect)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_OptimizedDetect)
+    ->ArgsProduct({{50, 100, 200, 400}, {0, 1}});
 
 }  // namespace
 

@@ -39,6 +39,10 @@ std::vector<rating::Rating> workload() {
   return ratings;
 }
 
+// Arg 0: shard count. Arg 1: matrix backend (0 = dense, 1 = sparse).
+// The backend dimension shows the memory trade directly: dense shard
+// matrices cost num_shards * kNodes^2 cells regardless of traffic, sparse
+// ones O(nnz) — the matrix_bytes counter reports the aggregate gauge.
 void BM_ServiceIngestThroughput(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
   const std::vector<rating::Rating> ratings = workload();
@@ -46,6 +50,8 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
   service::ServiceConfig cfg;
   cfg.num_nodes = kNodes;
   cfg.num_shards = shards;
+  cfg.matrix_backend = state.range(1) == 0 ? rating::MatrixBackend::kDense
+                                           : rating::MatrixBackend::kSparse;
   cfg.queue_capacity = 4096;
   cfg.epoch_scope = service::EpochScope::kPerShard;
   cfg.epoch_ratings = 1024;
@@ -58,6 +64,7 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
 
   double latency_p99_ms = 0.0;
   std::uint64_t epochs = 0;
+  std::uint64_t matrix_bytes = 0;
   for (auto _ : state) {
     service::ReputationService svc(cfg);
     for (const auto& r : ratings) svc.ingest(r);
@@ -65,6 +72,7 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
     const service::ServiceMetrics m = svc.metrics();
     latency_p99_ms = m.epoch_latency_ms_p99;
     epochs = m.epochs_completed;
+    matrix_bytes = m.matrix_bytes;
     svc.stop();
   }
   const std::uint64_t total_ratings =
@@ -72,14 +80,13 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(total_ratings));
   state.counters["epochs"] = static_cast<double>(epochs);
   state.counters["epoch_p99_ms"] = latency_p99_ms;
+  state.counters["matrix_bytes"] =
+      benchmark::Counter(static_cast<double>(matrix_bytes));
   state.counters["ratings_per_sec"] = benchmark::Counter(
       static_cast<double>(total_ratings), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServiceIngestThroughput)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

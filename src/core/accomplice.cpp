@@ -12,7 +12,6 @@ void propagate_accomplices(const rating::RatingMatrix& matrix,
                            DetectionReport& report) {
   if (!config.flag_accomplices || report.pairs.empty()) return;
 
-  const std::size_t n = matrix.size();
   std::unordered_set<std::uint64_t> known_pairs;
   std::vector<rating::NodeId> worklist;
   std::unordered_set<rating::NodeId> queued;
@@ -22,8 +21,8 @@ void propagate_accomplices(const rating::RatingMatrix& matrix,
     if (queued.insert(e.second).second) worklist.push_back(e.second);
   }
 
-  auto mutual_boosting = [&](rating::NodeId d, rating::NodeId k) {
-    const rating::PairStats& from_k = matrix.cell(d, k);
+  auto mutual_boosting = [&](rating::NodeId d, rating::NodeId k,
+                             const rating::PairStats& from_k) {
     report.cost.add_scan();
     report.cost.add_check();
     if (!frequency_ok(from_k, config) ||
@@ -40,27 +39,33 @@ void propagate_accomplices(const rating::RatingMatrix& matrix,
   while (!worklist.empty()) {
     const rating::NodeId d = worklist.back();
     worklist.pop_back();
-    for (rating::NodeId k = 0; k < n; ++k) {
-      if (k == d || known_pairs.contains(pair_key(d, k))) continue;
-      if (!mutual_boosting(d, k)) continue;
+    // Candidate accomplices are raters of d's row: a node that never rated
+    // d cannot be in a mutual frequent relationship with it (C4 needs
+    // N_(d,k) >= T_N >= 1). The backend-agnostic visitor walks the stored
+    // cells — all n on the dense oracle (the paper's scan), row nnz on the
+    // sparse backend — with identical flagging either way.
+    matrix.for_each_cell(
+        d, [&](rating::NodeId k, const rating::PairStats& from_k) {
+          if (k == d || known_pairs.contains(pair_key(d, k))) return;
+          if (!mutual_boosting(d, k, from_k)) return;
 
-      PairEvidence ev;
-      ev.first = d;
-      ev.second = k;
-      ev.ratings_to_first = matrix.cell(d, k).total;
-      ev.ratings_to_second = matrix.cell(k, d).total;
-      ev.positive_fraction_first = matrix.cell(d, k).positive_fraction();
-      ev.positive_fraction_second = matrix.cell(k, d).positive_fraction();
-      ev.complement_fraction_first =
-          (matrix.totals(d) - matrix.cell(d, k)).positive_fraction();
-      ev.complement_fraction_second =
-          (matrix.totals(k) - matrix.cell(k, d)).positive_fraction();
-      ev.global_rep_first = matrix.global_reputation(d);
-      ev.global_rep_second = matrix.global_reputation(k);
-      report.pairs.push_back(ev);
-      known_pairs.insert(pair_key(d, k));
-      if (queued.insert(k).second) worklist.push_back(k);
-    }
+          PairEvidence ev;
+          ev.first = d;
+          ev.second = k;
+          ev.ratings_to_first = from_k.total;
+          ev.ratings_to_second = matrix.cell(k, d).total;
+          ev.positive_fraction_first = from_k.positive_fraction();
+          ev.positive_fraction_second = matrix.cell(k, d).positive_fraction();
+          ev.complement_fraction_first =
+              (matrix.totals(d) - from_k).positive_fraction();
+          ev.complement_fraction_second =
+              (matrix.totals(k) - matrix.cell(k, d)).positive_fraction();
+          ev.global_rep_first = matrix.global_reputation(d);
+          ev.global_rep_second = matrix.global_reputation(k);
+          report.pairs.push_back(ev);
+          known_pairs.insert(pair_key(d, k));
+          if (queued.insert(k).second) worklist.push_back(k);
+        });
   }
 
   report.canonicalize();

@@ -14,17 +14,22 @@ BasicCollusionDetector::scan_row_excluding(const rating::RatingMatrix& matrix,
                                            rating::NodeId excluded,
                                            util::CostCounter& cost) const {
   RowScanResult r;
-  const auto row = matrix.row(ratee);
-  for (rating::NodeId k = 0; k < row.size(); ++k) {
-    if (k == ratee || k == excluded) continue;
-    cost.add_scan();
-    // Joint-complement mode: other frequent raters are suspected partners
-    // themselves and must not pollute the "everyone else" sample.
-    if (config_.joint_complement && row[k].total >= config_.frequency_min)
-      continue;
-    r.complement_total += row[k].total;
-    r.complement_positive += row[k].positive;
-  }
+  // Backend-agnostic row scan: visits every stored cell, so the cost is
+  // the row's storage size — n on the dense oracle (the paper's full-row
+  // scan this method is defined by), row nnz on the sparse backend. The
+  // sums are identical either way (absent cells contribute zero).
+  matrix.for_each_cell(
+      ratee, [&](rating::NodeId k, const rating::PairStats& stats) {
+        if (k == ratee || k == excluded) return;
+        cost.add_scan();
+        // Joint-complement mode: other frequent raters are suspected
+        // partners themselves and must not pollute the "everyone else"
+        // sample.
+        if (config_.joint_complement && stats.total >= config_.frequency_min)
+          return;
+        r.complement_total += stats.total;
+        r.complement_positive += stats.positive;
+      });
 #ifndef NDEBUG
   if (!config_.joint_complement) {
     const auto expected = matrix.totals(ratee) - matrix.cell(ratee, excluded);

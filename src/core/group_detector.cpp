@@ -46,7 +46,10 @@ GroupDetectionReport GroupCollusionDetector::detect(
   GroupDetectionReport report;
   const std::size_t n = matrix.size();
 
-  // 1. Mutual-boosting edges among high-reputed nodes.
+  // 1. Mutual-boosting edges among high-reputed nodes. All matrix access
+  // is point lookups through the backend-agnostic cell() accessor (an
+  // absent sparse cell reads as the empty aggregate), so the pass — and
+  // the component C2 sums below — is bit-identical across backends.
   auto boosts = [&](rating::NodeId target, rating::NodeId by) {
     const rating::PairStats& cell = matrix.cell(target, by);
     report.cost.add_scan();

@@ -43,13 +43,15 @@ bool OptimizedCollusionDetector::directional_check(
     // The matrix snapshot was built without (or with a different)
     // frequency threshold: recompute the aggregate from the row. A
     // deployed manager never takes this path; it exists so standalone
-    // matrices remain usable, and it charges its true cost.
-    const auto row = matrix.row(i);
-    for (rating::NodeId k = 0; k < row.size(); ++k) {
-      if (k == i) continue;
-      cost.add_scan();
-      if (row[k].total >= config_.frequency_min) frequent += row[k];
-    }
+    // matrices remain usable, and it charges its true cost — the row's
+    // storage size (n dense, row nnz sparse), via the backend-agnostic
+    // cell visitor.
+    matrix.for_each_cell(
+        i, [&](rating::NodeId k, const rating::PairStats& stats) {
+          if (k == i) return;
+          cost.add_scan();
+          if (stats.total >= config_.frequency_min) frequent += stats;
+        });
   }
   const rating::PairStats complement = matrix.totals(i) - frequent;
   cost.add_check();

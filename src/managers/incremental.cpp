@@ -4,11 +4,11 @@ namespace p2prep::managers {
 
 IncrementalCentralizedManager::IncrementalCentralizedManager(
     std::size_t num_nodes, reputation::ReputationEngine& engine,
-    core::DetectorConfig detector_config)
+    core::DetectorConfig detector_config, rating::MatrixBackend backend)
     : num_nodes_(num_nodes),
       engine_(engine),
       detector_config_(detector_config),
-      matrix_(num_nodes) {
+      matrix_(num_nodes, backend) {
   engine_.resize(num_nodes);
   matrix_.set_frequency_threshold(detector_config_.frequency_min);
 }

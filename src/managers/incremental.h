@@ -21,9 +21,14 @@ namespace p2prep::managers {
 
 class IncrementalCentralizedManager {
  public:
-  IncrementalCentralizedManager(std::size_t num_nodes,
-                                reputation::ReputationEngine& engine,
-                                core::DetectorConfig detector_config);
+  /// `backend` selects the matrix representation: the dense oracle
+  /// (paper-cost reference) or the sparse hash-map rows. Detection output
+  /// is bit-identical across backends (tests/differential/); per-shard
+  /// service managers default to sparse for the O(nnz) footprint.
+  IncrementalCentralizedManager(
+      std::size_t num_nodes, reputation::ReputationEngine& engine,
+      core::DetectorConfig detector_config,
+      rating::MatrixBackend backend = rating::MatrixBackend::kDense);
 
   /// Records one rating in both the matrix and the engine. O(1).
   bool ingest(const rating::Rating& r);

@@ -1,22 +1,37 @@
 #include "rating/matrix.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace p2prep::rating {
 
-RatingMatrix::RatingMatrix(std::size_t num_nodes)
-    : cells_(num_nodes, num_nodes),
-      meta_(num_nodes),
-      checked_(num_nodes * num_nodes, 0) {}
+namespace {
+
+/// Canonical key of the unordered pair {i, j} for the checked-pair marks.
+constexpr std::uint64_t unordered_pair_key(NodeId i, NodeId j) noexcept {
+  const NodeId lo = i < j ? i : j;
+  const NodeId hi = i < j ? j : i;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+RatingMatrix::RatingMatrix(std::size_t num_nodes, MatrixBackend backend)
+    : backend_(backend), meta_(num_nodes) {
+  if (backend_ == MatrixBackend::kDense) {
+    dense_ = util::Matrix<PairStats>(num_nodes, num_nodes);
+  } else {
+    sparse_.resize(num_nodes);
+  }
+}
 
 RatingMatrix RatingMatrix::build(const RatingStore& store,
                                  std::span<const double> global_reps,
                                  double high_rep_threshold,
-                                 std::uint32_t frequency_threshold) {
+                                 std::uint32_t frequency_threshold,
+                                 MatrixBackend backend) {
   const std::size_t n = store.num_nodes();
   assert(global_reps.size() == n);
-  RatingMatrix m(n);
+  RatingMatrix m(n, backend);
   m.frequency_threshold_ = frequency_threshold;
   for (NodeId i = 0; i < n; ++i) {
     auto& meta = m.meta_[i];
@@ -27,12 +42,41 @@ RatingMatrix RatingMatrix::build(const RatingStore& store,
     store.for_each_window_rater(
         i, [&m, i, frequency_threshold, &meta](NodeId rater,
                                                const PairStats& stats) {
-          m.cells_(i, rater) = stats;
+          m.mutable_cell(i, rater) = stats;
           if (frequency_threshold > 0 && stats.total >= frequency_threshold)
             meta.frequent_totals += stats;
         });
   }
   return m;
+}
+
+PairStats& RatingMatrix::mutable_cell(NodeId ratee, NodeId rater) {
+  assert(ratee < size() && rater < size());
+  if (backend_ == MatrixBackend::kDense) return dense_(ratee, rater);
+  return sparse_[ratee][rater];
+}
+
+std::size_t RatingMatrix::approx_memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(RatingMatrix);
+  bytes += meta_.capacity() * sizeof(RowMeta);
+  if (backend_ == MatrixBackend::kDense) {
+    bytes += dense_.rows() * dense_.cols() * sizeof(PairStats);
+  } else {
+    for (const SparseRow& row : sparse_) {
+      bytes += sizeof(SparseRow);
+      bytes += row.bucket_count() * sizeof(void*);
+      bytes += row.size() *
+               (sizeof(std::pair<const NodeId, PairStats>) + 2 * sizeof(void*));
+    }
+  }
+  bytes += checked_.bucket_count() * sizeof(void*);
+  bytes += checked_.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*));
+  return bytes;
+}
+
+std::size_t RatingMatrix::dense_footprint_bytes(std::size_t num_nodes) noexcept {
+  return sizeof(RatingMatrix) + num_nodes * sizeof(RowMeta) +
+         num_nodes * num_nodes * sizeof(PairStats);
 }
 
 void RatingMatrix::set_global_reputation(NodeId i, double rep,
@@ -47,7 +91,7 @@ void RatingMatrix::set_global_reputation(NodeId i, double rep,
 
 void RatingMatrix::add_rating(NodeId ratee, NodeId rater, Score score) {
   assert(ratee < size() && rater < size() && ratee != rater);
-  PairStats& cell = cells_(ratee, rater);
+  PairStats& cell = mutable_cell(ratee, rater);
   cell.add(score);
   meta_[ratee].totals.add(score);
   // Incremental frequent-rater aggregate: when a cell crosses the
@@ -67,18 +111,22 @@ void RatingMatrix::clear_window() {
   for (NodeId i = 0; i < size(); ++i) {
     auto& meta = meta_[i];
     if (meta.totals.total == 0) continue;  // row never touched this window
-    auto row = cells_.row(i);
-    std::fill(row.begin(), row.end(), PairStats{});
+    if (backend_ == MatrixBackend::kDense) {
+      auto row = dense_.row(i);
+      std::fill(row.begin(), row.end(), PairStats{});
+    } else {
+      sparse_[i].clear();
+    }
     meta.totals = PairStats{};
     meta.frequent_totals = PairStats{};
   }
-  if (any_marks_) clear_marks();
+  if (!checked_.empty()) clear_marks();
 }
 
 void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
                                 const PairStats& stats) {
   assert(ratee < size() && rater < size() && ratee != rater);
-  PairStats& cell = cells_(ratee, rater);
+  PairStats& cell = mutable_cell(ratee, rater);
   assert(cell.total == 0 && "restore_cell target must be empty");
   cell = stats;
   meta_[ratee].totals += stats;
@@ -89,19 +137,14 @@ void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
 
 bool RatingMatrix::checked(NodeId i, NodeId j) const {
   assert(i < size() && j < size());
-  return checked_[static_cast<std::size_t>(i) * size() + j] != 0;
+  return checked_.contains(unordered_pair_key(i, j));
 }
 
 void RatingMatrix::mark_checked(NodeId i, NodeId j) {
   assert(i < size() && j < size());
-  checked_[static_cast<std::size_t>(i) * size() + j] = 1;
-  checked_[static_cast<std::size_t>(j) * size() + i] = 1;
-  any_marks_ = true;
+  checked_.insert(unordered_pair_key(i, j));
 }
 
-void RatingMatrix::clear_marks() {
-  checked_.assign(checked_.size(), 0);
-  any_marks_ = false;
-}
+void RatingMatrix::clear_marks() { checked_.clear(); }
 
 }  // namespace p2prep::rating

@@ -1,4 +1,4 @@
-// The reputation manager's dense n x n rating matrix (paper Sec. IV-B).
+// The reputation manager's n x n rating matrix (paper Sec. IV-B).
 //
 // Row i describes ratee n_i; cell (i, j) holds the PairStats of rater n_j
 // for n_i over the current update window T — exactly the paper's
@@ -6,6 +6,21 @@
 // "non-empty" for high-reputed nodes (R_i > T_R); we keep all rows
 // allocated but flag which are live, which is equivalent and lets the
 // detectors charge the same costs the paper's algorithm would.
+//
+// Two storage backends implement the same cell contract (MatrixBackend):
+//  * kDense  — one contiguous n x n block (util::Matrix). Element access
+//    and full-row scans cost exactly what the paper's complexity analysis
+//    charges, so this is the reference ("oracle") representation.
+//  * kSparse — one hash map of non-empty cells per row. Real rating graphs
+//    are extremely sparse (the Amazon/Overstock traces), so this cuts the
+//    footprint from O(n^2) to O(nnz) while producing bit-identical
+//    detection results; tests/differential/ proves the equivalence against
+//    the dense oracle. Sharded service managers default to this backend.
+//
+// Detector hot paths consume rows through the backend-agnostic visitors
+// (for_each_cell / cell_or_null) instead of indexing a dense span, so the
+// Basic method's inner scan is O(stored cells of the row): n on the dense
+// oracle (the paper's cost), row nnz on the sparse backend.
 //
 // Two reputation views coexist on purpose:
 //  * `global_reputation` — whatever the host reputation system computed
@@ -16,8 +31,12 @@
 //    against this view; quantities stay self-consistent.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rating/pair_stats.h"
@@ -27,23 +46,39 @@
 
 namespace p2prep::rating {
 
+/// Storage representation of a RatingMatrix. Every detector verdict is
+/// identical across backends (differential-tested); only memory footprint
+/// and per-row scan cost differ.
+enum class MatrixBackend : std::uint8_t {
+  kDense,   ///< Contiguous n x n cells — the paper-cost oracle.
+  kSparse,  ///< Hash-map row of non-empty cells — O(nnz) memory.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MatrixBackend b) noexcept {
+  return b == MatrixBackend::kDense ? "dense" : "sparse";
+}
+
 class RatingMatrix {
  public:
   RatingMatrix() = default;
-  explicit RatingMatrix(std::size_t num_nodes);
+  explicit RatingMatrix(std::size_t num_nodes,
+                        MatrixBackend backend = MatrixBackend::kDense);
 
-  /// Snapshots the window horizon of `store` into a dense matrix.
-  /// `global_reps[i]` is the host system's reputation for node i (its size
-  /// must equal store.num_nodes()); rows with global_reps[i] > high_rep_threshold
-  /// are flagged live. When `frequency_threshold` > 0, each row also
-  /// carries the aggregate of its frequent raters' cells (every rater with
-  /// N_(i,k) >= frequency_threshold) — the state a deployed manager keeps
-  /// incrementally and the Optimized detector's joint-complement test
-  /// reads in O(1).
+  /// Snapshots the window horizon of `store` into a matrix with the given
+  /// backend. `global_reps[i]` is the host system's reputation for node i
+  /// (its size must equal store.num_nodes()); rows with
+  /// global_reps[i] > high_rep_threshold are flagged live. When
+  /// `frequency_threshold` > 0, each row also carries the aggregate of its
+  /// frequent raters' cells (every rater with N_(i,k) >= frequency_threshold)
+  /// — the state a deployed manager keeps incrementally and the Optimized
+  /// detector's joint-complement test reads in O(1).
   static RatingMatrix build(const RatingStore& store,
                             std::span<const double> global_reps,
                             double high_rep_threshold,
-                            std::uint32_t frequency_threshold = 0);
+                            std::uint32_t frequency_threshold = 0,
+                            MatrixBackend backend = MatrixBackend::kDense);
+
+  [[nodiscard]] MatrixBackend backend() const noexcept { return backend_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return meta_.size(); }
 
@@ -78,12 +113,72 @@ class RatingMatrix {
     return frequency_threshold_;
   }
 
+  /// a_(ratee,rater). On the sparse backend an absent cell reads as the
+  /// empty aggregate, exactly like an untouched dense cell. O(1) on both
+  /// backends — the Optimized method's per-pair read.
   [[nodiscard]] const PairStats& cell(NodeId ratee, NodeId rater) const {
-    return cells_(ratee, rater);
+    if (backend_ == MatrixBackend::kDense) return dense_(ratee, rater);
+    const SparseRow& row = sparse_.at(ratee);
+    const auto it = row.find(rater);
+    return it == row.end() ? kEmptyCell : it->second;
   }
-  [[nodiscard]] std::span<const PairStats> row(NodeId ratee) const {
-    return cells_.row(ratee);
+
+  /// Pointer to a_(ratee,rater) when the cell holds ratings (total > 0),
+  /// nullptr otherwise — identical across backends.
+  [[nodiscard]] const PairStats* cell_or_null(NodeId ratee,
+                                              NodeId rater) const {
+    const PairStats& stats = cell(ratee, rater);
+    return stats.total > 0 ? &stats : nullptr;
   }
+
+  /// Visits every STORED cell of row `ratee` as fn(rater, stats). The
+  /// dense backend stores all n columns (including empty ones — the
+  /// paper's full-row scan); the sparse backend stores only non-empty
+  /// cells. Iteration order is unspecified; callers must accumulate
+  /// order-independently. This is the detector hot-path row iterator.
+  template <typename Fn>
+  void for_each_cell(NodeId ratee, Fn&& fn) const {
+    if (backend_ == MatrixBackend::kDense) {
+      const auto row = dense_.row(ratee);
+      for (NodeId k = 0; k < row.size(); ++k) fn(k, row[k]);
+    } else {
+      for (const auto& [k, stats] : sparse_.at(ratee)) fn(k, stats);
+    }
+  }
+
+  /// Visits the non-empty cells (total > 0) of row `ratee` in ascending
+  /// rater order on BOTH backends — the deterministic enumeration used by
+  /// snapshot/checkpoint/transfer paths, byte-stable across backends.
+  template <typename Fn>
+  void for_each_nonzero_cell(NodeId ratee, Fn&& fn) const {
+    if (backend_ == MatrixBackend::kDense) {
+      const auto row = dense_.row(ratee);
+      for (NodeId k = 0; k < row.size(); ++k) {
+        if (row[k].total > 0) fn(k, row[k]);
+      }
+    } else {
+      const auto& row = sparse_.at(ratee);
+      std::vector<NodeId> raters;
+      raters.reserve(row.size());
+      for (const auto& [k, stats] : row) {
+        if (stats.total > 0) raters.push_back(k);
+      }
+      std::sort(raters.begin(), raters.end());
+      for (NodeId k : raters) fn(k, row.find(k)->second);
+    }
+  }
+
+  /// Resident-memory estimate of this matrix (cells + row metadata + pair
+  /// marks), in bytes. Exact for the dense backend; for the sparse backend
+  /// a conservative model of the hash-map rows (nodes, buckets, map
+  /// headers). The bench memory columns and the footprint regression test
+  /// read this.
+  [[nodiscard]] std::size_t approx_memory_bytes() const noexcept;
+
+  /// What a dense matrix of `num_nodes` costs, without allocating it —
+  /// the oracle the <5%-footprint regression check compares against.
+  [[nodiscard]] static std::size_t dense_footprint_bytes(
+      std::size_t num_nodes) noexcept;
 
   // --- Direct mutation (for tests and incremental managers) ---
 
@@ -122,13 +217,21 @@ class RatingMatrix {
     PairStats frequent_totals;
     bool high_reputed = false;
   };
+  using SparseRow = std::unordered_map<NodeId, PairStats>;
 
-  util::Matrix<PairStats> cells_;
+  /// What an absent sparse cell reads as.
+  static constexpr PairStats kEmptyCell{};
+
+  /// Writable cell reference; creates the cell on the sparse backend.
+  PairStats& mutable_cell(NodeId ratee, NodeId rater);
+
+  MatrixBackend backend_ = MatrixBackend::kDense;
+  util::Matrix<PairStats> dense_;  // kDense cells (empty under kSparse)
+  std::vector<SparseRow> sparse_;  // kSparse cells (empty under kDense)
   std::vector<RowMeta> meta_;
-  std::vector<std::uint8_t> checked_;  // n*n flags for pair marking
+  std::unordered_set<std::uint64_t> checked_;  // unordered-pair mark keys
   std::size_t high_count_ = 0;
   std::uint32_t frequency_threshold_ = 0;
-  bool any_marks_ = false;  // lets clear_window skip the n*n mark sweep
 };
 
 }  // namespace p2prep::rating

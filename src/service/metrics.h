@@ -30,6 +30,12 @@ struct ServiceMetrics {
   std::uint64_t wal_bytes = 0;            ///< Current-generation bytes.
   std::uint64_t checkpoints_written = 0;
 
+  // Memory.
+  /// Resident bytes of all shards' rating matrices (per-backend estimate,
+  /// refreshed at epoch boundaries). The sparse-vs-dense backend choice
+  /// shows up here: O(nnz) versus num_shards * num_nodes^2 cells.
+  std::uint64_t matrix_bytes = 0;
+
   [[nodiscard]] std::string to_string() const {
     std::ostringstream os;
     os << "ingest: accepted=" << ratings_accepted
@@ -42,7 +48,8 @@ struct ServiceMetrics {
        << " latency_mean_ms=" << epoch_latency_ms_mean
        << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
        << "wal: records=" << wal_records << " bytes=" << wal_bytes
-       << " checkpoints=" << checkpoints_written;
+       << " checkpoints=" << checkpoints_written << "\n"
+       << "memory: matrix_bytes=" << matrix_bytes;
     return os.str();
   }
 };

@@ -615,6 +615,7 @@ ServiceMetrics ReputationService::metrics() const {
     applied += slot->shard.applied_total();
     m.wal_records += slot->shard.wal_records();
     m.wal_bytes += slot->shard.wal_bytes();
+    m.matrix_bytes += slot->shard.matrix_resident_bytes();
   }
   m.ratings_applied = applied;
   const double secs =

@@ -40,9 +40,13 @@ ServiceShard::ServiceShard(std::size_t index, const ServiceConfig& config)
       config_(&config),
       engine_(config.num_nodes, config.engine_normalize),
       manager_(std::make_unique<managers::IncrementalCentralizedManager>(
-          config.num_nodes, engine_, config.detector_config)),
+          config.num_nodes, engine_, config.detector_config,
+          config.matrix_backend)),
       detector_(make_detector(config.detector, config.detector_config)),
-      view_(std::make_shared<const ShardView>()) {}
+      view_(std::make_shared<const ShardView>()) {
+  matrix_bytes_.store(manager_->matrix().approx_memory_bytes(),
+                      std::memory_order_relaxed);
+}
 
 void ServiceShard::attach_wal(WalWriter writer) {
   wal_.emplace(std::move(writer));
@@ -117,6 +121,10 @@ void ServiceShard::publish_view(std::uint64_t epoch,
   }
   view->flagged_last_epoch = std::move(flagged);
   view->last_report = std::move(report_text);
+  // Epoch boundaries are the only points where no worker is mutating the
+  // matrix, so this is where the footprint gauge refreshes.
+  matrix_bytes_.store(manager_->matrix().approx_memory_bytes(),
+                      std::memory_order_relaxed);
 
   const util::MutexLock lock(view_mu_);
   view_ = std::move(view);
@@ -160,10 +168,12 @@ std::optional<ShardCheckpoint> ServiceShard::make_checkpoint() const {
   const auto& matrix = manager_->matrix();
   for (rating::NodeId i = 0; i < matrix.size(); ++i) {
     if (matrix.totals(i).total == 0) continue;
-    const auto row = matrix.row(i);
-    for (rating::NodeId k = 0; k < row.size(); ++k) {
-      if (row[k].total > 0) ckpt.cells.push_back({i, k, row[k]});
-    }
+    // Ascending-rater enumeration on both matrix backends, so checkpoint
+    // files are byte-identical regardless of the configured backend.
+    matrix.for_each_nonzero_cell(
+        i, [&ckpt, i](rating::NodeId k, const rating::PairStats& stats) {
+          ckpt.cells.push_back({i, k, stats});
+        });
   }
   return ckpt;
 }

@@ -59,6 +59,13 @@ struct ServiceConfig {
 
   DetectorKind detector = DetectorKind::kOptimized;
   core::DetectorConfig detector_config{};
+  /// Matrix representation of each shard's IncrementalCentralizedManager.
+  /// Sparse by default: shard matrices hold O(nnz) cells instead of
+  /// num_nodes^2, which is what makes S shards affordable. Detection
+  /// output, WAL contents and checkpoints are byte-identical across
+  /// backends (tests/differential/service_backend_test.cpp), so a durable
+  /// directory written under one backend recovers under the other.
+  rating::MatrixBackend matrix_backend = rating::MatrixBackend::kSparse;
   managers::CentralizedManager::SuppressionMode suppression =
       managers::CentralizedManager::SuppressionMode::kReset;
   /// SummationEngine publication mode. The default (false) publishes raw
@@ -176,6 +183,12 @@ class ServiceShard {
   [[nodiscard]] std::uint64_t wal_records_written() const noexcept {
     return wal_ ? wal_->records() : 0;
   }
+  /// Resident bytes of the shard's rating matrix, refreshed at every view
+  /// publication (reading the live matrix from other threads would race
+  /// with the worker).
+  [[nodiscard]] std::uint64_t matrix_resident_bytes() const noexcept {
+    return matrix_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void publish_view(std::uint64_t epoch,
@@ -199,6 +212,7 @@ class ServiceShard {
   std::atomic<std::uint64_t> epochs_completed_{0};
   std::atomic<std::uint64_t> wal_records_{0};
   std::atomic<std::uint64_t> wal_bytes_{0};
+  std::atomic<std::uint64_t> matrix_bytes_{0};
 
   mutable util::Mutex view_mu_;
   std::shared_ptr<const ShardView> view_ P2PREP_GUARDED_BY(view_mu_);

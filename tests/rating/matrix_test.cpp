@@ -74,13 +74,68 @@ TEST(RatingMatrixTest, AddRatingUpdatesCellAndTotals) {
   EXPECT_EQ(m.window_reputation(1), 1);
 }
 
-TEST(RatingMatrixTest, RowSpanMatchesCells) {
+TEST(RatingMatrixTest, CellVisitorMatchesCells) {
   RatingMatrix m(3);
   m.add_rating(1, 2, Score::kPositive);
-  const auto row = m.row(1);
-  ASSERT_EQ(row.size(), 3u);
-  EXPECT_EQ(row[2].positive, 1u);
-  EXPECT_EQ(row[0].total, 0u);
+  // The dense backend stores all n columns; the visitor exposes them all.
+  std::size_t visited = 0;
+  m.for_each_cell(1, [&](NodeId k, const PairStats& stats) {
+    ++visited;
+    EXPECT_EQ(stats, m.cell(1, k));
+  });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(m.cell(1, 2).positive, 1u);
+  EXPECT_EQ(m.cell(1, 0).total, 0u);
+  EXPECT_NE(m.cell_or_null(1, 2), nullptr);
+  EXPECT_EQ(m.cell_or_null(1, 0), nullptr);
+}
+
+TEST(RatingMatrixTest, SparseBackendStoresOnlyTouchedCells) {
+  RatingMatrix m(4, MatrixBackend::kSparse);
+  EXPECT_EQ(m.backend(), MatrixBackend::kSparse);
+  m.add_rating(1, 0, Score::kPositive);
+  m.add_rating(1, 0, Score::kNegative);
+  m.add_rating(1, 3, Score::kPositive);
+
+  std::size_t visited = 0;
+  m.for_each_cell(1, [&](NodeId, const PairStats&) { ++visited; });
+  EXPECT_EQ(visited, 2u);  // only the two touched cells are stored
+
+  EXPECT_EQ(m.cell(1, 0).total, 2u);
+  EXPECT_EQ(m.cell(1, 2).total, 0u);  // absent cell reads as empty
+  EXPECT_EQ(m.cell_or_null(1, 2), nullptr);
+  EXPECT_EQ(m.totals(1).total, 3u);
+  EXPECT_EQ(m.window_reputation(1), 1);
+
+  // Ordered enumeration: ascending rater, non-empty only.
+  std::vector<NodeId> raters;
+  m.for_each_nonzero_cell(
+      1, [&](NodeId k, const PairStats&) { raters.push_back(k); });
+  EXPECT_EQ(raters, (std::vector<NodeId>{0, 3}));
+
+  m.clear_window();
+  EXPECT_EQ(m.totals(1).total, 0u);
+  EXPECT_EQ(m.cell(1, 0).total, 0u);
+  visited = 0;
+  m.for_each_cell(1, [&](NodeId, const PairStats&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(RatingMatrixTest, SparseFootprintBeatsDenseOracle) {
+  constexpr std::size_t kNodes = 512;
+  RatingMatrix sparse(kNodes, MatrixBackend::kSparse);
+  RatingMatrix dense(kNodes, MatrixBackend::kDense);
+  for (NodeId i = 0; i + 1 < kNodes; i += 2) {
+    sparse.add_rating(i, i + 1, Score::kPositive);
+    dense.add_rating(i, i + 1, Score::kPositive);
+  }
+  EXPECT_LT(sparse.approx_memory_bytes(), dense.approx_memory_bytes() / 10);
+  // The analytic oracle is a floor of the measured dense footprint (the
+  // measurement adds the pair-mark set's overhead on top).
+  EXPECT_GE(dense.approx_memory_bytes(),
+            RatingMatrix::dense_footprint_bytes(kNodes));
+  EXPECT_LT(dense.approx_memory_bytes(),
+            RatingMatrix::dense_footprint_bytes(kNodes) + 4096);
 }
 
 TEST(RatingMatrixTest, MarkCheckedIsSymmetric) {

@@ -3,8 +3,11 @@
 // transfer_ratee), parameterized by seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
+#include "rating/matrix.h"
 #include "rating/store.h"
 #include "util/rng.h"
 
@@ -133,6 +136,80 @@ TEST_P(StoreModelTest, TransferPreservesUnion) {
       EXPECT_EQ(a.window_pair(ratee, rater) + b.window_pair(ratee, rater),
                 reference.window_pair(ratee, rater));
     }
+  }
+}
+
+TEST_P(StoreModelTest, SparseSnapshotSurvivesTransferInterleavings) {
+  constexpr std::size_t kNodes = 14;
+  util::Rng rng(GetParam() ^ 0x517cc1b7u);
+  RatingStore a(kNodes);
+  RatingStore b(kNodes);
+  RatingStore reference(kNodes);
+
+  for (int op = 0; op < 2000; ++op) {
+    const double dice = rng.next_double();
+    if (dice < 0.85) {
+      Rating r;
+      r.rater = static_cast<NodeId>(rng.next_below(kNodes));
+      r.ratee = static_cast<NodeId>(rng.next_below(kNodes));
+      if (r.rater == r.ratee) continue;
+      r.score = rng.chance(0.6) ? Score::kPositive : Score::kNegative;
+      (rng.chance(0.5) ? a : b).ingest(r);
+      reference.ingest(r);
+    } else if (dice < 0.90) {
+      // Window rollover hits every shard and the reference in the same
+      // step — the two horizons must never diverge across shards.
+      a.reset_window();
+      b.reset_window();
+      reference.reset_window();
+    } else if (dice < 0.97) {
+      // Shard handoff mid-window.
+      const auto ratee = static_cast<NodeId>(rng.next_below(kNodes));
+      if (rng.chance(0.5)) a.transfer_ratee(b, ratee);
+      else b.transfer_ratee(a, ratee);
+    } else {
+      const auto ratee = static_cast<NodeId>(rng.next_below(kNodes));
+      EXPECT_EQ(a.window_totals(ratee) + b.window_totals(ratee),
+                reference.window_totals(ratee));
+      EXPECT_EQ(a.lifetime_totals(ratee) + b.lifetime_totals(ratee),
+                reference.lifetime_totals(ratee));
+    }
+  }
+
+  // Consolidate every row into one store (a transfer storm in itself)
+  // and require it to reproduce the reference at both horizons.
+  for (NodeId ratee = 0; ratee < kNodes; ++ratee) b.transfer_ratee(a, ratee);
+  for (NodeId ratee = 0; ratee < kNodes; ++ratee) {
+    EXPECT_EQ(a.window_totals(ratee), reference.window_totals(ratee));
+    EXPECT_EQ(a.lifetime_totals(ratee), reference.lifetime_totals(ratee));
+    for (NodeId rater = 0; rater < kNodes; ++rater) {
+      EXPECT_EQ(a.window_pair(ratee, rater),
+                reference.window_pair(ratee, rater));
+    }
+  }
+
+  // The snapshot a manager would take of the transferred store must be
+  // identical under both matrix backends — the sparse representation sees
+  // the exact state the dense oracle sees.
+  std::int64_t max_rep = 1;
+  for (NodeId i = 0; i < kNodes; ++i)
+    max_rep = std::max(max_rep, reference.reputation(i));
+  std::vector<double> reps(kNodes, 0.0);
+  for (NodeId i = 0; i < kNodes; ++i) {
+    if (reference.reputation(i) > 0)
+      reps[i] = static_cast<double>(reference.reputation(i)) /
+                static_cast<double>(max_rep);
+  }
+  const RatingMatrix dense =
+      RatingMatrix::build(a, reps, 0.05, 3, MatrixBackend::kDense);
+  const RatingMatrix sparse =
+      RatingMatrix::build(a, reps, 0.05, 3, MatrixBackend::kSparse);
+  for (NodeId i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(dense.high_reputed(i), sparse.high_reputed(i));
+    EXPECT_EQ(dense.totals(i), sparse.totals(i));
+    EXPECT_EQ(dense.frequent_totals(i), sparse.frequent_totals(i));
+    for (NodeId j = 0; j < kNodes; ++j)
+      EXPECT_EQ(dense.cell(i, j), sparse.cell(i, j));
   }
 }
 

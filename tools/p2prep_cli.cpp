@@ -106,8 +106,9 @@ int usage() {
                "  serve-replay --in FILE [--from-trace] [--shards N]\n"
                "            [--scope global|per-shard] [--epoch-ratings N] "
                "[--epoch-ticks N]\n"
-               "            [--detector basic|optimized] [--wal-dir DIR] "
-               "[--checkpoint-every N]\n"
+               "            [--detector basic|optimized] "
+               "[--matrix-backend dense|sparse]\n"
+               "            [--wal-dir DIR] [--checkpoint-every N]\n"
                "            [--queue N] [--drop-oldest] [--report]\n"
                "            [--ta F] [--tb F] [--tn N] [--tr F] "
                "[--one-sided]\n");
@@ -418,6 +419,15 @@ int cmd_serve_replay(const Args& args) {
   if (detector == "basic") cfg.detector = service::DetectorKind::kBasic;
   else if (detector == "optimized")
     cfg.detector = service::DetectorKind::kOptimized;
+  else return usage();
+
+  // Detection output is identical across backends; sparse (the default)
+  // keeps shard matrices at O(nnz) memory, dense is the paper-cost oracle.
+  const std::string backend = args.get("matrix-backend", "sparse");
+  if (backend == "dense")
+    cfg.matrix_backend = rating::MatrixBackend::kDense;
+  else if (backend == "sparse")
+    cfg.matrix_backend = rating::MatrixBackend::kSparse;
   else return usage();
 
   try {
