@@ -1,0 +1,397 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace p2prep::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] int remaining_ms(Clock::time_point deadline) {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+  if (ms <= 0) return 0;
+  return static_cast<int>(std::min<long long>(ms, 60 * 1000));
+}
+
+}  // namespace
+
+RpcClient::RpcClient(RpcClientConfig config) : config_(std::move(config)) {}
+
+RpcClient::~RpcClient() { close(); }
+
+void RpcClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool RpcClient::connect(std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + config_.host + "'";
+    close();
+    return false;
+  }
+
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close();
+    return false;
+  }
+  pollfd pfd{fd_, POLLOUT, 0};
+  const int ready =
+      ::poll(&pfd, 1, static_cast<int>(config_.connect_timeout_ms));
+  int so_error = 0;
+  socklen_t len = sizeof so_error;
+  ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+  if (ready <= 0 || so_error != 0) {
+    if (error != nullptr)
+      *error = ready <= 0 ? "connect timeout" : std::strerror(so_error);
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool RpcClient::send_all(const std::string& data, std::string* error) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, remaining_ms(deadline)) <= 0) {
+        if (error != nullptr) *error = "send timeout";
+        return false;
+      }
+      continue;
+    }
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> RpcClient::recv_frame(Clock::time_point deadline,
+                                                 std::string* error) {
+  char buf[16384];
+  for (;;) {
+    std::string_view payload;
+    std::size_t consumed = 0;
+    std::string frame_err;
+    const FrameResult res =
+        try_decode_frame(rbuf_, config_.max_frame_bytes, &payload, &consumed,
+                         &frame_err);
+    if (res == FrameResult::kFrame) {
+      std::string out(payload);
+      rbuf_.erase(0, consumed);
+      return out;
+    }
+    if (res == FrameResult::kError) {
+      if (error != nullptr) *error = "corrupt response: " + frame_err;
+      return std::nullopt;
+    }
+
+    const int wait = remaining_ms(deadline);
+    if (wait <= 0) {
+      if (error != nullptr) *error = "request timeout";
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready <= 0) {
+      if (error != nullptr)
+        *error = ready == 0 ? "request timeout" : std::strerror(errno);
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return std::nullopt;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (error != nullptr) *error = std::strerror(errno);
+    return std::nullopt;
+  }
+}
+
+CallResult RpcClient::call(MsgType type, const std::string& body,
+                           std::string* body_out) {
+  CallResult result;
+  if (fd_ < 0) {
+    result.error = "not connected";
+    ++stats_.transport_errors;
+    return result;
+  }
+  ++stats_.requests;
+  const std::uint64_t id = next_request_id_++;
+  std::string payload;
+  encode_request_header(payload, type, id);
+  payload += body;
+
+  std::string err;
+  if (!send_all(encode_frame(payload), &err)) {
+    result.error = err;
+    ++stats_.transport_errors;
+    close();
+    return result;
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
+  for (;;) {
+    const auto frame = recv_frame(deadline, &err);
+    if (!frame) {
+      result.error = err;
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    Reader r(*frame);
+    ResponseHeader h;
+    if (!decode_response_header(r, h)) {
+      result.error = "malformed response envelope";
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    // Unsolicited kGoAway: the server is refusing service (connection
+    // limit or shutdown) — surface its status; it will close on us.
+    const bool goaway =
+        h.type == static_cast<std::uint8_t>(MsgType::kGoAway) &&
+        h.request_id == 0;
+    if (!goaway && h.request_id != id) continue;  // stale frame; skip
+
+    result.ok = true;
+    result.status = h.status;
+    result.backoff_hint_ms = h.backoff_hint_ms;
+    if (result.status == Status::kRetryLater) ++stats_.sheds_seen;
+    if (goaway) close();  // server hangs up after a GoAway
+    if (body_out != nullptr) {
+      body_out->clear();
+      body_out->reserve(r.remaining());
+      while (r.remaining() > 0) {
+        std::uint8_t b = 0;
+        (void)r.get_u8(b);
+        body_out->push_back(static_cast<char>(b));
+      }
+    }
+    return result;
+  }
+}
+
+// --- Single-shot calls -----------------------------------------------------
+
+CallResult RpcClient::ping() { return call(MsgType::kPing, {}, nullptr); }
+
+CallResult RpcClient::submit_rating(const rating::Rating& r) {
+  std::string body;
+  SubmitRatingRequest{r}.encode(body);
+  return call(MsgType::kSubmitRating, body, nullptr);
+}
+
+CallResult RpcClient::query_reputation(rating::NodeId node,
+                                       QueryReputationResponse* out) {
+  std::string body;
+  QueryReputationRequest{node}.encode(body);
+  std::string resp_body;
+  CallResult result = call(MsgType::kQueryReputation, body, &resp_body);
+  if (result.ok && result.status == Status::kOk && out != nullptr) {
+    Reader r(resp_body);
+    const auto decoded = QueryReputationResponse::decode(r);
+    if (!decoded) {
+      result.ok = false;
+      result.error = "malformed query-reputation body";
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    *out = *decoded;
+  }
+  return result;
+}
+
+CallResult RpcClient::query_colluders(QueryColludersResponse* out) {
+  std::string resp_body;
+  CallResult result = call(MsgType::kQueryColluders, {}, &resp_body);
+  if (result.ok && result.status == Status::kOk && out != nullptr) {
+    Reader r(resp_body);
+    const auto decoded = QueryColludersResponse::decode(r);
+    if (!decoded) {
+      result.ok = false;
+      result.error = "malformed query-colluders body";
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    *out = *decoded;
+  }
+  return result;
+}
+
+CallResult RpcClient::get_metrics(service::ServiceMetrics* out) {
+  std::string resp_body;
+  CallResult result = call(MsgType::kGetMetrics, {}, &resp_body);
+  if (result.ok && result.status == Status::kOk && out != nullptr) {
+    Reader r(resp_body);
+    const auto decoded = GetMetricsResponse::decode(r);
+    if (!decoded) {
+      result.ok = false;
+      result.error = "malformed get-metrics body";
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    *out = decoded->metrics;
+  }
+  return result;
+}
+
+// --- Retrying submit paths -------------------------------------------------
+
+void RpcClient::backoff(std::uint32_t attempt, std::uint32_t hint_ms) {
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 16);
+  std::uint64_t wait = static_cast<std::uint64_t>(config_.backoff_initial_ms)
+                       << shift;
+  wait = std::min<std::uint64_t>(wait, config_.backoff_max_ms);
+  wait = std::max<std::uint64_t>(wait, hint_ms);  // server hint is a floor
+  if (wait > 0) std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+}
+
+CallResult RpcClient::submit_rating_with_retry(const rating::Rating& r) {
+  CallResult last;
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (fd_ < 0) {
+      ++stats_.reconnects;
+      if (!connect(&last.error)) {
+        backoff(attempt, 0);
+        continue;
+      }
+    }
+    last = submit_rating(r);
+    if (last.ok && (last.status == Status::kOk ||
+                    last.status == Status::kInvalidArgument))
+      return last;
+    // Shed (honor the hint) or transport loss (reconnect next round).
+    backoff(attempt, last.ok ? last.backoff_hint_ms : 0);
+  }
+  return last;
+}
+
+RpcClient::BatchOutcome RpcClient::submit_batch(
+    std::span<const rating::Rating> ratings, std::size_t batch_size) {
+  BatchOutcome outcome;
+  if (batch_size == 0) batch_size = 1;
+  std::size_t pos = 0;
+  std::uint32_t attempt = 0;
+
+  while (pos < ratings.size()) {
+    if (attempt >= config_.max_attempts) {
+      outcome.error = outcome.error.empty() ? "attempts exhausted"
+                                            : outcome.error;
+      return outcome;
+    }
+    if (fd_ < 0) {
+      ++stats_.reconnects;
+      std::string err;
+      if (!connect(&err)) {
+        outcome.error = err;
+        ++attempt;
+        ++stats_.retries;
+        backoff(attempt, 0);
+        continue;
+      }
+    }
+
+    const std::size_t n = std::min(batch_size, ratings.size() - pos);
+    SubmitBatchRequest req;
+    req.ratings.assign(ratings.begin() + static_cast<std::ptrdiff_t>(pos),
+                       ratings.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    std::string body;
+    req.encode(body);
+    std::string resp_body;
+    const CallResult result = call(MsgType::kSubmitBatch, body, &resp_body);
+
+    if (!result.ok) {
+      outcome.error = result.error;
+      ++attempt;
+      ++stats_.retries;
+      backoff(attempt, 0);
+      continue;
+    }
+    Reader r(resp_body);
+    const auto resp = SubmitBatchResponse::decode(r);
+    if (!resp) {
+      outcome.error = "malformed submit-batch body";
+      ++stats_.transport_errors;
+      close();
+      ++attempt;
+      ++stats_.retries;
+      continue;
+    }
+    const std::size_t consumed = resp->accepted + resp->rejected;
+    pos += consumed;
+    outcome.accepted += resp->accepted;
+    outcome.rejected += resp->rejected;
+    if (consumed > 0) attempt = 0;  // progress resets the retry budget
+
+    if (result.status == Status::kOk) continue;
+    if (result.status == Status::kRetryLater) {
+      ++attempt;
+      ++stats_.retries;
+      backoff(attempt, result.backoff_hint_ms);
+      continue;
+    }
+    outcome.error = std::string(to_string(result.status));
+    return outcome;  // kShuttingDown or an unexpected status: give up
+  }
+  outcome.complete = true;
+  return outcome;
+}
+
+}  // namespace p2prep::rpc

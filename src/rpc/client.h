@@ -1,0 +1,124 @@
+// Blocking RPC client for the reputation service (rpc/protocol.h wire
+// format). One connection, synchronous request/response; connect and
+// per-request timeouts; submit paths retry on kRetryLater sheds with
+// bounded exponential backoff that honors the server's backoff hint — the
+// contract half of the server's doorman-style overload control.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "rating/types.h"
+#include "rpc/protocol.h"
+#include "service/metrics.h"
+
+namespace p2prep::rpc {
+
+struct RpcClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t connect_timeout_ms = 2000;
+  /// Deadline for one full request/response round trip.
+  std::uint32_t request_timeout_ms = 5000;
+  /// Backoff after a shed doubles from `initial` up to `max`; the server's
+  /// backoff hint is a floor on every wait.
+  std::uint32_t backoff_initial_ms = 5;
+  std::uint32_t backoff_max_ms = 1000;
+  /// Attempts per logical operation in the retrying submit paths (one
+  /// initial try + max_attempts-1 retries).
+  std::uint32_t max_attempts = 16;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+struct RpcClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;           ///< Re-sends after shed/transport loss.
+  std::uint64_t sheds_seen = 0;        ///< kRetryLater responses received.
+  std::uint64_t reconnects = 0;
+  std::uint64_t transport_errors = 0;  ///< Timeouts, resets, bad frames.
+};
+
+/// Outcome of one RPC round trip. `ok` means a well-formed response
+/// arrived (its status may still be an application error); on !ok, `error`
+/// says what broke and the connection is closed (reconnect to continue).
+struct CallResult {
+  bool ok = false;
+  Status status = Status::kInternal;
+  std::uint32_t backoff_hint_ms = 0;
+  std::string error;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(RpcClientConfig config);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Connects (or reconnects) within connect_timeout_ms. A kGoAway frame
+  /// the server sends instead of accepting (connection-limit shed) is
+  /// surfaced on the first request, not here.
+  bool connect(std::string* error = nullptr);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  // --- Single-shot calls (no retry; !ok closes the connection) ---
+  CallResult ping();
+  CallResult submit_rating(const rating::Rating& r);
+  CallResult query_reputation(rating::NodeId node,
+                              QueryReputationResponse* out);
+  CallResult query_colluders(QueryColludersResponse* out);
+  CallResult get_metrics(service::ServiceMetrics* out);
+
+  // --- Retrying submit paths ---
+
+  /// Submits one rating, retrying sheds (after the hinted backoff) and
+  /// transport failures (after reconnecting) up to max_attempts. Returns
+  /// the final status: kOk, kInvalidArgument, or the last failure.
+  CallResult submit_rating_with_retry(const rating::Rating& r);
+
+  struct BatchOutcome {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;   ///< Invalid ratings skipped by the server.
+    bool complete = false;      ///< Whole span consumed.
+    std::string error;          ///< Set when !complete.
+  };
+
+  /// Submits `ratings` in frames of `batch_size`, resuming after partial
+  /// consumption: when the server sheds mid-batch its response reports the
+  /// consumed prefix, and only the remainder is resent after backoff.
+  BatchOutcome submit_batch(std::span<const rating::Rating> ratings,
+                            std::size_t batch_size = 256);
+
+  [[nodiscard]] const RpcClientStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const RpcClientConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// One round trip: frame + send `payload`, receive and validate the
+  /// response envelope (matching request_id), leave the body in
+  /// `body_out`. Transport errors close the connection.
+  CallResult call(MsgType type, const std::string& body,
+                  std::string* body_out);
+  bool send_all(const std::string& data, std::string* error);
+  /// Receives one frame within the deadline; empty optional on failure.
+  std::optional<std::string> recv_frame(
+      std::chrono::steady_clock::time_point deadline, std::string* error);
+  /// Backoff wait before retry `attempt` (0-based), >= the server hint.
+  void backoff(std::uint32_t attempt, std::uint32_t hint_ms);
+
+  RpcClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::string rbuf_;  ///< Bytes received past the current frame.
+  RpcClientStats stats_;
+};
+
+}  // namespace p2prep::rpc

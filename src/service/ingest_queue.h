@@ -76,6 +76,24 @@ class IngestQueue {
     return true;
   }
 
+  /// Outcome of a non-blocking try_push().
+  enum class TryPush { kOk, kFull, kClosed };
+
+  /// Non-blocking push: regardless of policy, a full queue fails with
+  /// kFull instead of waiting (kBlock) or evicting (kDropOldest). The RPC
+  /// front-end sheds on kFull rather than stalling its event loop
+  /// (rpc/server.h overload control).
+  TryPush try_push(T value) {
+    {
+      util::MutexLock lock(mu_);
+      if (closed_) return TryPush::kClosed;
+      if (items_.size() >= capacity_) return TryPush::kFull;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return TryPush::kOk;
+  }
+
   /// Enqueues regardless of capacity and policy; only fails when closed.
   /// Never blocks and never causes an eviction.
   bool push_forced(T value) {

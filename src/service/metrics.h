@@ -36,6 +36,17 @@ struct ServiceMetrics {
   /// shows up here: O(nnz) versus num_shards * num_nodes^2 cells.
   std::uint64_t matrix_bytes = 0;
 
+  // RPC front door (rpc/server.h). All zero when the service is driven
+  // directly (serve-replay, tests) — RpcServer::fill_metrics() populates
+  // them, so serve and serve-replay report through the same dump.
+  std::uint64_t rpc_accepted = 0;    ///< Connections accepted.
+  std::uint64_t rpc_rejected = 0;    ///< Connections refused at max_connections.
+  std::uint64_t rpc_requests = 0;    ///< Complete request frames decoded.
+  std::uint64_t rpc_shed = 0;        ///< Requests answered kRetryLater.
+  std::uint64_t rpc_bytes_in = 0;
+  std::uint64_t rpc_bytes_out = 0;
+  std::uint64_t rpc_active_connections = 0;  ///< Gauge at snapshot time.
+
   [[nodiscard]] std::string to_string() const {
     std::ostringstream os;
     os << "ingest: accepted=" << ratings_accepted
@@ -49,7 +60,11 @@ struct ServiceMetrics {
        << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
        << "wal: records=" << wal_records << " bytes=" << wal_bytes
        << " checkpoints=" << checkpoints_written << "\n"
-       << "memory: matrix_bytes=" << matrix_bytes;
+       << "memory: matrix_bytes=" << matrix_bytes << "\n"
+       << "rpc: accepted=" << rpc_accepted << " rejected=" << rpc_rejected
+       << " requests=" << rpc_requests << " shed=" << rpc_shed
+       << " bytes_in=" << rpc_bytes_in << " bytes_out=" << rpc_bytes_out
+       << " active_connections=" << rpc_active_connections;
     return os.str();
   }
 };

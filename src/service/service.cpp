@@ -280,6 +280,64 @@ bool ReputationService::ingest(const rating::Rating& r) {
   return true;
 }
 
+ReputationService::IngestResult ReputationService::try_ingest(
+    const rating::Rating& r) {
+  using TryPush = IngestQueue<WalRecord>::TryPush;
+  if (stopped_.load(std::memory_order_relaxed)) return IngestResult::kStopped;
+  if (r.rater == r.ratee || r.rater >= config_.num_nodes ||
+      r.ratee >= config_.num_nodes) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return IngestResult::kInvalid;
+  }
+  const std::size_t s = shard_of(r.ratee);
+  const WalRecord rec = WalRecord::make_rating(r);
+
+  if (config_.epoch_scope == EpochScope::kPerShard) {
+    switch (slots_[s]->queue.try_push(rec)) {
+      case TryPush::kClosed: return IngestResult::kStopped;
+      case TryPush::kFull: return IngestResult::kBusy;
+      case TryPush::kOk: break;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    routed_records_.fetch_add(1, std::memory_order_relaxed);
+    return IngestResult::kAccepted;
+  }
+
+  // Global scope: same atomic route-and-maybe-epoch step as ingest(); a
+  // full queue bails out before any cadence state is touched.
+  const util::MutexLock lock(route_mu_);
+  switch (slots_[s]->queue.try_push(rec)) {
+    case TryPush::kClosed: return IngestResult::kStopped;
+    case TryPush::kFull: return IngestResult::kBusy;
+    case TryPush::kOk: break;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  routed_records_.fetch_add(1, std::memory_order_relaxed);
+  ++routed_since_epoch_;
+
+  const bool due =
+      (config_.epoch_ratings > 0 &&
+       routed_since_epoch_ >= config_.epoch_ratings) ||
+      (config_.epoch_ticks > 0 &&
+       r.time >= global_last_epoch_tick_ + config_.epoch_ticks);
+  if (due) {
+    const std::uint64_t seq = ++epoch_seq_;
+    for (auto& slot : slots_) {
+      if (slot->queue.push_forced(WalRecord::make_marker(seq)))
+        routed_records_.fetch_add(1, std::memory_order_relaxed);
+    }
+    routed_since_epoch_ = 0;
+    global_last_epoch_tick_ = r.time;
+  }
+  return IngestResult::kAccepted;
+}
+
+std::uint64_t ReputationService::queue_depth() const {
+  std::uint64_t depth = 0;
+  for (const auto& slot : slots_) depth += slot->queue.size();
+  return depth;
+}
+
 std::uint64_t ReputationService::force_epoch() {
   const util::MutexLock lock(route_mu_);
   const std::uint64_t seq = ++epoch_seq_;

@@ -97,6 +97,24 @@ class ReputationService {
   /// caller (backpressure); under kDropOldest it never blocks.
   bool ingest(const rating::Rating& r);
 
+  /// Outcome of a non-blocking try_ingest().
+  enum class IngestResult {
+    kAccepted,  ///< Routed into the owner shard's queue.
+    kInvalid,   ///< Self-rating or id out of range.
+    kBusy,      ///< Owner shard's queue is full — retry later.
+    kStopped,   ///< Service stopped; no more ratings will be accepted.
+  };
+
+  /// Non-blocking ingest for the RPC front-end: a full owner-shard queue
+  /// returns kBusy instead of blocking (kBlock) or evicting (kDropOldest),
+  /// so the caller can shed with a retry hint. Identical routing and epoch
+  /// cadence to ingest() — the two can be mixed freely.
+  IngestResult try_ingest(const rating::Rating& r);
+
+  /// Current total queue depth across shards (cheap; the RPC server polls
+  /// it as its inflight gauge for admission control).
+  [[nodiscard]] std::uint64_t queue_depth() const;
+
   /// Blocks until every routed record has been fully processed and no
   /// epoch is in flight. Deterministic quiesce point for tests/CLI.
   void drain();

@@ -10,12 +10,19 @@
 //   p2prep_cli simulate --colluders 8 --cycles 20 --detector optimized
 //   p2prep_cli serve-replay --in o.csv --from-trace --shards 4
 //       --epoch-ratings 4096 --wal-dir /tmp/p2prep-wal --report
+//   p2prep_cli serve --listen 7400 --nodes 100000 --shards 4
+//       --wal-dir /tmp/p2prep-wal          # SIGINT/SIGTERM drain + exit
+//   p2prep_cli rate --port 7400 --rater 3 --ratee 9 --score 1
+//   p2prep_cli query --port 7400 --node 9
+//   p2prep_cli metrics --port 7400
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/basic_detector.h"
@@ -23,6 +30,8 @@
 #include "core/group_detector.h"
 #include "core/optimized_detector.h"
 #include "net/experiment.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
 #include "service/service.h"
 #include "rating/matrix.h"
 #include "rating/store.h"
@@ -35,6 +44,20 @@
 namespace {
 
 using namespace p2prep;
+
+/// Set by SIGINT/SIGTERM; serve and serve-replay poll it and drain
+/// (connections, ingest queues, WAL) instead of dying mid-stream.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void handle_shutdown_signal(int sig) { g_shutdown_signal = sig; }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 /// --flag value parser; flags without '--' prefix are positional.
 class Args {
@@ -111,7 +134,19 @@ int usage() {
                "            [--wal-dir DIR] [--checkpoint-every N]\n"
                "            [--queue N] [--drop-oldest] [--report]\n"
                "            [--ta F] [--tb F] [--tn N] [--tr F] "
-               "[--one-sided]\n");
+               "[--one-sided]\n"
+               "  serve     --listen PORT [--bind ADDR] [--nodes N] "
+               "[--in FILE [--from-trace]]\n"
+               "            [--rpc-workers N] [--max-conn N] "
+               "[--max-inflight N]\n"
+               "            [--idle-timeout-ms N] [--request-timeout-ms N] "
+               "[--shed-backoff-ms N]\n"
+               "            [--stats-every SECS] + serve-replay service "
+               "flags\n"
+               "  rate      --port PORT [--host H] --rater N --ratee N "
+               "[--score -1|0|1] [--tick N]\n"
+               "  query     --port PORT [--host H] --node N | --colluders\n"
+               "  metrics   --port PORT [--host H]\n");
   return 2;
 }
 
@@ -383,22 +418,11 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-// Streams a rating file through the sharded online service — the durable
-// deployment front-end — and dumps metrics plus detection reports. With
-// --wal-dir the run is persisted; re-running over the same directory
-// recovers the previous state first and continues from it.
-int cmd_serve_replay(const Args& args) {
-  std::vector<rating::Rating> ratings;
-  if (!load_ratings(args, ratings)) return 1;
-  if (ratings.empty()) {
-    std::fprintf(stderr, "error: no ratings in input\n");
-    return 1;
-  }
-  rating::NodeId max_id = 0;
-  for (const auto& r : ratings) max_id = std::max({max_id, r.rater, r.ratee});
-
-  service::ServiceConfig cfg;
-  cfg.num_nodes = static_cast<std::size_t>(max_id) + 1;
+/// Shared ServiceConfig parsing for serve-replay and serve. Returns false
+/// (after printing usage) on an unrecognized enum value.
+bool service_config_from(const Args& args, std::size_t num_nodes,
+                         service::ServiceConfig& cfg) {
+  cfg.num_nodes = num_nodes;
   cfg.num_shards = args.get_u64("shards", 4);
   cfg.queue_capacity = args.get_u64("queue", cfg.queue_capacity);
   if (args.has("drop-oldest"))
@@ -413,13 +437,13 @@ int cmd_serve_replay(const Args& args) {
   if (scope == "global") cfg.epoch_scope = service::EpochScope::kGlobal;
   else if (scope == "per-shard")
     cfg.epoch_scope = service::EpochScope::kPerShard;
-  else return usage();
+  else return false;
 
   const std::string detector = args.get("detector", "optimized");
   if (detector == "basic") cfg.detector = service::DetectorKind::kBasic;
   else if (detector == "optimized")
     cfg.detector = service::DetectorKind::kOptimized;
-  else return usage();
+  else return false;
 
   // Detection output is identical across backends; sparse (the default)
   // keeps shard matrices at O(nnz) memory, dense is the paper-cost oracle.
@@ -428,8 +452,30 @@ int cmd_serve_replay(const Args& args) {
     cfg.matrix_backend = rating::MatrixBackend::kDense;
   else if (backend == "sparse")
     cfg.matrix_backend = rating::MatrixBackend::kSparse;
-  else return usage();
+  else return false;
+  return true;
+}
 
+// Streams a rating file through the sharded online service — the durable
+// deployment front-end — and dumps metrics plus detection reports. With
+// --wal-dir the run is persisted; re-running over the same directory
+// recovers the previous state first and continues from it. SIGINT/SIGTERM
+// interrupts the replay but still drains and reports before exiting.
+int cmd_serve_replay(const Args& args) {
+  std::vector<rating::Rating> ratings;
+  if (!load_ratings(args, ratings)) return 1;
+  if (ratings.empty()) {
+    std::fprintf(stderr, "error: no ratings in input\n");
+    return 1;
+  }
+  rating::NodeId max_id = 0;
+  for (const auto& r : ratings) max_id = std::max({max_id, r.rater, r.ratee});
+
+  service::ServiceConfig cfg;
+  if (!service_config_from(args, static_cast<std::size_t>(max_id) + 1, cfg))
+    return usage();
+
+  install_signal_handlers();
   try {
     service::ReputationService svc(cfg);
     if (svc.recovered()) {
@@ -440,7 +486,17 @@ int cmd_serve_replay(const Args& args) {
                    static_cast<unsigned long long>(m.ratings_applied),
                    static_cast<unsigned long long>(m.epochs_completed));
     }
-    for (const auto& r : ratings) svc.ingest(r);
+    std::size_t ingested = 0;
+    for (const auto& r : ratings) {
+      if (g_shutdown_signal != 0) break;
+      svc.ingest(r);
+      ++ingested;
+    }
+    if (g_shutdown_signal != 0)
+      std::fprintf(stderr,
+                   "signal %d: stopping after %zu/%zu ratings, draining\n",
+                   static_cast<int>(g_shutdown_signal), ingested,
+                   ratings.size());
     svc.force_epoch();  // close the stream with a final detection pass
     svc.drain();
 
@@ -460,6 +516,215 @@ int cmd_serve_replay(const Args& args) {
   return 0;
 }
 
+// Runs the service behind the socket RPC front-end until SIGINT/SIGTERM,
+// then drains connections and ingest queues, flushes the WAL via a final
+// epoch, and prints final metrics. --in seeds the service from a rating
+// file before accepting traffic.
+int cmd_serve(const Args& args) {
+  if (!args.has("listen")) {
+    std::fprintf(stderr, "error: serve requires --listen PORT\n");
+    return usage();
+  }
+
+  std::vector<rating::Rating> seed;
+  std::size_t num_nodes = args.get_u64("nodes", 100000);
+  if (args.has("in")) {
+    if (!load_ratings(args, seed)) return 1;
+    rating::NodeId max_id = 0;
+    for (const auto& r : seed) max_id = std::max({max_id, r.rater, r.ratee});
+    num_nodes = std::max(num_nodes, static_cast<std::size_t>(max_id) + 1);
+  }
+
+  service::ServiceConfig cfg;
+  if (!service_config_from(args, num_nodes, cfg)) return usage();
+
+  rpc::RpcServerConfig rcfg;
+  rcfg.port = static_cast<std::uint16_t>(args.get_u64("listen", 0));
+  rcfg.bind_address = args.get("bind", rcfg.bind_address);
+  rcfg.num_workers = args.get_u64("rpc-workers", rcfg.num_workers);
+  rcfg.max_connections = args.get_u64("max-conn", rcfg.max_connections);
+  rcfg.max_inflight = args.get_u64("max-inflight", rcfg.max_inflight);
+  rcfg.idle_timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64("idle-timeout-ms",
+                                              rcfg.idle_timeout_ms));
+  rcfg.request_timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64("request-timeout-ms",
+                                              rcfg.request_timeout_ms));
+  rcfg.shed_backoff_ms =
+      static_cast<std::uint32_t>(args.get_u64("shed-backoff-ms",
+                                              rcfg.shed_backoff_ms));
+  if (!rcfg.valid()) {
+    std::fprintf(stderr, "error: invalid rpc server configuration\n");
+    return 1;
+  }
+
+  install_signal_handlers();
+  try {
+    service::ReputationService svc(cfg);
+    if (svc.recovered()) {
+      const auto m = svc.metrics();
+      std::fprintf(stderr,
+                   "recovered from '%s': %llu ratings, %llu epochs\n",
+                   cfg.wal_dir.c_str(),
+                   static_cast<unsigned long long>(m.ratings_applied),
+                   static_cast<unsigned long long>(m.epochs_completed));
+    }
+    for (const auto& r : seed) svc.ingest(r);
+    if (!seed.empty())
+      std::fprintf(stderr, "seeded %zu ratings from '%s'\n", seed.size(),
+                   args.get("in").c_str());
+
+    rpc::RpcServer server(svc, rcfg);
+    std::fprintf(stderr, "listening on %s:%u (%zu workers)\n",
+                 rcfg.bind_address.c_str(), server.port(),
+                 rcfg.num_workers);
+
+    const std::uint64_t stats_every_s = args.get_u64("stats-every", 0);
+    std::uint64_t ticks = 0;
+    while (g_shutdown_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      ++ticks;
+      if (stats_every_s != 0 && ticks % (stats_every_s * 10) == 0) {
+        service::ServiceMetrics m = svc.metrics();
+        server.fill_metrics(m);
+        std::fprintf(stderr, "%s\n", m.to_string().c_str());
+      }
+    }
+
+    std::fprintf(stderr, "signal %d: draining connections and queues\n",
+                 static_cast<int>(g_shutdown_signal));
+    server.shutdown();       // stop accepting, flush in-flight responses
+    svc.force_epoch();       // final detection pass over the partial window
+    svc.drain();             // WAL is flushed per-record; queues now empty
+    service::ServiceMetrics m = svc.metrics();
+    server.fill_metrics(m);
+    std::printf("%s\n", m.to_string().c_str());
+    svc.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+/// printf-safe copy of the status name (to_string returns a string_view).
+std::string status_cstr(rpc::Status s) {
+  return std::string(rpc::to_string(s));
+}
+
+rpc::RpcClientConfig client_config_from(const Args& args) {
+  rpc::RpcClientConfig cfg;
+  cfg.host = args.get("host", cfg.host);
+  cfg.port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  cfg.connect_timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64("connect-timeout-ms",
+                                              cfg.connect_timeout_ms));
+  cfg.request_timeout_ms =
+      static_cast<std::uint32_t>(args.get_u64("request-timeout-ms",
+                                              cfg.request_timeout_ms));
+  return cfg;
+}
+
+bool client_connect(const Args& args, rpc::RpcClient& client) {
+  if (!args.has("port")) {
+    std::fprintf(stderr, "error: --port PORT is required\n");
+    return false;
+  }
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: connect failed: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Submits one rating over RPC, retrying sheds with the hinted backoff.
+int cmd_rate(const Args& args) {
+  rpc::RpcClient client(client_config_from(args));
+  if (!client_connect(args, client)) return 1;
+
+  rating::Rating r;
+  r.rater = static_cast<rating::NodeId>(args.get_u64("rater", 0));
+  r.ratee = static_cast<rating::NodeId>(args.get_u64("ratee", 0));
+  const long score = std::strtol(args.get("score", "1").c_str(), nullptr, 10);
+  r.score = static_cast<rating::Score>(score);
+  r.time = args.get_u64("tick", 0);
+
+  const rpc::CallResult res = client.submit_rating_with_retry(r);
+  if (!res.ok) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return 1;
+  }
+  if (res.status != rpc::Status::kOk) {
+    std::fprintf(stderr, "rejected: %s\n", status_cstr(res.status).c_str());
+    return 1;
+  }
+  const auto& st = client.stats();
+  std::printf("ok (%llu retries, %llu sheds seen)\n",
+              static_cast<unsigned long long>(st.retries),
+              static_cast<unsigned long long>(st.sheds_seen));
+  return 0;
+}
+
+// Queries one node's reputation (--node N) or the current colluder list
+// (--colluders) from a running server.
+int cmd_query(const Args& args) {
+  rpc::RpcClient client(client_config_from(args));
+  if (!client_connect(args, client)) return 1;
+
+  if (args.has("colluders")) {
+    rpc::QueryColludersResponse out;
+    const rpc::CallResult res = client.query_colluders(&out);
+    if (!res.ok || res.status != rpc::Status::kOk) {
+      std::fprintf(stderr, "error: %s\n",
+                   res.ok ? status_cstr(res.status).c_str()
+                        : res.error.c_str());
+      return 1;
+    }
+    std::printf("%llu suspected%s:",
+                static_cast<unsigned long long>(out.total_suspected),
+                out.truncated ? " (truncated)" : "");
+    for (const auto id : out.colluders) std::printf(" %u", id);
+    std::printf("\n");
+    return 0;
+  }
+
+  if (!args.has("node")) {
+    std::fprintf(stderr, "error: query requires --node N or --colluders\n");
+    return 1;
+  }
+  const auto node = static_cast<rating::NodeId>(args.get_u64("node", 0));
+  rpc::QueryReputationResponse out;
+  const rpc::CallResult res = client.query_reputation(node, &out);
+  if (!res.ok || res.status != rpc::Status::kOk) {
+    std::fprintf(stderr, "error: %s\n",
+                 res.ok ? status_cstr(res.status).c_str()
+                        : res.error.c_str());
+    return 1;
+  }
+  std::printf("node=%u reputation=%.6f suspected=%s epoch=%llu shard=%u\n",
+              node, out.reputation, out.suspected ? "yes" : "no",
+              static_cast<unsigned long long>(out.epoch), out.shard);
+  return 0;
+}
+
+// Fetches and prints the server's ServiceMetrics snapshot (rpc_* included).
+int cmd_metrics(const Args& args) {
+  rpc::RpcClient client(client_config_from(args));
+  if (!client_connect(args, client)) return 1;
+
+  service::ServiceMetrics m;
+  const rpc::CallResult res = client.get_metrics(&m);
+  if (!res.ok || res.status != rpc::Status::kOk) {
+    std::fprintf(stderr, "error: %s\n",
+                 res.ok ? status_cstr(res.status).c_str()
+                        : res.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", m.to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -472,5 +737,9 @@ int main(int argc, char** argv) {
   if (command == "calibrate") return cmd_calibrate(args);
   if (command == "simulate") return cmd_simulate(args);
   if (command == "serve-replay") return cmd_serve_replay(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "rate") return cmd_rate(args);
+  if (command == "query") return cmd_query(args);
+  if (command == "metrics") return cmd_metrics(args);
   return usage();
 }
