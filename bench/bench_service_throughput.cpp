@@ -55,7 +55,7 @@ void BM_ServiceIngestThroughput(benchmark::State& state) {
   cfg.queue_capacity = 4096;
   cfg.epoch_scope = service::EpochScope::kPerShard;
   cfg.epoch_ratings = 1024;
-  cfg.detector = service::DetectorKind::kOptimized;
+  cfg.detector = "optimized";
   cfg.detector_config.positive_fraction_min = 0.8;
   cfg.detector_config.complement_fraction_max = 0.2;
   cfg.detector_config.frequency_min = 20;

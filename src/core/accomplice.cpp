@@ -10,7 +10,10 @@ namespace p2prep::core {
 void propagate_accomplices(const rating::RatingMatrix& matrix,
                            const DetectorConfig& config,
                            DetectionReport& report) {
-  if (!config.flag_accomplices || report.pairs.empty()) return;
+  if (!config.flag_accomplices ||
+      (report.pairs.empty() && report.rings.empty())) {
+    return;
+  }
 
   std::unordered_set<std::uint64_t> known_pairs;
   std::vector<rating::NodeId> worklist;
@@ -19,6 +22,13 @@ void propagate_accomplices(const rating::RatingMatrix& matrix,
     known_pairs.insert(pair_key(e.first, e.second));
     if (queued.insert(e.first).second) worklist.push_back(e.first);
     if (queued.insert(e.second).second) worklist.push_back(e.second);
+  }
+  // Ring members seed the fixpoint too: an accomplice of a ring colluder
+  // is as culpable as one of a pair colluder.
+  for (const RingEvidence& r : report.rings) {
+    for (rating::NodeId m : r.members) {
+      if (queued.insert(m).second) worklist.push_back(m);
+    }
   }
 
   auto mutual_boosting = [&](rating::NodeId d, rating::NodeId k,

@@ -60,6 +60,27 @@ struct DetectorConfig {
   /// service erases the C2 evidence (paper Fig. 11; see core/accomplice.h).
   bool flag_accomplices = true;
 
+  // --- Ring detection (detect::RingDetector; ignored by the pairwise
+  // detectors) ---
+
+  /// Smallest strongly-connected boost cycle reported as a ring. 3 by
+  /// construction: 2-cycles are exactly the pairwise detectors' domain,
+  /// so excluding them keeps ring reports disjoint from pair reports and
+  /// pair-only traces free of ring flags.
+  std::uint32_t ring_size_min = 3;
+
+  /// Minimum per-edge rating count for a boost edge to survive the ring
+  /// peel. 0 (the default) means "use frequency_min" — the paper's T_N —
+  /// so the effective internal threshold is
+  /// max(frequency_min, ring_internal_frequency_min).
+  std::uint32_t ring_internal_frequency_min = 0;
+
+  /// Gate each candidate ring on the joint complement (C2): the fraction
+  /// of positive ratings its members received from NON-members must stay
+  /// <= complement_fraction_max. Mirrors the group detector's
+  /// component-level C2 and keeps organically popular cliques out.
+  bool ring_outside_check = true;
+
   /// Use inclusive bounds in Formula (2) (upper >= R >= lower). The paper
   /// states strict inequalities, but at the boundary a = 1, N_i = N_(i,j)
   /// (partner-only, all-positive ratings) the strict upper bound

@@ -4,6 +4,20 @@
 
 namespace p2prep::core {
 
+std::string RingEvidence::to_string() const {
+  std::ostringstream os;
+  os << "ring(";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << members[i];
+  }
+  os << ") N_in=" << internal_ratings
+     << " a_in=" << internal_positive_fraction
+     << " minN=" << min_internal_frequency << " N_out=" << outside_ratings
+     << " b_out=" << outside_positive_fraction;
+  return os.str();
+}
+
 std::string PairEvidence::to_string() const {
   std::ostringstream os;
   os << "pair(" << first << ", " << second << ")"

@@ -34,6 +34,29 @@ struct PairEvidence {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Why a ring was flagged: a cycle of 3+ nodes each boosting the next
+/// (detect::RingDetector). Pairwise predicates C2-C4 are structurally
+/// blind to this shape — no single partner dominates a member's row — so
+/// the evidence is per-ring, not per-pair: the internal quantities
+/// aggregate over the boost edges of the cycle, the outside quantities
+/// over everything the members received from non-members (joint C2).
+struct RingEvidence {
+  std::vector<rating::NodeId> members;  ///< Ascending; >= ring_size_min.
+
+  std::uint64_t internal_ratings = 0;        ///< Sum N over boost edges.
+  double internal_positive_fraction = 0.0;   ///< a over the boost edges.
+  std::uint32_t min_internal_frequency = 0;  ///< Weakest edge's N (peel bound).
+
+  std::uint64_t outside_ratings = 0;       ///< N members got from non-members.
+  double outside_positive_fraction = 0.0;  ///< b over those ratings (C2).
+
+  [[nodiscard]] bool contains(rating::NodeId id) const {
+    return std::binary_search(members.begin(), members.end(), id);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Canonical unordered-pair key for dedup/set membership.
 [[nodiscard]] constexpr std::uint64_t pair_key(rating::NodeId a,
                                                rating::NodeId b) noexcept {
@@ -44,6 +67,7 @@ struct PairEvidence {
 
 struct DetectionReport {
   std::vector<PairEvidence> pairs;
+  std::vector<RingEvidence> rings;  ///< Empty for pairwise detectors.
   util::CostCounter cost;
 
   [[nodiscard]] bool contains(rating::NodeId a, rating::NodeId b) const {
@@ -52,7 +76,9 @@ struct DetectionReport {
     });
   }
 
-  /// All distinct nodes implicated, ascending.
+  /// All distinct nodes implicated — pair members and ring members alike —
+  /// ascending. Suppression and the colluder-query RPC consume this, so a
+  /// ring member is quarantined exactly like a flagged pair.
   [[nodiscard]] std::vector<rating::NodeId> colluders() const {
     std::vector<rating::NodeId> out;
     out.reserve(pairs.size() * 2);
@@ -60,13 +86,17 @@ struct DetectionReport {
       out.push_back(e.first);
       out.push_back(e.second);
     }
+    for (const auto& r : rings) {
+      out.insert(out.end(), r.members.begin(), r.members.end());
+    }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
   }
 
-  /// Sorts pairs by (first, second) for deterministic output regardless of
-  /// detection order (serial vs. parallel sweeps).
+  /// Sorts pairs by (first, second) and rings by member list for
+  /// deterministic output regardless of detection order (serial vs.
+  /// parallel sweeps).
   void canonicalize() {
     for (auto& e : pairs) {
       if (e.first > e.second) {
@@ -88,6 +118,16 @@ struct DetectionReport {
                                      pair_key(y.first, y.second);
                             }),
                 pairs.end());
+    for (auto& r : rings) std::sort(r.members.begin(), r.members.end());
+    std::sort(rings.begin(), rings.end(),
+              [](const RingEvidence& x, const RingEvidence& y) {
+                return x.members < y.members;
+              });
+    rings.erase(std::unique(rings.begin(), rings.end(),
+                            [](const RingEvidence& x, const RingEvidence& y) {
+                              return x.members == y.members;
+                            }),
+                rings.end());
   }
 };
 

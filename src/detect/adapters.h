@@ -1,0 +1,74 @@
+// Registry adapters for the three pre-existing core detectors. Each wraps
+// the core implementation unchanged — the differential suite proves the
+// adapted reports byte-identical to direct instantiation — and translates
+// its output into the shared core::DetectionReport shape:
+//
+//  * BasicAdapter / OptimizedAdapter — pass the snapshot's matrix through
+//    core::{Basic,Optimized}CollusionDetector::detect verbatim.
+//  * GroupAdapter — runs core::GroupCollusionDetector and re-expresses
+//    each CollusionGroup as a RingEvidence record (members + inside /
+//    outside aggregates), so group membership flows through the same
+//    suppression, accomplice and RPC paths as ring membership.
+//
+// The adapters are single-matrix: the service's global epoch keeps its
+// own cross-shard sweep for basic/optimized (byte-compatible with the
+// pre-registry reports) and restricts group to one shard, so a
+// multi-matrix snapshot here is a host bug — std::logic_error.
+#pragma once
+
+#include "core/basic_detector.h"
+#include "core/group_detector.h"
+#include "core/optimized_detector.h"
+#include "detect/detector.h"
+
+namespace p2prep::detect {
+
+class BasicAdapter final : public Detector {
+ public:
+  explicit BasicAdapter(core::DetectorConfig config)
+      : Detector(config), inner_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "basic";
+  }
+
+  void on_epoch(const EpochSnapshot& snapshot,
+                core::DetectionReport& report) override;
+
+ private:
+  core::BasicCollusionDetector inner_;
+};
+
+class OptimizedAdapter final : public Detector {
+ public:
+  explicit OptimizedAdapter(core::DetectorConfig config)
+      : Detector(config), inner_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "optimized";
+  }
+
+  void on_epoch(const EpochSnapshot& snapshot,
+                core::DetectionReport& report) override;
+
+ private:
+  core::OptimizedCollusionDetector inner_;
+};
+
+class GroupAdapter final : public Detector {
+ public:
+  explicit GroupAdapter(core::DetectorConfig config)
+      : Detector(config), inner_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "group";
+  }
+
+  void on_epoch(const EpochSnapshot& snapshot,
+                core::DetectionReport& report) override;
+
+ private:
+  core::GroupCollusionDetector inner_;
+};
+
+}  // namespace p2prep::detect

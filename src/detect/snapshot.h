@@ -1,0 +1,55 @@
+// EpochSnapshot: the frozen input a detect::Detector consumes at an epoch
+// boundary. Standalone callers (CLI, bench, single-shard managers) pass
+// one matrix; the service's global epoch passes every shard's matrix, with
+// node i's row living in the matrix of its owner shard (the same
+// consistent-hash partition service::shard_for uses). When the host
+// tracks dirty cells, the per-matrix deltas ride along so incremental
+// detectors can update cached state instead of rescanning the window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dht/hash.h"
+#include "rating/matrix.h"
+#include "rating/types.h"
+
+namespace p2prep::detect {
+
+struct EpochSnapshot {
+  /// One matrix per shard (one entry for standalone callers). Non-owner
+  /// rows are empty in each shard matrix, so whole-window scans can just
+  /// walk every matrix.
+  std::vector<const rating::RatingMatrix*> matrices;
+
+  /// Per-matrix dirty deltas, aligned with `matrices`. Empty when the
+  /// host does not track dirty cells; detectors then rebuild any cached
+  /// state from scratch. A delta with complete == false forces the same.
+  std::vector<rating::DirtyCells> dirty;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return matrices.empty() ? 0 : matrices.front()->size();
+  }
+
+  /// Index of the matrix owning node `id`'s row — the service's
+  /// consistent-hash shard mapping (0 for single-matrix snapshots).
+  [[nodiscard]] std::size_t owner_of(rating::NodeId id) const noexcept {
+    if (matrices.size() <= 1) return 0;
+    return static_cast<std::size_t>(dht::hash_node(id) %
+                                    static_cast<dht::Key>(matrices.size()));
+  }
+
+  [[nodiscard]] const rating::RatingMatrix& matrix_of(
+      rating::NodeId id) const {
+    return *matrices[owner_of(id)];
+  }
+
+  /// Convenience single-matrix snapshot (no dirty delta — full scan).
+  [[nodiscard]] static EpochSnapshot of(const rating::RatingMatrix& m) {
+    EpochSnapshot snap;
+    snap.matrices.push_back(&m);
+    return snap;
+  }
+};
+
+}  // namespace p2prep::detect

@@ -42,20 +42,25 @@ core::DetectionReport IncrementalCentralizedManager::run_detection(
     const core::CollusionDetector& detector,
     CentralizedManager::SuppressionMode mode) {
   core::DetectionReport report = detector.detect(matrix_);
-  if (mode != CentralizedManager::SuppressionMode::kNone) {
-    for (rating::NodeId id : report.colluders()) {
-      detected_.insert(id);
-      if (mode == CentralizedManager::SuppressionMode::kPin)
-        engine_.suppress(id);
-      else
-        engine_.reset_reputation(id);
-    }
-    if (!report.pairs.empty()) {
-      engine_.update_epoch();
-      refresh_reputations();
-    }
-  }
+  apply_suppression(report, mode);
   return report;
+}
+
+void IncrementalCentralizedManager::apply_suppression(
+    const core::DetectionReport& report,
+    CentralizedManager::SuppressionMode mode) {
+  if (mode == CentralizedManager::SuppressionMode::kNone) return;
+  const auto colluders = report.colluders();
+  if (colluders.empty()) return;
+  for (rating::NodeId id : colluders) {
+    detected_.insert(id);
+    if (mode == CentralizedManager::SuppressionMode::kPin)
+      engine_.suppress(id);
+    else
+      engine_.reset_reputation(id);
+  }
+  engine_.update_epoch();
+  refresh_reputations();
 }
 
 }  // namespace p2prep::managers

@@ -64,6 +64,24 @@ class IncrementalCentralizedManager {
       CentralizedManager::SuppressionMode mode =
           CentralizedManager::SuppressionMode::kReset);
 
+  /// The suppression half of run_detection, for hosts that run detection
+  /// themselves (the detect::Detector plugin path): records every
+  /// implicated node — pair and ring members alike — and suppresses or
+  /// resets its reputation, then re-runs an engine epoch so the published
+  /// view reflects the suppression.
+  void apply_suppression(const core::DetectionReport& report,
+                         CentralizedManager::SuppressionMode mode);
+
+  // --- Dirty-cell tracking passthroughs (incremental detectors) ---
+
+  /// Turns on matrix dirty-cell recording (detect::Detector hosts call
+  /// this once when the detector wants_dirty_tracking()).
+  void enable_dirty_tracking() { matrix_.set_dirty_tracking(true); }
+  /// Drains the matrix's dirty delta for the epoch snapshot.
+  [[nodiscard]] rating::DirtyCells take_dirty_cells() {
+    return matrix_.take_dirty_cells();
+  }
+
   [[nodiscard]] const rating::RatingMatrix& matrix() const noexcept {
     return matrix_;
   }

@@ -1,6 +1,7 @@
 #include "rating/matrix.h"
 
 #include <cassert>
+#include <utility>
 
 namespace p2prep::rating {
 
@@ -94,6 +95,7 @@ void RatingMatrix::add_rating(NodeId ratee, NodeId rater, Score score) {
   PairStats& cell = mutable_cell(ratee, rater);
   cell.add(score);
   meta_[ratee].totals.add(score);
+  mark_dirty(ratee, rater);
   // Incremental frequent-rater aggregate: when a cell crosses the
   // threshold its whole history joins the aggregate; afterwards each new
   // rating is added directly. This is exactly how a deployed manager
@@ -121,6 +123,12 @@ void RatingMatrix::clear_window() {
     meta.frequent_totals = PairStats{};
   }
   if (!checked_.empty()) clear_marks();
+  if (dirty_on_) {
+    // Cells were wiped wholesale without per-cell dirty records; the next
+    // delta cannot describe the change, so force a full rebuild.
+    dirty_.clear();
+    dirty_complete_ = false;
+  }
 }
 
 void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
@@ -133,6 +141,27 @@ void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
   if (frequency_threshold_ > 0 && stats.total >= frequency_threshold_) {
     meta_[ratee].frequent_totals += stats;
   }
+  mark_dirty(ratee, rater);
+}
+
+void RatingMatrix::set_dirty_tracking(bool on) {
+  dirty_on_ = on;
+  dirty_complete_ = false;  // mutations before this call were not observed
+  dirty_.clear();
+}
+
+DirtyCells RatingMatrix::take_dirty_cells() {
+  DirtyCells result;
+  result.complete = dirty_complete_;
+  result.cells.reserve(dirty_.size());
+  for (std::uint64_t key : dirty_) {
+    result.cells.emplace_back(static_cast<NodeId>(key >> 32),
+                              static_cast<NodeId>(key & 0xffffffffu));
+  }
+  std::sort(result.cells.begin(), result.cells.end());
+  dirty_.clear();
+  dirty_complete_ = true;
+  return result;
 }
 
 bool RatingMatrix::checked(NodeId i, NodeId j) const {

@@ -58,6 +58,18 @@ enum class MatrixBackend : std::uint8_t {
   return b == MatrixBackend::kDense ? "dense" : "sparse";
 }
 
+/// Cells mutated since the last take_dirty_cells() call, for incremental
+/// consumers (the streaming ring detector caches derived per-cell state
+/// between epochs and re-derives only these). `complete == false` means
+/// the delta does not cover every mutation since the last take (tracking
+/// was just enabled, or clear_window() wiped cells wholesale) — the
+/// consumer must rebuild from the full matrix instead.
+struct DirtyCells {
+  bool complete = false;
+  /// (ratee, rater) pairs, ascending — deterministic consumption order.
+  std::vector<std::pair<NodeId, NodeId>> cells;
+};
+
 class RatingMatrix {
  public:
   RatingMatrix() = default;
@@ -203,6 +215,19 @@ class RatingMatrix {
   /// frequent, the frequent aggregate. The target cell must be empty.
   void restore_cell(NodeId ratee, NodeId rater, const PairStats& stats);
 
+  // --- Dirty-cell tracking (incremental detector support) ---
+
+  /// Starts recording which cells add_rating / restore_cell touch. The
+  /// first take_dirty_cells() after enabling reports complete = false
+  /// (mutations before this call were not observed). Off by default:
+  /// tracking costs one hash insert per rating.
+  void set_dirty_tracking(bool on);
+  [[nodiscard]] bool dirty_tracking() const noexcept { return dirty_on_; }
+  /// Drains the recorded delta: cells touched since the last take, in
+  /// ascending (ratee, rater) order, plus whether the delta is complete
+  /// (see DirtyCells). Resets the recorder to a complete empty delta.
+  [[nodiscard]] DirtyCells take_dirty_cells();
+
   // --- Checked-pair marking (paper: "the manager marks a_ij and a_ji") ---
 
   [[nodiscard]] bool checked(NodeId i, NodeId j) const;
@@ -225,6 +250,12 @@ class RatingMatrix {
   /// Writable cell reference; creates the cell on the sparse backend.
   PairStats& mutable_cell(NodeId ratee, NodeId rater);
 
+  /// Records (ratee, rater) in the dirty set when tracking is on.
+  void mark_dirty(NodeId ratee, NodeId rater) {
+    if (dirty_on_)
+      dirty_.insert((static_cast<std::uint64_t>(ratee) << 32) | rater);
+  }
+
   MatrixBackend backend_ = MatrixBackend::kDense;
   util::Matrix<PairStats> dense_;  // kDense cells (empty under kSparse)
   std::vector<SparseRow> sparse_;  // kSparse cells (empty under kDense)
@@ -232,6 +263,9 @@ class RatingMatrix {
   std::unordered_set<std::uint64_t> checked_;  // unordered-pair mark keys
   std::size_t high_count_ = 0;
   std::uint32_t frequency_threshold_ = 0;
+  bool dirty_on_ = false;
+  bool dirty_complete_ = false;  // delta covers everything since last take
+  std::unordered_set<std::uint64_t> dirty_;  // (ratee << 32) | rater keys
 };
 
 }  // namespace p2prep::rating

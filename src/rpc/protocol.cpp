@@ -321,6 +321,11 @@ void GetMetricsResponse::encode(std::string& out) const {
   put_u64(out, m.rpc_bytes_in);
   put_u64(out, m.rpc_bytes_out);
   put_u64(out, m.rpc_active_connections);
+  // Appended fields (ring gauges) — decoders enumerate in the same order,
+  // so new fields always go at the end.
+  put_u64(out, m.rings_found);
+  put_u64(out, m.ring_largest);
+  put_u64(out, m.ring_scan_us);
 }
 
 std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
@@ -337,7 +342,9 @@ std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
       !r.get_u64(m.matrix_bytes) || !r.get_u64(m.rpc_accepted) ||
       !r.get_u64(m.rpc_rejected) || !r.get_u64(m.rpc_requests) ||
       !r.get_u64(m.rpc_shed) || !r.get_u64(m.rpc_bytes_in) ||
-      !r.get_u64(m.rpc_bytes_out) || !r.get_u64(m.rpc_active_connections))
+      !r.get_u64(m.rpc_bytes_out) || !r.get_u64(m.rpc_active_connections) ||
+      !r.get_u64(m.rings_found) || !r.get_u64(m.ring_largest) ||
+      !r.get_u64(m.ring_scan_us))
     return std::nullopt;
   return resp;
 }

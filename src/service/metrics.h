@@ -25,6 +25,12 @@ struct ServiceMetrics {
   double epoch_latency_ms_mean = 0.0;
   double epoch_latency_ms_p99 = 0.0;
 
+  // Ring detection (detect::RingDetector / group adapter; all zero under
+  // the pairwise detectors).
+  std::uint64_t rings_found = 0;   ///< Rings reported, cumulative.
+  std::uint64_t ring_largest = 0;  ///< Largest ring's member count seen.
+  std::uint64_t ring_scan_us = 0;  ///< Last epoch's detector scan time.
+
   // Durability.
   std::uint64_t wal_records = 0;          ///< Current-generation records.
   std::uint64_t wal_bytes = 0;            ///< Current-generation bytes.
@@ -58,6 +64,8 @@ struct ServiceMetrics {
        << " last_epoch_detections=" << last_epoch_detections
        << " latency_mean_ms=" << epoch_latency_ms_mean
        << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
+       << "rings: found=" << rings_found << " largest=" << ring_largest
+       << " scan_us=" << ring_scan_us << "\n"
        << "wal: records=" << wal_records << " bytes=" << wal_bytes
        << " checkpoints=" << checkpoints_written << "\n"
        << "memory: matrix_bytes=" << matrix_bytes << "\n"

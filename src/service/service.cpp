@@ -9,6 +9,7 @@
 
 #include "core/formula.h"
 #include "core/predicates.h"
+#include "detect/registry.h"
 
 namespace p2prep::service {
 
@@ -25,11 +26,28 @@ ReputationService::ReputationService(ServiceConfig config)
     // graph; rows span shard partitions here, so the fixpoint is not
     // supported in global scope (ROADMAP open item).
     config_.detector_config.flag_accomplices = false;
+    // The group adapter needs full rows in one matrix; a multi-shard
+    // global sweep cannot provide them (ring handles sharding natively).
+    if (config_.detector == "group" && config_.num_shards > 1)
+      throw std::invalid_argument(
+          "service: detector 'group' does not support multi-shard global "
+          "epochs (use per-shard scope, one shard, or detector 'ring')");
+  }
+  // Fail fast on unknown detector names before any shard work starts
+  // (create() throws listing every registered name).
+  if (config_.epoch_scope == EpochScope::kGlobal &&
+      config_.detector != "basic" && config_.detector != "optimized") {
+    global_detector_ = detect::DetectorRegistry::global().create(
+        config_.detector, config_.detector_config);
   }
 
   slots_.reserve(config_.num_shards);
   for (std::size_t s = 0; s < config_.num_shards; ++s)
     slots_.push_back(std::make_unique<ShardSlot>(s, config_));
+
+  if (global_detector_ && global_detector_->wants_dirty_tracking()) {
+    for (auto& slot : slots_) slot->shard.manager().enable_dirty_tracking();
+  }
 
   checkpoints_enabled_.store(config_.checkpoint_every_epochs > 0 &&
                              !config_.wal_dir.empty());
@@ -82,9 +100,7 @@ void ReputationService::write_meta() const {
       << "scope "
       << (config_.epoch_scope == EpochScope::kGlobal ? "global" : "per_shard")
       << "\n"
-      << "detector "
-      << (config_.detector == DetectorKind::kBasic ? "basic" : "optimized")
-      << "\n";
+      << "detector " << config_.detector << "\n";
   if (!out) throw std::runtime_error("service: cannot write service.meta");
 }
 
@@ -105,8 +121,7 @@ void ReputationService::check_meta() const {
   expect("num_shards", std::to_string(config_.num_shards));
   expect("scope", config_.epoch_scope == EpochScope::kGlobal ? "global"
                                                              : "per_shard");
-  expect("detector",
-         config_.detector == DetectorKind::kBasic ? "basic" : "optimized");
+  expect("detector", config_.detector);
 }
 
 // --- Recovery --------------------------------------------------------------
@@ -483,8 +498,19 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
     slot->shard.finish_global_epoch(seq, owned, text);
   }
 
+  rings_found_.fetch_add(report.rings.size(), std::memory_order_relaxed);
+  for (const auto& ring : report.rings) {
+    std::uint64_t prev = ring_largest_.load(std::memory_order_relaxed);
+    while (prev < ring.members.size() &&
+           !ring_largest_.compare_exchange_weak(prev, ring.members.size(),
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  ring_scan_us_.store(global_detector_ ? global_detector_->stats().scan_us : 0,
+                      std::memory_order_relaxed);
+
   if (live) {
-    record_epoch_metrics(start, report.pairs.size());
+    record_epoch_metrics(start, report.pairs.size() + report.rings.size());
     if (checkpoints_enabled_.load(std::memory_order_relaxed) &&
         seq % config_.checkpoint_every_epochs == 0) {
       for (auto& slot : slots_) checkpoint_shard(*slot);
@@ -492,10 +518,28 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   }
 }
 
-core::DetectionReport ReputationService::global_detect() const {
+core::DetectionReport ReputationService::global_detect() {
   const core::DetectorConfig& cfg = config_.detector_config;
   const std::size_t n = config_.num_nodes;
   core::DetectionReport report;
+
+  // Plugin path: any registry detector other than basic/optimized runs
+  // over a snapshot of every shard matrix (plus dirty deltas when the
+  // detector streams). basic/optimized keep the inline sweeps below,
+  // which reproduce the pre-registry reports byte-for-byte.
+  if (global_detector_) {
+    detect::EpochSnapshot snap;
+    snap.matrices.reserve(slots_.size());
+    for (auto& slot : slots_)
+      snap.matrices.push_back(&slot->shard.manager().matrix());
+    if (global_detector_->wants_dirty_tracking()) {
+      snap.dirty.reserve(slots_.size());
+      for (auto& slot : slots_)
+        snap.dirty.push_back(slot->shard.manager().take_dirty_cells());
+    }
+    global_detector_->on_epoch(snap, report);
+    return report;
+  }
 
   auto matrix_of = [this](rating::NodeId id) -> const rating::RatingMatrix& {
     return slots_[shard_of(id)]->shard.manager().matrix();
@@ -554,7 +598,7 @@ core::DetectionReport ReputationService::global_detect() const {
     return complement_fraction < cfg.complement_fraction_max;  // C2
   };
 
-  if (config_.detector == DetectorKind::kBasic) {
+  if (config_.detector == "basic") {
     // Marks-equivalent enumeration: each unordered pair is examined once,
     // from its first high-reputed endpoint in ascending order.
     for (rating::NodeId a = 0; a < n; ++a) {
@@ -639,12 +683,12 @@ void ReputationService::checkpoint_shard(ShardSlot& slot) {
 }
 
 void ReputationService::record_epoch_metrics(
-    std::chrono::steady_clock::time_point start, std::size_t pairs) {
+    std::chrono::steady_clock::time_point start, std::size_t detections) {
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
-  detections_total_.fetch_add(pairs, std::memory_order_relaxed);
-  last_epoch_detections_.store(pairs, std::memory_order_relaxed);
+  detections_total_.fetch_add(detections, std::memory_order_relaxed);
+  last_epoch_detections_.store(detections, std::memory_order_relaxed);
   const util::MutexLock lock(latency_mu_);
   epoch_latency_ms_.push_back(ms);
   if (epoch_latency_ms_.size() > 8192) {
@@ -694,6 +738,17 @@ ServiceMetrics ReputationService::metrics() const {
   m.last_epoch_detections =
       last_epoch_detections_.load(std::memory_order_relaxed);
   m.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+
+  // Ring gauges: global epochs record on the service, per-shard epochs on
+  // each shard — found sums, largest/scan take the max across sources.
+  m.rings_found = rings_found_.load(std::memory_order_relaxed);
+  m.ring_largest = ring_largest_.load(std::memory_order_relaxed);
+  m.ring_scan_us = ring_scan_us_.load(std::memory_order_relaxed);
+  for (const auto& slot : slots_) {
+    m.rings_found += slot->shard.rings_found();
+    m.ring_largest = std::max(m.ring_largest, slot->shard.ring_largest());
+    m.ring_scan_us = std::max(m.ring_scan_us, slot->shard.ring_scan_us());
+  }
 
   const util::MutexLock lock(latency_mu_);
   if (!epoch_latency_ms_.empty()) {

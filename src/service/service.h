@@ -177,13 +177,19 @@ class ReputationService {
   /// state needs no lock here: callers guarantee every worker is parked
   /// at the barrier (or not yet started, during recovery).
   void run_global_epoch(std::uint64_t seq, bool live);
-  [[nodiscard]] core::DetectionReport global_detect() const;
+  /// Non-const: plugin detectors (global_detector_) keep streaming state
+  /// between epochs, and draining dirty deltas mutates shard matrices.
+  [[nodiscard]] core::DetectionReport global_detect();
   void record_epoch_metrics(std::chrono::steady_clock::time_point start,
-                            std::size_t pairs);
+                            std::size_t detections);
   void checkpoint_shard(ShardSlot& slot);
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<ShardSlot>> slots_;
+  /// Cross-shard detector instance for global epochs with a plugin
+  /// detector ("basic"/"optimized" keep the inline sweep below; null in
+  /// per-shard scope, where each shard owns its detector).
+  std::unique_ptr<detect::Detector> global_detector_;
   bool recovered_ = false;
   /// Cleared (from any worker) when a checkpoint attempt fails, so the
   /// service degrades to WAL-only durability instead of retrying forever.
@@ -213,6 +219,10 @@ class ReputationService {
   std::atomic<std::uint64_t> detections_total_{0};
   std::atomic<std::uint64_t> last_epoch_detections_{0};
   std::atomic<std::uint64_t> checkpoints_written_{0};
+  // Ring gauges for global epochs (per-shard epochs use the shard's own).
+  std::atomic<std::uint64_t> rings_found_{0};
+  std::atomic<std::uint64_t> ring_largest_{0};
+  std::atomic<std::uint64_t> ring_scan_us_{0};
   std::uint64_t applied_base_ = 0;  ///< Applied count restored by recovery.
   std::chrono::steady_clock::time_point start_time_;
   mutable util::Mutex latency_mu_;

@@ -4,27 +4,15 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/basic_detector.h"
-#include "core/optimized_detector.h"
+#include "detect/registry.h"
 
 namespace p2prep::service {
-
-namespace {
-
-std::unique_ptr<core::CollusionDetector> make_detector(
-    DetectorKind kind, const core::DetectorConfig& config) {
-  if (kind == DetectorKind::kBasic)
-    return std::make_unique<core::BasicCollusionDetector>(config);
-  return std::make_unique<core::OptimizedCollusionDetector>(config);
-}
-
-}  // namespace
 
 std::string format_epoch_report(const std::string& label, std::uint64_t epoch,
                                 const core::DetectionReport& report) {
   std::ostringstream os;
   os << "epoch " << epoch << ' ' << label << ": pairs=" << report.pairs.size()
-     << " flagged=[";
+     << " rings=" << report.rings.size() << " flagged=[";
   const auto flagged = report.colluders();
   for (std::size_t i = 0; i < flagged.size(); ++i) {
     if (i) os << ' ';
@@ -32,6 +20,7 @@ std::string format_epoch_report(const std::string& label, std::uint64_t epoch,
   }
   os << "]\n";
   for (const auto& ev : report.pairs) os << "  " << ev.to_string() << '\n';
+  for (const auto& ev : report.rings) os << "  " << ev.to_string() << '\n';
   return os.str();
 }
 
@@ -42,8 +31,15 @@ ServiceShard::ServiceShard(std::size_t index, const ServiceConfig& config)
       manager_(std::make_unique<managers::IncrementalCentralizedManager>(
           config.num_nodes, engine_, config.detector_config,
           config.matrix_backend)),
-      detector_(make_detector(config.detector, config.detector_config)),
+      detector_(detect::DetectorRegistry::global().create(
+          config.detector, config.detector_config)),
       view_(std::make_shared<const ShardView>()) {
+  // Per-shard epochs feed the detector this shard's matrix; when it
+  // streams (ring), record dirty cells so epochs cost O(changed nnz).
+  if (config.epoch_scope == EpochScope::kPerShard &&
+      detector_->wants_dirty_tracking()) {
+    manager_->enable_dirty_tracking();
+  }
   matrix_bytes_.store(manager_->matrix().approx_memory_bytes(),
                       std::memory_order_relaxed);
 }
@@ -81,8 +77,21 @@ bool ServiceShard::epoch_due(rating::Tick now) const noexcept {
 
 std::size_t ServiceShard::run_local_epoch() {
   manager_->update_reputations();
-  const core::DetectionReport report =
-      manager_->run_detection(*detector_, config_->suppression);
+  detect::EpochSnapshot snap = detect::EpochSnapshot::of(manager_->matrix());
+  if (manager_->matrix().dirty_tracking())
+    snap.dirty.push_back(manager_->take_dirty_cells());
+  core::DetectionReport report;
+  detector_->on_epoch(snap, report);
+  manager_->apply_suppression(report, config_->suppression);
+  rings_found_.fetch_add(report.rings.size(), std::memory_order_relaxed);
+  for (const auto& ring : report.rings) {
+    std::uint64_t prev = ring_largest_.load(std::memory_order_relaxed);
+    while (prev < ring.members.size() &&
+           !ring_largest_.compare_exchange_weak(prev, ring.members.size(),
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  ring_scan_us_.store(detector_->stats().scan_us, std::memory_order_relaxed);
   const std::uint64_t epoch =
       epochs_completed_.fetch_add(1, std::memory_order_relaxed) + 1;
   applied_since_epoch_ = 0;
@@ -95,7 +104,7 @@ std::size_t ServiceShard::run_local_epoch() {
     append_report(text);
   }
   publish_view(epoch, report.colluders(), std::move(text));
-  return report.pairs.size();
+  return report.pairs.size() + report.rings.size();
 }
 
 void ServiceShard::finish_global_epoch(

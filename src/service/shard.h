@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/config.h"
-#include "core/detector.h"
+#include "detect/detector.h"
 #include "managers/centralized.h"
 #include "managers/incremental.h"
 #include "reputation/summation.h"
@@ -26,8 +26,6 @@
 #include "util/thread_annotations.h"
 
 namespace p2prep::service {
-
-enum class DetectorKind { kBasic, kOptimized };
 
 /// Which state an epoch freezes and detects over.
 enum class EpochScope {
@@ -57,7 +55,11 @@ struct ServiceConfig {
   /// tick is >= last epoch tick + epoch_ticks. 0 disables.
   std::uint64_t epoch_ticks = 0;
 
-  DetectorKind detector = DetectorKind::kOptimized;
+  /// Detection plugin, resolved by name through detect::DetectorRegistry
+  /// ("basic", "optimized", "group", "ring", or any registered plugin).
+  /// An unknown name throws std::invalid_argument at construction, naming
+  /// every registered detector.
+  std::string detector = "optimized";
   core::DetectorConfig detector_config{};
   /// Matrix representation of each shard's IncrementalCentralizedManager.
   /// Sparse by default: shard matrices hold O(nnz) cells instead of
@@ -102,8 +104,9 @@ struct ShardView {
 };
 
 /// Deterministic detection-report text: header line with epoch number,
-/// source label ("shard k" / "global") and flagged ids, then one evidence
-/// line per pair. Byte-stable across runs — the recovery tests compare it.
+/// source label ("shard k" / "global"), pair/ring counts and flagged ids,
+/// then one evidence line per pair and per ring. Byte-stable across runs
+/// — the recovery tests compare it.
 [[nodiscard]] std::string format_epoch_report(
     const std::string& label, std::uint64_t epoch,
     const core::DetectionReport& report);
@@ -140,7 +143,7 @@ class ServiceShard {
   /// Per-shard cadence check, evaluated after each applied rating.
   [[nodiscard]] bool epoch_due(rating::Tick now) const noexcept;
   /// Runs one shard-local epoch: engine update, detection, suppression,
-  /// view publication. Returns the number of flagged pairs.
+  /// view publication. Returns the number of flagged pairs + rings.
   std::size_t run_local_epoch();
 
   // --- Hooks for service-driven (global) epochs ---
@@ -190,6 +193,17 @@ class ServiceShard {
     return matrix_bytes_.load(std::memory_order_relaxed);
   }
 
+  // --- Ring gauges (shard-local epochs; zero for pairwise detectors) ---
+  [[nodiscard]] std::uint64_t rings_found() const noexcept {
+    return rings_found_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ring_largest() const noexcept {
+    return ring_largest_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ring_scan_us() const noexcept {
+    return ring_scan_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   void publish_view(std::uint64_t epoch,
                     std::vector<rating::NodeId> flagged,
@@ -200,7 +214,7 @@ class ServiceShard {
   const ServiceConfig* config_;
   reputation::SummationEngine engine_;
   std::unique_ptr<managers::IncrementalCentralizedManager> manager_;
-  std::unique_ptr<core::CollusionDetector> detector_;
+  std::unique_ptr<detect::Detector> detector_;
   std::optional<WalWriter> wal_;
 
   // Worker-thread state (global-epoch access happens while workers are
@@ -213,6 +227,9 @@ class ServiceShard {
   std::atomic<std::uint64_t> wal_records_{0};
   std::atomic<std::uint64_t> wal_bytes_{0};
   std::atomic<std::uint64_t> matrix_bytes_{0};
+  std::atomic<std::uint64_t> rings_found_{0};
+  std::atomic<std::uint64_t> ring_largest_{0};
+  std::atomic<std::uint64_t> ring_scan_us_{0};
 
   mutable util::Mutex view_mu_;
   std::shared_ptr<const ShardView> view_ P2PREP_GUARDED_BY(view_mu_);

@@ -25,7 +25,7 @@
 #include "rating/store.h"
 #include "reputation/summation.h"
 #include "service/shard.h"
-#include "util/distributions.h"
+#include "tests/differential/trace_gen.h"
 #include "util/rng.h"
 
 namespace p2prep {
@@ -39,79 +39,10 @@ using rating::RatingMatrix;
 using rating::RatingStore;
 using rating::Score;
 
-struct Trace {
-  std::size_t n = 0;
-  std::size_t colluders = 0;  ///< Nodes 0..colluders-1 form boosting pairs.
-  std::vector<Rating> ratings;
-};
-
-/// Randomized workload: 1-3 colluding pairs exchanging frequent positives
-/// (the Fig. 3 signature), buried in zipf-skewed organic traffic where
-/// colluders collect mostly-negative ratings from everyone else (C2) and
-/// honest nodes collect mostly-positive ones.
-Trace make_trace(std::uint64_t seed) {
-  util::Rng rng(seed);
-  Trace t;
-  t.n = 24 + rng.next_below(25);
-  const std::size_t pairs = 1 + rng.next_below(3);
-  t.colluders = 2 * pairs;
-  rating::Tick tick = 0;
-  for (std::size_t p = 0; p < pairs; ++p) {
-    const auto a = static_cast<NodeId>(2 * p);
-    const auto b = static_cast<NodeId>(2 * p + 1);
-    const std::size_t boosts = 25 + rng.next_below(31);
-    for (std::size_t k = 0; k < boosts; ++k) {
-      t.ratings.push_back({a, b, Score::kPositive, tick++});
-      t.ratings.push_back({b, a, Score::kPositive, tick++});
-    }
-  }
-  const std::size_t organic = 600 + rng.next_below(1001);
-  for (std::size_t e = 0; e < organic; ++e) {
-    const auto rater = static_cast<NodeId>(util::zipf(rng, t.n));
-    auto ratee = static_cast<NodeId>(util::zipf(rng, t.n, 0.8));
-    if (ratee == rater) ratee = static_cast<NodeId>((ratee + 1) % t.n);
-    const bool victim_is_colluder =
-        ratee < t.colluders && rater >= t.colluders;
-    Score score;
-    if (rng.chance(victim_is_colluder ? 0.08 : 0.85))
-      score = Score::kPositive;
-    else if (rng.chance(0.1))
-      score = Score::kNeutral;
-    else
-      score = Score::kNegative;
-    t.ratings.push_back({rater, ratee, score, tick++});
-  }
-  return t;
-}
-
-/// Host reputations derived deterministically from the store's lifetime
-/// summation values, normalized to [0, 1]. Colluding pairs land high (C1).
-std::vector<double> reputations_of(const RatingStore& store) {
-  std::int64_t max_rep = 1;
-  for (NodeId i = 0; i < store.num_nodes(); ++i)
-    max_rep = std::max(max_rep, store.reputation(i));
-  std::vector<double> reps(store.num_nodes(), 0.0);
-  for (NodeId i = 0; i < store.num_nodes(); ++i) {
-    const std::int64_t r = store.reputation(i);
-    if (r > 0)
-      reps[i] = static_cast<double>(r) / static_cast<double>(max_rep);
-  }
-  return reps;
-}
-
-/// Per-seed threshold/feature mix so the differential coverage spans the
-/// joint-complement, mutuality and accomplice code paths on both backends.
-core::DetectorConfig config_for(std::uint64_t seed) {
-  core::DetectorConfig cfg;
-  cfg.positive_fraction_min = 0.80;
-  cfg.complement_fraction_max = 0.25;
-  cfg.frequency_min = 10;
-  cfg.high_rep_threshold = 0.05;
-  cfg.joint_complement = (seed % 2) == 0;
-  cfg.require_mutual = (seed % 3) != 0;
-  cfg.flag_accomplices = (seed % 4) != 0;
-  return cfg;
-}
+using testgen::Trace;
+using testgen::config_for;
+using testgen::make_trace;
+using testgen::reputations_of;
 
 void expect_matrices_identical(const RatingMatrix& dense,
                                const RatingMatrix& sparse) {

@@ -335,6 +335,9 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   m.rpc_bytes_in = 20;
   m.rpc_bytes_out = 21;
   m.rpc_active_connections = 22;
+  m.rings_found = 23;
+  m.ring_largest = 24;
+  m.ring_scan_us = 25;
 
   std::string buf;
   in.encode(buf);
@@ -345,6 +348,9 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   EXPECT_EQ(out->metrics.to_string(), m.to_string());
   EXPECT_EQ(out->metrics.ingest_rate_per_sec, 6.5);
   EXPECT_EQ(out->metrics.rpc_active_connections, 22u);
+  EXPECT_EQ(out->metrics.rings_found, 23u);
+  EXPECT_EQ(out->metrics.ring_largest, 24u);
+  EXPECT_EQ(out->metrics.ring_scan_us, 25u);
 }
 
 }  // namespace

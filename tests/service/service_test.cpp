@@ -134,7 +134,7 @@ TEST(ServiceTest, PerShardScopeFlagsSameShardColluders) {
   EXPECT_EQ(m.detections_total, 1u);
 }
 
-class GlobalEquivalenceTest : public ::testing::TestWithParam<DetectorKind> {};
+class GlobalEquivalenceTest : public ::testing::TestWithParam<std::string> {};
 
 // The cross-shard global sweep must reproduce a single centralized
 // manager + detector byte for byte: same flagged pairs, same evidence
@@ -152,7 +152,7 @@ TEST_P(GlobalEquivalenceTest, MatchesSingleManagerReference) {
   reputation::SummationEngine ref_engine(kN, /*normalize=*/false);
   managers::IncrementalCentralizedManager ref(kN, ref_engine, ref_cfg);
   std::unique_ptr<core::CollusionDetector> ref_detector;
-  if (GetParam() == DetectorKind::kBasic)
+  if (GetParam() == "basic")
     ref_detector = std::make_unique<core::BasicCollusionDetector>(ref_cfg);
   else
     ref_detector = std::make_unique<core::OptimizedCollusionDetector>(ref_cfg);
@@ -195,12 +195,11 @@ TEST_P(GlobalEquivalenceTest, MatchesSingleManagerReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Detectors, GlobalEquivalenceTest,
-                         ::testing::Values(DetectorKind::kBasic,
-                                           DetectorKind::kOptimized),
+                         ::testing::Values(std::string("basic"),
+                                           std::string("optimized")),
                          [](const auto& info) {
-                           return info.param == DetectorKind::kBasic
-                                      ? "Basic"
-                                      : "Optimized";
+                           return info.param == "basic" ? "Basic"
+                                                        : "Optimized";
                          });
 
 TEST(ServiceTest, GlobalRatingCountCadenceFiresEpochs) {

@@ -21,14 +21,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/basic_detector.h"
 #include "core/calibration.h"
-#include "core/group_detector.h"
-#include "core/optimized_detector.h"
+#include "detect/registry.h"
+#include "detect/snapshot.h"
 #include "net/experiment.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
@@ -113,7 +114,7 @@ int usage() {
                "  trace amazon|overstock [--seed N] [--out FILE] ...\n"
                "  analyze   --in FILE [--threshold N] [--days N]\n"
                "  detect    --in FILE [--from-trace] [--method basic|"
-               "optimized|group]\n"
+               "optimized|group|ring]\n"
                "            [--ta F] [--tb F] [--tn N] [--tr F] "
                "[--one-sided]\n"
                "  calibrate --in FILE [--from-trace]\n"
@@ -129,7 +130,7 @@ int usage() {
                "  serve-replay --in FILE [--from-trace] [--shards N]\n"
                "            [--scope global|per-shard] [--epoch-ratings N] "
                "[--epoch-ticks N]\n"
-               "            [--detector basic|optimized] "
+               "            [--detector basic|optimized|group|ring] "
                "[--matrix-backend dense|sparse]\n"
                "            [--wal-dir DIR] [--checkpoint-every N]\n"
                "            [--queue N] [--drop-oldest] [--report]\n"
@@ -307,29 +308,23 @@ int cmd_detect(const Args& args) {
                                   dc.frequency_min);
 
   const std::string method = args.get("method", "optimized");
-  if (method == "group") {
-    const auto report = core::GroupCollusionDetector(dc).detect(matrix);
-    std::printf("%zu collusion group(s), cost %llu work units\n",
-                report.groups.size(),
-                static_cast<unsigned long long>(report.cost.total()));
-    for (const auto& g : report.groups)
-      std::printf("  %s\n", g.to_string().c_str());
-    return 0;
+  std::unique_ptr<detect::Detector> detector;
+  try {
+    detector = detect::DetectorRegistry::global().create(method, dc);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
 
   core::DetectionReport report;
-  if (method == "basic") {
-    report = core::BasicCollusionDetector(dc).detect(matrix);
-  } else if (method == "optimized") {
-    report = core::OptimizedCollusionDetector(dc).detect(matrix);
-  } else {
-    return usage();
-  }
-  std::printf("%zu colluding pair(s), cost %llu work units\n",
-              report.pairs.size(),
+  detector->on_epoch(detect::EpochSnapshot::of(matrix), report);
+  std::printf("%zu colluding pair(s), %zu ring(s), cost %llu work units\n",
+              report.pairs.size(), report.rings.size(),
               static_cast<unsigned long long>(report.cost.total()));
   for (const auto& pair : report.pairs)
     std::printf("  %s\n", pair.to_string().c_str());
+  for (const auto& ring : report.rings)
+    std::printf("  %s\n", ring.to_string().c_str());
   return 0;
 }
 
@@ -439,11 +434,17 @@ bool service_config_from(const Args& args, std::size_t num_nodes,
     cfg.epoch_scope = service::EpochScope::kPerShard;
   else return false;
 
-  const std::string detector = args.get("detector", "optimized");
-  if (detector == "basic") cfg.detector = service::DetectorKind::kBasic;
-  else if (detector == "optimized")
-    cfg.detector = service::DetectorKind::kOptimized;
-  else return false;
+  cfg.detector = args.get("detector", cfg.detector);
+  if (!detect::DetectorRegistry::global().contains(cfg.detector)) {
+    std::string names;
+    for (const auto& n : detect::DetectorRegistry::global().names()) {
+      if (!names.empty()) names += ' ';
+      names += n;
+    }
+    std::fprintf(stderr, "error: unknown detector '%s' (registered: %s)\n",
+                 cfg.detector.c_str(), names.c_str());
+    return false;
+  }
 
   // Detection output is identical across backends; sparse (the default)
   // keeps shard matrices at O(nnz) memory, dense is the paper-cost oracle.

@@ -24,7 +24,9 @@
 #                         service tests, which race-check the sparse
 #                         matrix backend's concurrent epoch path, plus
 #                         RpcConcurrency — the multi-client loopback
-#                         smoke of the RPC front-end)
+#                         smoke of the RPC front-end — plus
+#                         DetectRegistryConcurrency, which hammers the
+#                         detector registry from parallel shards)
 #   P2PREP_JOBS           parallel build/test jobs (default: nproc)
 #   P2PREP_CLANG          clang++ to use for tsa/tidy/tsan-under-clang
 #                         (default: first of clang++ in PATH)
@@ -39,7 +41,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_prefix="${P2PREP_BUILD_PREFIX:-${repo_root}/build-}"
 jobs="${P2PREP_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 ctest_filter="${P2PREP_CTEST_FILTER:-}"
-tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency}"
+tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency|DetectRegistryConcurrency}"
 clangxx="${P2PREP_CLANG:-$(command -v clang++ || true)}"
 clang_tidy="$(command -v clang-tidy || true)"
 
