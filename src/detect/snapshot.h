@@ -1,13 +1,14 @@
 // EpochSnapshot: the frozen input a detect::Detector consumes at an epoch
 // boundary. Standalone callers (CLI, bench, single-shard managers) pass
 // one matrix; the service's global epoch passes every shard's matrix, with
-// node i's row living in the matrix of its owner shard (the same
-// consistent-hash partition service::shard_for uses). When the host
+// node i's row living in the matrix of its owner shard (the service's
+// consistent-hash service::ShardMap, carried in `owners`). When the host
 // tracks dirty cells, the per-matrix deltas ride along so incremental
 // detectors can update cached state instead of rescanning the window.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dht/hash.h"
@@ -27,14 +28,22 @@ struct EpochSnapshot {
   /// state from scratch. A delta with complete == false forces the same.
   std::vector<rating::DirtyCells> dirty;
 
+  /// Per-node owner table (node id -> index into `matrices`). The service
+  /// fills it from its live ShardMap, so detectors resolve rows correctly
+  /// across resizes. When empty, owner_of falls back to the legacy modulo
+  /// partition (standalone multi-matrix callers that partition that way).
+  std::vector<std::uint32_t> owners;
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return matrices.empty() ? 0 : matrices.front()->size();
   }
 
-  /// Index of the matrix owning node `id`'s row — the service's
-  /// consistent-hash shard mapping (0 for single-matrix snapshots).
+  /// Index of the matrix owning node `id`'s row (0 for single-matrix
+  /// snapshots): the host's owner table when provided, else the modulo
+  /// partition.
   [[nodiscard]] std::size_t owner_of(rating::NodeId id) const noexcept {
     if (matrices.size() <= 1) return 0;
+    if (id < owners.size()) return owners[id];
     return static_cast<std::size_t>(dht::hash_node(id) %
                                     static_cast<dht::Key>(matrices.size()));
   }

@@ -23,4 +23,9 @@ Key hash_reputation_record(rating::NodeId id) noexcept {
   return util::mix64(0x7265705f7265634bULL ^ id);
 }
 
+Key hash_shard_point(std::uint32_t shard, std::uint32_t point) noexcept {
+  return util::mix64(0x73686172645f7074ULL ^
+                     (static_cast<std::uint64_t>(shard) << 32) ^ point);
+}
+
 }  // namespace p2prep::dht

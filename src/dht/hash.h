@@ -26,4 +26,11 @@ using Key = std::uint64_t;
 /// of this key is the node's reputation manager.
 [[nodiscard]] Key hash_reputation_record(rating::NodeId id) noexcept;
 
+/// Ring position of virtual point `point` of service shard `shard` — the
+/// consistent-hash points service::ShardMap places on the Chord key space.
+/// Domain-separated from node keys so shard points and node positions are
+/// independent samples of the same ring.
+[[nodiscard]] Key hash_shard_point(std::uint32_t shard,
+                                   std::uint32_t point) noexcept;
+
 }  // namespace p2prep::dht

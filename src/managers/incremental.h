@@ -10,6 +10,7 @@
 #pragma once
 
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/detector.h"
@@ -58,6 +59,19 @@ class IncrementalCentralizedManager {
   void restore_detected(const std::vector<rating::NodeId>& nodes) {
     detected_.insert(nodes.begin(), nodes.end());
   }
+
+  // --- Shard handoff hooks (elastic resharding) ---
+
+  /// Extracts the window row of `ratee` from the matrix, clearing it
+  /// here; the receiving shard reinstalls each cell via
+  /// restore_window_cell(). Ascending rater order.
+  [[nodiscard]] std::vector<std::pair<rating::NodeId, rating::PairStats>>
+  take_window_row(rating::NodeId ratee) {
+    return matrix_.take_row(ratee);
+  }
+  /// Removes `id` from the detected set; true when it was present (the
+  /// receiving shard then restore_detected()s it).
+  bool take_detected(rating::NodeId id) { return detected_.erase(id) > 0; }
 
   core::DetectionReport run_detection(
       const core::CollusionDetector& detector,

@@ -144,6 +144,34 @@ void RatingMatrix::restore_cell(NodeId ratee, NodeId rater,
   mark_dirty(ratee, rater);
 }
 
+std::vector<std::pair<NodeId, PairStats>> RatingMatrix::take_row(
+    NodeId ratee) {
+  assert(ratee < size());
+  std::vector<std::pair<NodeId, PairStats>> cells;
+  for_each_nonzero_cell(ratee, [&cells](NodeId rater, const PairStats& stats) {
+    cells.emplace_back(rater, stats);
+  });
+  if (cells.empty()) return cells;
+
+  if (backend_ == MatrixBackend::kDense) {
+    auto row = dense_.row(ratee);
+    std::fill(row.begin(), row.end(), PairStats{});
+  } else {
+    sparse_[ratee].clear();
+  }
+  meta_[ratee].totals = PairStats{};
+  meta_[ratee].frequent_totals = PairStats{};
+  if (dirty_on_) {
+    // Drop stale dirty keys for the row; the removal itself is not
+    // expressible as a delta, so force a full rebuild on the next take.
+    std::erase_if(dirty_, [ratee](std::uint64_t key) {
+      return static_cast<NodeId>(key >> 32) == ratee;
+    });
+    dirty_complete_ = false;
+  }
+  return cells;
+}
+
 void RatingMatrix::set_dirty_tracking(bool on) {
   dirty_on_ = on;
   dirty_complete_ = false;  // mutations before this call were not observed

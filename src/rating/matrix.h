@@ -37,6 +37,7 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rating/pair_stats.h"
@@ -214,6 +215,16 @@ class RatingMatrix {
   /// `stats` at (ratee, rater) and folds it into the row totals and, when
   /// frequent, the frequent aggregate. The target cell must be empty.
   void restore_cell(NodeId ratee, NodeId rater, const PairStats& stats);
+
+  /// Extracts row `ratee` for a shard handoff: returns its non-empty
+  /// cells in ascending rater order (the same enumeration restore_cell
+  /// reinstalls on the receiving matrix), then clears the cells and the
+  /// row's totals / frequent aggregate. Global reputation and the
+  /// high-reputed flag are left in place — every shard tracks those for
+  /// all nodes. Dirty tracking cannot express a removal, so a non-empty
+  /// take marks the next delta incomplete (full detector rebuild).
+  [[nodiscard]] std::vector<std::pair<NodeId, PairStats>> take_row(
+      NodeId ratee);
 
   // --- Dirty-cell tracking (incremental detector support) ---
 

@@ -75,6 +75,9 @@ class ReputationEngine {
   /// Detection action, permanent variant: pins node i's published
   /// reputation to 0 from now on.
   virtual void suppress(rating::NodeId i) { suppressed_.insert(i); }
+  /// Undoes suppress() for node i (shard handoff: the suppression moves
+  /// with the node to its new owner's engine).
+  void unsuppress(rating::NodeId i) { suppressed_.erase(i); }
   [[nodiscard]] bool is_suppressed(rating::NodeId i) const {
     return suppressed_.contains(i);
   }

@@ -48,6 +48,22 @@ class SummationEngine final : public ReputationEngine {
     }
   }
 
+  /// Shard handoff: extracts node i's raw sum (zeroing it here) so the
+  /// receiving shard's engine can restore_raw_sum() it. The published
+  /// view refreshes at the next update_epoch().
+  [[nodiscard]] std::int64_t take_raw_sum(rating::NodeId i) {
+    const std::int64_t sum = sums_.at(i);
+    sums_[i] = 0;
+    published_[i] = 0.0;
+    return sum;
+  }
+  /// Installs a raw sum moved from another shard's engine. The target
+  /// must not be accumulating for node i (its sum is overwritten).
+  void restore_raw_sum(rating::NodeId i, std::int64_t sum) {
+    sums_.at(i) = sum;
+    published_[i] = normalize_ ? 0.0 : static_cast<double>(sum);
+  }
+
   /// Checkpointing: writes node count + raw sums; load recomputes the
   /// published view so reputations() is valid immediately after.
   bool save_state(std::ostream& out) const override;

@@ -291,6 +291,29 @@ CallResult RpcClient::get_metrics(service::ServiceMetrics* out) {
   return result;
 }
 
+CallResult RpcClient::resize(std::uint32_t new_num_shards,
+                             ResizeResponse* out) {
+  std::string body;
+  ResizeRequest{new_num_shards}.encode(body);
+  std::string resp_body;
+  CallResult result = call(MsgType::kResize, body, &resp_body);
+  if (result.ok && out != nullptr && !resp_body.empty()) {
+    // The server encodes the current shard count even on failure statuses,
+    // so the operator sees where the service actually landed.
+    Reader r(resp_body);
+    const auto decoded = ResizeResponse::decode(r);
+    if (!decoded) {
+      result.ok = false;
+      result.error = "malformed resize body";
+      ++stats_.transport_errors;
+      close();
+      return result;
+    }
+    *out = *decoded;
+  }
+  return result;
+}
+
 // --- Retrying submit paths -------------------------------------------------
 
 void RpcClient::backoff(std::uint32_t attempt, std::uint32_t hint_ms) {

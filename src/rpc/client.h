@@ -73,6 +73,9 @@ class RpcClient {
                               QueryReputationResponse* out);
   CallResult query_colluders(QueryColludersResponse* out);
   CallResult get_metrics(service::ServiceMetrics* out);
+  /// Admin: change the shard count online. Blocks for the whole handoff
+  /// window (the server answers it inline), so use a generous timeout.
+  CallResult resize(std::uint32_t new_num_shards, ResizeResponse* out);
 
   // --- Retrying submit paths ---
 

@@ -28,6 +28,7 @@ std::string_view to_string(MsgType t) noexcept {
     case MsgType::kQueryReputation: return "query-reputation";
     case MsgType::kQueryColluders: return "query-colluders";
     case MsgType::kGetMetrics: return "get-metrics";
+    case MsgType::kResize: return "resize";
     case MsgType::kGoAway: return "go-away";
   }
   return "?";
@@ -326,6 +327,12 @@ void GetMetricsResponse::encode(std::string& out) const {
   put_u64(out, m.rings_found);
   put_u64(out, m.ring_largest);
   put_u64(out, m.ring_scan_us);
+  // Appended fields (shard-map gauges, elastic resharding).
+  put_u64(out, m.current_shard_count);
+  put_u64(out, m.shard_map_epoch);
+  put_u64(out, m.resizes_completed);
+  put_u64(out, m.keys_moved_last_resize);
+  put_f64(out, m.last_resize_ms);
 }
 
 std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
@@ -344,7 +351,33 @@ std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
       !r.get_u64(m.rpc_shed) || !r.get_u64(m.rpc_bytes_in) ||
       !r.get_u64(m.rpc_bytes_out) || !r.get_u64(m.rpc_active_connections) ||
       !r.get_u64(m.rings_found) || !r.get_u64(m.ring_largest) ||
-      !r.get_u64(m.ring_scan_us))
+      !r.get_u64(m.ring_scan_us) || !r.get_u64(m.current_shard_count) ||
+      !r.get_u64(m.shard_map_epoch) || !r.get_u64(m.resizes_completed) ||
+      !r.get_u64(m.keys_moved_last_resize) || !r.get_f64(m.last_resize_ms))
+    return std::nullopt;
+  return resp;
+}
+
+void ResizeRequest::encode(std::string& out) const {
+  put_u32(out, new_num_shards);
+}
+
+std::optional<ResizeRequest> ResizeRequest::decode(Reader& r) {
+  ResizeRequest req;
+  if (!r.get_u32(req.new_num_shards)) return std::nullopt;
+  return req;
+}
+
+void ResizeResponse::encode(std::string& out) const {
+  put_u32(out, num_shards);
+  put_u64(out, keys_moved);
+  put_u64(out, duration_ms);
+}
+
+std::optional<ResizeResponse> ResizeResponse::decode(Reader& r) {
+  ResizeResponse resp;
+  if (!r.get_u32(resp.num_shards) || !r.get_u64(resp.keys_moved) ||
+      !r.get_u64(resp.duration_ms))
     return std::nullopt;
   return resp;
 }

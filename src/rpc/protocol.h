@@ -51,6 +51,8 @@ enum class MsgType : std::uint8_t {
   kQueryReputation = 4,
   kQueryColluders = 5,
   kGetMetrics = 6,
+  /// Admin: change the shard count online (ReputationService::resize).
+  kResize = 7,
   /// Server-initiated: connection refused (max_connections) or about to
   /// be torn down. Always sent as a response with request_id 0.
   kGoAway = 0x7f,
@@ -218,6 +220,22 @@ struct GetMetricsResponse {
 
   void encode(std::string& out) const;
   [[nodiscard]] static std::optional<GetMetricsResponse> decode(Reader& r);
+};
+
+struct ResizeRequest {
+  std::uint32_t new_num_shards = 0;
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<ResizeRequest> decode(Reader& r);
+};
+
+struct ResizeResponse {
+  std::uint32_t num_shards = 0;    ///< Live shard count after the call.
+  std::uint64_t keys_moved = 0;    ///< Nodes whose owner shard changed.
+  std::uint64_t duration_ms = 0;   ///< Handoff window, rounded to ms.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<ResizeResponse> decode(Reader& r);
 };
 
 }  // namespace p2prep::rpc

@@ -368,6 +368,9 @@ void RpcServer::handle_payload(Connection& c, std::string_view payload) {
       case MsgType::kGetMetrics:
         handle_get_metrics(body);
         break;
+      case MsgType::kResize:
+        handle_resize(r, resp, body);
+        break;
       case MsgType::kGoAway:
       default:
         resp.status = Status::kUnsupportedType;
@@ -441,9 +444,40 @@ void RpcServer::handle_query_reputation(Reader& r, ResponseHeader& resp,
   QueryReputationResponse out;
   out.reputation = snap.reputation(req->node);
   out.suspected = snap.suspected(req->node) ? 1 : 0;
-  const std::size_t shard = service_->shard_of(req->node);
+  // Resolve the owner through the snapshot's own map: shard_of() reads the
+  // live map, which a concurrent resize() may already have swapped.
+  const std::size_t shard = snap.owner(req->node);
   out.shard = static_cast<std::uint32_t>(shard);
   out.epoch = snap.shards[shard]->epoch;
+  out.encode(body);
+}
+
+void RpcServer::handle_resize(Reader& r, ResponseHeader& resp,
+                              std::string& body) {
+  const auto req = ResizeRequest::decode(r);
+  if (!req) {
+    resp.status = Status::kInvalidArgument;
+    ResizeResponse{}.encode(body);
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    resp.status = Status::kShuttingDown;
+    ResizeResponse{}.encode(body);
+    return;
+  }
+  ResizeResponse out;
+  try {
+    const service::ResizeStats stats = service_->resize(req->new_num_shards);
+    out.num_shards = static_cast<std::uint32_t>(stats.num_shards);
+    out.keys_moved = stats.keys_moved;
+    out.duration_ms = static_cast<std::uint64_t>(stats.duration_ms);
+  } catch (const std::invalid_argument&) {
+    resp.status = Status::kInvalidArgument;
+    out.num_shards = static_cast<std::uint32_t>(service_->num_shards());
+  } catch (const std::runtime_error&) {
+    resp.status = Status::kInternal;
+    out.num_shards = static_cast<std::uint32_t>(service_->num_shards());
+  }
   out.encode(body);
 }
 

@@ -157,6 +157,10 @@ class RpcServer {
                                std::string& body);
   void handle_query_colluders(ResponseHeader& resp, std::string& body);
   void handle_get_metrics(std::string& body);
+  /// Admin resize. Runs on the event-loop thread, so the server answers
+  /// nothing else during the handoff window — acceptable for an
+  /// operator-rate operation.
+  void handle_resize(Reader& r, ResponseHeader& resp, std::string& body);
   [[nodiscard]] std::string goaway_frame(Status status) const;
 
   service::ReputationService* service_;

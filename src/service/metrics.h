@@ -31,6 +31,13 @@ struct ServiceMetrics {
   std::uint64_t ring_largest = 0;  ///< Largest ring's member count seen.
   std::uint64_t ring_scan_us = 0;  ///< Last epoch's detector scan time.
 
+  // Shard map (elastic resharding).
+  std::uint64_t current_shard_count = 0;   ///< Live shard count (gauge).
+  std::uint64_t shard_map_epoch = 0;       ///< Bumped by each committed resize.
+  std::uint64_t resizes_completed = 0;
+  std::uint64_t keys_moved_last_resize = 0;  ///< Nodes moved by last resize.
+  double last_resize_ms = 0.0;             ///< Last handoff window duration.
+
   // Durability.
   std::uint64_t wal_records = 0;          ///< Current-generation records.
   std::uint64_t wal_bytes = 0;            ///< Current-generation bytes.
@@ -66,6 +73,10 @@ struct ServiceMetrics {
        << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
        << "rings: found=" << rings_found << " largest=" << ring_largest
        << " scan_us=" << ring_scan_us << "\n"
+       << "shards: count=" << current_shard_count
+       << " map_epoch=" << shard_map_epoch << " resizes=" << resizes_completed
+       << " keys_moved_last=" << keys_moved_last_resize
+       << " last_resize_ms=" << last_resize_ms << "\n"
        << "wal: records=" << wal_records << " bytes=" << wal_bytes
        << " checkpoints=" << checkpoints_written << "\n"
        << "memory: matrix_bytes=" << matrix_bytes << "\n"

@@ -13,65 +13,139 @@
 
 namespace p2prep::service {
 
-namespace {
-constexpr std::uint64_t kWalHeaderBytes = 16;
-}  // namespace
-
 ReputationService::ReputationService(ServiceConfig config)
     : config_(std::move(config)) {
   if (!config_.valid())
     throw std::invalid_argument("service: invalid ServiceConfig");
+
+  // A durable directory that already holds service state decides the live
+  // shard layout: recovery adopts the (map_epoch, num_shards) stamped into
+  // the stored checkpoints / WAL headers by the most recent committed
+  // resize, not config_.num_shards.
+  std::size_t live_shards = config_.num_shards;
+  std::uint64_t live_epoch = 0;
+  std::vector<ShardDurableState> durable;
+  bool recovering = false;
+  if (!config_.wal_dir.empty()) {
+    std::filesystem::create_directories(config_.wal_dir);
+    if (std::filesystem::exists(config_.wal_dir + "/service.meta")) {
+      check_meta();
+      recovering = true;
+      durable = read_durable_state();
+
+      bool found_any = false;
+      for (const auto& d : durable) {
+        const auto consider = [&](std::uint64_t epoch, std::uint32_t shards) {
+          if (shards == 0) return;
+          if (!found_any || epoch > live_epoch) {
+            live_epoch = epoch;
+            live_shards = shards;
+          }
+          found_any = true;
+        };
+        if (d.ckpt) consider(d.ckpt->map_epoch, d.ckpt->map_num_shards);
+        if (d.wal.found) consider(d.wal.map_epoch, d.wal.num_shards);
+      }
+      // Every file a live shard left behind must carry the winning stamp;
+      // a mix means the crash hit the middle of a resize commit, which is
+      // not recoverable (checkpoints from two maps describe overlapping
+      // state). Files at indices past the live count are shrink leftovers
+      // and are cleaned up by recover().
+      for (std::size_t s = 0; s < durable.size() && s < live_shards; ++s) {
+        const auto& d = durable[s];
+        if ((d.ckpt && (d.ckpt->map_epoch != live_epoch ||
+                        d.ckpt->map_num_shards != live_shards)) ||
+            (d.wal.found && (d.wal.map_epoch != live_epoch ||
+                             d.wal.num_shards != live_shards)))
+          throw std::runtime_error(
+              "service recover: shards disagree on shard map epoch (crash "
+              "inside a resize commit)");
+      }
+      if (live_epoch > 0) {
+        for (std::size_t s = 0; s < live_shards; ++s) {
+          if (s >= durable.size() ||
+              (!durable[s].ckpt && !durable[s].wal.found))
+            throw std::runtime_error(
+                "service recover: missing durable files for shard " +
+                std::to_string(s));
+        }
+      }
+    }
+  }
+
+  auto map = std::make_shared<const ShardMap>(live_shards, config_.num_nodes);
+
   if (config_.epoch_scope == EpochScope::kGlobal) {
-    // Accomplice propagation walks matrix rows across the whole pair
-    // graph; rows span shard partitions here, so the fixpoint is not
-    // supported in global scope (ROADMAP open item).
-    config_.detector_config.flag_accomplices = false;
+    // Accomplice propagation walks full matrix rows; it survives only when
+    // the shard map keeps every row in one matrix (a single-owner map).
+    // Multi-owner maps force it off — the cross-shard fixpoint is a
+    // ROADMAP open item.
+    if (!map->single_owner()) config_.detector_config.flag_accomplices = false;
     // The group adapter needs full rows in one matrix; a multi-shard
     // global sweep cannot provide them (ring handles sharding natively).
-    if (config_.detector == "group" && config_.num_shards > 1)
+    if (config_.detector == "group" && map->num_shards() > 1)
       throw std::invalid_argument(
           "service: detector 'group' does not support multi-shard global "
           "epochs (use per-shard scope, one shard, or detector 'ring')");
   }
-  // Fail fast on unknown detector names before any shard work starts
+  // Fails fast on unknown detector names before any shard work starts
   // (create() throws listing every registered name).
-  if (config_.epoch_scope == EpochScope::kGlobal &&
-      config_.detector != "basic" && config_.detector != "optimized") {
-    global_detector_ = detect::DetectorRegistry::global().create(
-        config_.detector, config_.detector_config);
+  make_global_detector(*map);
+
+  SlotTable table;
+  table.map = map;
+  table.map_epoch = live_epoch;
+  table.slots.reserve(live_shards);
+  for (std::size_t s = 0; s < live_shards; ++s) {
+    auto slot = std::make_shared<ShardSlot>(s, config_);
+    slot->shard.set_shard_map_stamp(live_epoch,
+                                    static_cast<std::uint32_t>(live_shards));
+    table.slots.push_back(std::move(slot));
+  }
+  if (global_detector_ && global_detector_->wants_dirty_tracking()) {
+    for (const auto& slot : table.slots)
+      slot->shard.manager().enable_dirty_tracking();
   }
 
-  slots_.reserve(config_.num_shards);
-  for (std::size_t s = 0; s < config_.num_shards; ++s)
-    slots_.push_back(std::make_unique<ShardSlot>(s, config_));
-
-  if (global_detector_ && global_detector_->wants_dirty_tracking()) {
-    for (auto& slot : slots_) slot->shard.manager().enable_dirty_tracking();
+  auto table_ptr = std::make_shared<const SlotTable>(std::move(table));
+  {
+    const util::MutexLock lock(route_mu_);
+    routing_ = table_ptr;
+  }
+  {
+    const util::MutexLock lock(applied_mu_);
+    applied_ = table_ptr;
+  }
+  {
+    const util::MutexLock lock(epoch_mu_);
+    barrier_size_ = live_shards;
+    resize_done_epoch_ = live_epoch;
   }
 
   checkpoints_enabled_.store(config_.checkpoint_every_epochs > 0 &&
                              !config_.wal_dir.empty());
 
   if (!config_.wal_dir.empty()) {
-    std::filesystem::create_directories(config_.wal_dir);
-    if (std::filesystem::exists(config_.wal_dir + "/service.meta")) {
-      check_meta();
-      recover();
+    if (recovering) {
+      recover(std::move(durable), live_epoch);
       recovered_ = true;
     } else {
       write_meta();
-      for (std::size_t s = 0; s < slots_.size(); ++s)
-        slots_[s]->shard.attach_wal(WalWriter::create(wal_path(s), 0));
+      for (std::size_t s = 0; s < table_ptr->slots.size(); ++s)
+        table_ptr->slots[s]->shard.attach_wal(WalWriter::create(
+            wal_path(s), 0, live_epoch,
+            static_cast<std::uint32_t>(live_shards)));
     }
   }
 
   std::uint64_t applied = 0;
-  for (const auto& slot : slots_) applied += slot->shard.applied_total();
+  for (const auto& slot : table_ptr->slots)
+    applied += slot->shard.applied_total();
   applied_base_ = applied;
   start_time_ = std::chrono::steady_clock::now();
 
-  for (std::size_t s = 0; s < slots_.size(); ++s)
-    slots_[s]->worker = std::thread([this, s] { worker_loop(s); });
+  for (const auto& slot : table_ptr->slots)
+    slot->worker = std::thread([this, slot] { worker_loop(slot); });
 }
 
 ReputationService::~ReputationService() { stop(); }
@@ -118,7 +192,11 @@ void ReputationService::check_meta() const {
                                "=" + want);
   };
   expect("num_nodes", std::to_string(config_.num_nodes));
-  expect("num_shards", std::to_string(config_.num_shards));
+  // num_shards records the count the directory was created with; the live
+  // count is whatever the stored shard-map stamps say (resize() changes
+  // it), so the line is parsed but not enforced.
+  if (!(in >> key >> value) || key != "num_shards")
+    throw std::runtime_error("service: unrecognized service.meta");
   expect("scope", config_.epoch_scope == EpochScope::kGlobal ? "global"
                                                              : "per_shard");
   expect("detector", config_.detector);
@@ -126,15 +204,54 @@ void ReputationService::check_meta() const {
 
 // --- Recovery --------------------------------------------------------------
 
-void ReputationService::recover() {
+std::vector<ReputationService::ShardDurableState>
+ReputationService::read_durable_state() const {
+  std::vector<ShardDurableState> state;
+  std::size_t max_index = 0;
+  bool any = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.wal_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) != 0) continue;
+    const auto dot = name.find('.');
+    if (dot == std::string::npos || dot <= 6) continue;
+    const std::string digits = name.substr(6, dot - 6);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    max_index = std::max(max_index,
+                         static_cast<std::size_t>(std::stoul(digits)));
+    any = true;
+  }
+  if (any) {
+    state.resize(max_index + 1);
+    for (std::size_t s = 0; s < state.size(); ++s) {
+      state[s].ckpt = read_checkpoint(ckpt_path(s));
+      state[s].wal = read_wal(wal_path(s));
+    }
+  }
+  return state;
+}
+
+void ReputationService::recover(std::vector<ShardDurableState> state,
+                                std::uint64_t map_epoch) {
+  const auto table = applied_table();
+  const auto& slots = table->slots;
+
+  // Files at shard indices the live map no longer covers are leftovers of
+  // a committed shrink whose cleanup crashed half-way; finish it.
+  for (std::size_t s = slots.size(); s < state.size(); ++s) {
+    std::filesystem::remove(wal_path(s));
+    std::filesystem::remove(ckpt_path(s));
+  }
+  state.resize(slots.size());
+
   struct ShardRecovery {
     WalReadResult wal;
-    std::size_t pos = 0;           // next unconsumed record index
+    std::size_t pos = 0;  // next unconsumed record index
     std::uint64_t generation = 0;
     std::uint64_t keep_bytes = kWalHeaderBytes;
     std::uint64_t keep_records = 0;
   };
-  std::vector<ShardRecovery> shards(slots_.size());
+  std::vector<ShardRecovery> shards(slots.size());
 
   // Replay runs before the workers are spawned, so it accumulates the
   // router/barrier state in locals and publishes it under the proper
@@ -143,13 +260,31 @@ void ReputationService::recover() {
   rating::Tick last_epoch_tick = 0;
   std::uint64_t since_epoch = 0;
 
-  for (std::size_t s = 0; s < slots_.size(); ++s) {
+  for (std::size_t s = 0; s < slots.size(); ++s) {
     auto& r = shards[s];
-    const auto ckpt = read_checkpoint(ckpt_path(s));
-    r.wal = read_wal(wal_path(s));
-    if (ckpt) slots_[s]->shard.restore(*ckpt);
+    r.wal = std::move(state[s].wal);
+    if (state[s].ckpt) slots[s]->shard.restore(*state[s].ckpt);
+
+    // An uncommitted resize leaves its fence marker as the last record
+    // (the worker parks right after logging it, and a committed resize
+    // rotates the file away). Strip it — that resize never happened as
+    // far as durable state is concerned — and reject anything after it.
+    for (std::size_t i = 0; i + 1 < r.wal.records.size(); ++i) {
+      if (r.wal.records[i].kind == WalRecordKind::kShardMapChange)
+        throw std::runtime_error(
+            "service recover: records found after a resize fence marker");
+    }
+    if (!r.wal.records.empty() &&
+        r.wal.records.back().kind == WalRecordKind::kShardMapChange) {
+      r.wal.records.pop_back();
+      r.wal.end_offsets.pop_back();
+      r.wal.valid_bytes = r.wal.end_offsets.empty()
+                              ? kWalHeaderBytes
+                              : r.wal.end_offsets.back();
+    }
 
     std::uint64_t skip = 0;
+    const auto& ckpt = state[s].ckpt;
     if (ckpt && r.wal.found) {
       if (r.wal.generation < ckpt->wal_generation)
         throw std::runtime_error("service recover: WAL generation " +
@@ -169,28 +304,28 @@ void ReputationService::recover() {
         r.wal.found ? r.wal.generation : (ckpt ? ckpt->wal_generation : 0);
     r.keep_bytes = r.wal.found ? r.wal.valid_bytes : kWalHeaderBytes;
     r.keep_records = r.wal.records.size();
-    max_epoch = std::max(max_epoch, slots_[s]->shard.epochs_completed());
+    max_epoch = std::max(max_epoch, slots[s]->shard.epochs_completed());
   }
 
   rating::Tick max_tick = 0;
   if (config_.epoch_scope == EpochScope::kPerShard) {
-    for (std::size_t s = 0; s < slots_.size(); ++s) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
       auto& r = shards[s];
       for (; r.pos < r.wal.records.size(); ++r.pos) {
         const WalRecord& rec = r.wal.records[r.pos];
         if (rec.kind == WalRecordKind::kRating)
-          slots_[s]->shard.apply_rating(rec.rating);
+          slots[s]->shard.apply_rating(rec.rating);
         else
-          slots_[s]->shard.run_local_epoch();
+          slots[s]->shard.run_local_epoch();
       }
     }
   } else {
     for (;;) {
-      for (std::size_t s = 0; s < slots_.size(); ++s) {
+      for (std::size_t s = 0; s < slots.size(); ++s) {
         auto& r = shards[s];
         while (r.pos < r.wal.records.size() &&
                r.wal.records[r.pos].kind == WalRecordKind::kRating) {
-          slots_[s]->shard.apply_rating(r.wal.records[r.pos].rating);
+          slots[s]->shard.apply_rating(r.wal.records[r.pos].rating);
           max_tick = std::max(max_tick, r.wal.records[r.pos].rating.time);
           ++r.pos;
         }
@@ -215,7 +350,7 @@ void ReputationService::recover() {
     // An epoch marker not logged by every shard never ran (workers park at
     // the barrier before the last shard's marker is written), so drop it
     // from the resumed WAL; producers will inject that sequence again.
-    for (std::size_t s = 0; s < slots_.size(); ++s) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
       auto& r = shards[s];
       if (r.pos >= r.wal.records.size()) continue;
       if (r.pos + 1 < r.wal.records.size())
@@ -226,7 +361,7 @@ void ReputationService::recover() {
           r.pos > 0 ? r.wal.end_offsets[r.pos - 1] : kWalHeaderBytes;
     }
 
-    for (const auto& slot : slots_)
+    for (const auto& slot : slots)
       since_epoch += slot->shard.applied_since_epoch_;
   }
 
@@ -241,13 +376,16 @@ void ReputationService::recover() {
     epoch_done_seq_ = max_epoch;
   }
 
-  for (std::size_t s = 0; s < slots_.size(); ++s) {
+  const auto num_shards = static_cast<std::uint32_t>(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
     auto& r = shards[s];
     if (r.wal.found)
-      slots_[s]->shard.attach_wal(WalWriter::resume(
-          wal_path(s), r.generation, r.keep_bytes, r.keep_records));
+      slots[s]->shard.attach_wal(
+          WalWriter::resume(wal_path(s), r.generation, map_epoch, num_shards,
+                            r.keep_bytes, r.keep_records));
     else
-      slots_[s]->shard.attach_wal(WalWriter::create(wal_path(s), r.generation));
+      slots[s]->shard.attach_wal(
+          WalWriter::create(wal_path(s), r.generation, map_epoch, num_shards));
   }
 }
 
@@ -260,11 +398,12 @@ bool ReputationService::ingest(const rating::Rating& r) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  const std::size_t s = shard_of(r.ratee);
   const WalRecord rec = WalRecord::make_rating(r);
 
   if (config_.epoch_scope == EpochScope::kPerShard) {
-    if (!slots_[s]->queue.push(rec)) return false;
+    const auto table = routing_table();
+    if (!table->slots[table->map->owner(r.ratee)]->queue.push(rec))
+      return false;
     accepted_.fetch_add(1, std::memory_order_relaxed);
     routed_records_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -273,7 +412,8 @@ bool ReputationService::ingest(const rating::Rating& r) {
   // Global scope: the router owns the epoch cadence, so the rating push
   // and any marker injection must be one atomic routing step.
   const util::MutexLock lock(route_mu_);
-  if (!slots_[s]->queue.push(rec)) return false;
+  if (!routing_->slots[routing_->map->owner(r.ratee)]->queue.push(rec))
+    return false;
   accepted_.fetch_add(1, std::memory_order_relaxed);
   routed_records_.fetch_add(1, std::memory_order_relaxed);
   ++routed_since_epoch_;
@@ -285,7 +425,7 @@ bool ReputationService::ingest(const rating::Rating& r) {
        r.time >= global_last_epoch_tick_ + config_.epoch_ticks);
   if (due) {
     const std::uint64_t seq = ++epoch_seq_;
-    for (auto& slot : slots_) {
+    for (const auto& slot : routing_->slots) {
       if (slot->queue.push_forced(WalRecord::make_marker(seq)))
         routed_records_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -304,11 +444,11 @@ ReputationService::IngestResult ReputationService::try_ingest(
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return IngestResult::kInvalid;
   }
-  const std::size_t s = shard_of(r.ratee);
   const WalRecord rec = WalRecord::make_rating(r);
 
   if (config_.epoch_scope == EpochScope::kPerShard) {
-    switch (slots_[s]->queue.try_push(rec)) {
+    const auto table = routing_table();
+    switch (table->slots[table->map->owner(r.ratee)]->queue.try_push(rec)) {
       case TryPush::kClosed: return IngestResult::kStopped;
       case TryPush::kFull: return IngestResult::kBusy;
       case TryPush::kOk: break;
@@ -321,7 +461,7 @@ ReputationService::IngestResult ReputationService::try_ingest(
   // Global scope: same atomic route-and-maybe-epoch step as ingest(); a
   // full queue bails out before any cadence state is touched.
   const util::MutexLock lock(route_mu_);
-  switch (slots_[s]->queue.try_push(rec)) {
+  switch (routing_->slots[routing_->map->owner(r.ratee)]->queue.try_push(rec)) {
     case TryPush::kClosed: return IngestResult::kStopped;
     case TryPush::kFull: return IngestResult::kBusy;
     case TryPush::kOk: break;
@@ -337,7 +477,7 @@ ReputationService::IngestResult ReputationService::try_ingest(
        r.time >= global_last_epoch_tick_ + config_.epoch_ticks);
   if (due) {
     const std::uint64_t seq = ++epoch_seq_;
-    for (auto& slot : slots_) {
+    for (const auto& slot : routing_->slots) {
       if (slot->queue.push_forced(WalRecord::make_marker(seq)))
         routed_records_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -348,15 +488,16 @@ ReputationService::IngestResult ReputationService::try_ingest(
 }
 
 std::uint64_t ReputationService::queue_depth() const {
+  const auto table = routing_table();
   std::uint64_t depth = 0;
-  for (const auto& slot : slots_) depth += slot->queue.size();
+  for (const auto& slot : table->slots) depth += slot->queue.size();
   return depth;
 }
 
 std::uint64_t ReputationService::force_epoch() {
   const util::MutexLock lock(route_mu_);
   const std::uint64_t seq = ++epoch_seq_;
-  for (auto& slot : slots_) {
+  for (const auto& slot : routing_->slots) {
     if (slot->queue.push_forced(WalRecord::make_marker(seq)))
       routed_records_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -369,11 +510,12 @@ void ReputationService::drain() {
     bool barrier_busy = false;
     {
       const util::MutexLock lock(epoch_mu_);
-      barrier_busy = arrived_ != 0;
+      barrier_busy = arrived_ != 0 || resize_arrived_ != 0;
     }
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = retired_dropped_.load(std::memory_order_relaxed);
     std::uint64_t depth = 0;
-    for (const auto& slot : slots_) {
+    const auto table = routing_table();
+    for (const auto& slot : table->slots) {
       dropped += slot->queue.dropped();
       depth += slot->queue.size();
     }
@@ -385,11 +527,192 @@ void ReputationService::drain() {
   }
 }
 
+// --- Resizing --------------------------------------------------------------
+
+ResizeStats ReputationService::resize(std::size_t new_num_shards) {
+  if (config_.epoch_scope != EpochScope::kGlobal)
+    throw std::invalid_argument(
+        "service resize: only global epoch scope supports online resizing "
+        "(per-shard epochs have no fence to move state behind)");
+  if (new_num_shards == 0)
+    throw std::invalid_argument("service resize: shard count must be >= 1");
+  if (config_.detector == "group" && new_num_shards > 1)
+    throw std::invalid_argument(
+        "service resize: detector 'group' does not support multi-shard "
+        "global epochs");
+  if (config_.engine_normalize)
+    throw std::invalid_argument(
+        "service resize: normalized engine publication is not supported "
+        "(per-shard normalization mass would shift mid-window)");
+
+  const util::MutexLock resize_lock(resize_mu_);
+  if (stopped_.load(std::memory_order_relaxed))
+    throw std::runtime_error("service resize: service is stopped");
+
+  const auto old_table = routing_table();
+  const std::size_t old_count = old_table->slots.size();
+  ResizeStats stats;
+  stats.num_shards = new_num_shards;
+  if (new_num_shards == old_count) return stats;
+
+  auto new_map =
+      std::make_shared<const ShardMap>(new_num_shards, config_.num_nodes);
+  if (config_.detector_config.flag_accomplices && !new_map->single_owner())
+    throw std::invalid_argument(
+        "service resize: accomplice propagation requires a single-owner "
+        "shard map (resize to 1 shard, or disable flag_accomplices)");
+
+  const std::uint64_t new_epoch = old_table->map_epoch + 1;
+  const auto new_count32 = static_cast<std::uint32_t>(new_num_shards);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Successor slot table: surviving shard indices keep their slot objects
+  // (state, queue, worker); new indices get fresh slots.
+  SlotTable next;
+  next.map = new_map;
+  next.map_epoch = new_epoch;
+  next.slots.reserve(new_num_shards);
+  for (std::size_t s = 0; s < new_num_shards; ++s) {
+    if (s < old_count)
+      next.slots.push_back(old_table->slots[s]);
+    else
+      next.slots.push_back(std::make_shared<ShardSlot>(s, config_));
+  }
+  auto next_ptr = std::make_shared<const SlotTable>(std::move(next));
+
+  {
+    // Fence injection and routing swap are one atomic routing step: FIFO
+    // queue order then guarantees every record a worker pops before its
+    // fence was routed under the old map, and everything after it under
+    // the new one — which is what makes a shrink safe (nothing lands on a
+    // retiring shard after its fence).
+    const util::MutexLock lock(route_mu_);
+    for (const auto& slot : old_table->slots) {
+      if (slot->queue.push_forced(
+              WalRecord::make_map_change(new_epoch, new_count32)))
+        routed_records_.fetch_add(1, std::memory_order_relaxed);
+    }
+    routing_ = next_ptr;
+  }
+
+  {
+    // Wait for every old worker to park at the fence. Ingest of
+    // non-moving keys keeps flowing into the new table's queues the whole
+    // time; only records for queues whose worker has not started yet (a
+    // grown shard) can block the producer, bounded by this window.
+    util::MutexLock lock(epoch_mu_);
+    while (resize_arrived_ < old_count &&
+           !crashing_.load(std::memory_order_relaxed))
+      epoch_cv_.wait(epoch_mu_);
+    if (crashing_.load(std::memory_order_relaxed))
+      throw std::runtime_error("service resize: service crashed");
+  }
+
+  // Handoff: every worker is parked, so shard state is single-threaded
+  // here. Only the nodes whose owner changed move.
+  const std::vector<rating::NodeId> moved =
+      ShardMap::moved_nodes(*old_table->map, *new_map);
+  for (rating::NodeId id : moved) {
+    ServiceShard& from = old_table->slots[old_table->map->owner(id)]->shard;
+    ServiceShard& to = next_ptr->slots[new_map->owner(id)]->shard;
+    to.restore_node(from.take_node(id));
+  }
+  stats.keys_moved = moved.size();
+
+  // Re-stamp every live shard and rebuild the global detector: a fresh
+  // instance does a full rebuild at the next epoch, so detection reports
+  // stay byte-identical to a never-resized run.
+  for (const auto& slot : next_ptr->slots)
+    slot->shard.set_shard_map_stamp(new_epoch, new_count32);
+  make_global_detector(*new_map);
+  if (global_detector_ && global_detector_->wants_dirty_tracking()) {
+    for (const auto& slot : next_ptr->slots)
+      slot->shard.manager().enable_dirty_tracking();
+  }
+
+  // Durable commit: every live shard checkpoints under the new map and
+  // rotates its WAL to a header stamped (new_epoch, new_count); grown
+  // shards get their WAL first so no live shard is left without one.
+  // Only once every file carries the new stamp is the resize recoverable
+  // as committed; a crash before that point recovers under the old map
+  // (recovery strips the fence markers).
+  bool commit_ok = true;
+  if (!config_.wal_dir.empty()) {
+    for (std::size_t s = 0; s < next_ptr->slots.size(); ++s) {
+      ServiceShard& shard = next_ptr->slots[s]->shard;
+      if (s >= old_count)
+        shard.attach_wal(
+            WalWriter::create(wal_path(s), 0, new_epoch, new_count32));
+      if (shard.checkpoint_and_rotate(ckpt_path(s)))
+        checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+      else
+        commit_ok = false;
+    }
+    for (std::size_t s = new_num_shards; s < old_count; ++s) {
+      std::filesystem::remove(wal_path(s));
+      std::filesystem::remove(ckpt_path(s));
+    }
+  }
+
+  {
+    const util::MutexLock lock(applied_mu_);
+    applied_ = next_ptr;
+  }
+  {
+    const util::MutexLock lock(epoch_mu_);
+    barrier_size_ = new_num_shards;
+    resize_arrived_ = 0;
+    resize_done_epoch_ = new_epoch;
+  }
+  epoch_cv_.notify_all();
+
+  stats.duration_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  // Retire shrunk-away shards: their queues hold nothing past the fence
+  // (the swap above), so close + join is immediate. Counter history folds
+  // into the retired bases so service totals stay monotone.
+  for (std::size_t s = new_num_shards; s < old_count; ++s) {
+    const auto& slot = old_table->slots[s];
+    retired_applied_.fetch_add(slot->shard.applied_total(),
+                               std::memory_order_relaxed);
+    retired_dropped_.fetch_add(slot->queue.dropped(),
+                               std::memory_order_relaxed);
+    slot->queue.close();
+    if (slot->worker.joinable()) slot->worker.join();
+  }
+  // Start workers for grown shards; their queues may already hold records
+  // routed during the handoff window.
+  for (std::size_t s = old_count; s < new_num_shards; ++s) {
+    const auto& slot = next_ptr->slots[s];
+    slot->worker = std::thread([this, slot] { worker_loop(slot); });
+  }
+
+  resizes_completed_.fetch_add(1, std::memory_order_relaxed);
+  keys_moved_last_resize_.store(stats.keys_moved, std::memory_order_relaxed);
+  last_resize_ms_.store(stats.duration_ms, std::memory_order_relaxed);
+
+  if (!commit_ok) {
+    // The in-memory resize is complete and the service keeps running at
+    // the new width, but the on-disk state now mixes map stamps.
+    checkpoints_enabled_.store(false, std::memory_order_relaxed);
+    throw std::runtime_error(
+        "service resize: durable commit failed (service continues; "
+        "checkpointing disabled)");
+  }
+  return stats;
+}
+
+// --- Lifecycle -------------------------------------------------------------
+
 void ReputationService::stop() {
+  const util::MutexLock resize_lock(resize_mu_);
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
-  for (auto& slot : slots_) slot->queue.close();
-  for (auto& slot : slots_)
+  const auto slots = all_slots();
+  for (const auto& slot : slots) slot->queue.close();
+  for (const auto& slot : slots)
     if (slot->worker.joinable()) slot->worker.join();
 }
 
@@ -397,21 +720,31 @@ void ReputationService::crash_stop() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
   crashing_.store(true);
-  for (auto& slot : slots_) slot->queue.purge_and_close();
   {
-    // Fence: any worker past the crashing_ check inside the barrier wait
-    // re-evaluates after this lock/notify pair.
+    // Fence + wake: parked workers and a resize() waiting for fence
+    // arrivals re-check crashing_ after this lock/notify pair (the resize
+    // throws, releasing resize_mu_).
     const util::MutexLock lock(epoch_mu_);
   }
   epoch_cv_.notify_all();
-  for (auto& slot : slots_)
+  {
+    // Wait out any in-flight resize so the slot tables are stable below.
+    const util::MutexLock lock(resize_mu_);
+  }
+  const auto slots = all_slots();
+  for (const auto& slot : slots) slot->queue.purge_and_close();
+  {
+    const util::MutexLock lock(epoch_mu_);
+  }
+  epoch_cv_.notify_all();
+  for (const auto& slot : slots)
     if (slot->worker.joinable()) slot->worker.join();
 }
 
 // --- Workers and epochs ----------------------------------------------------
 
-void ReputationService::worker_loop(std::size_t index) {
-  ShardSlot& slot = *slots_[index];
+void ReputationService::worker_loop(std::shared_ptr<ShardSlot> slot_ptr) {
+  ShardSlot& slot = *slot_ptr;
   while (auto rec = slot.queue.pop()) {
     if (crashing_.load(std::memory_order_relaxed)) return;
     if (rec->kind == WalRecordKind::kRating) {
@@ -423,15 +756,31 @@ void ReputationService::worker_loop(std::size_t index) {
             WalRecord::make_marker(slot.shard.epochs_completed() + 1));
         run_shard_epoch(slot);
       }
-    } else {
+    } else if (rec->kind == WalRecordKind::kEpochMarker) {
       slot.shard.log_record(*rec);
       if (config_.epoch_scope == EpochScope::kPerShard)
         run_shard_epoch(slot);
       else
         global_barrier(slot, rec->epoch_seq);
+    } else {
+      // Resize fence. Logged so a crash inside the handoff window leaves
+      // evidence (recovery strips it and resumes under the old map); a
+      // committed resize rotates this WAL, so the marker never survives
+      // one.
+      slot.shard.log_record(*rec);
+      resize_fence(rec->epoch_seq);
     }
     handled_records_.fetch_add(1, std::memory_order_release);
   }
+}
+
+void ReputationService::resize_fence(std::uint64_t map_epoch) {
+  util::MutexLock lock(epoch_mu_);
+  ++resize_arrived_;
+  epoch_cv_.notify_all();
+  while (resize_done_epoch_ < map_epoch &&
+         !crashing_.load(std::memory_order_relaxed))
+    epoch_cv_.wait(epoch_mu_);
 }
 
 void ReputationService::run_shard_epoch(ShardSlot& slot) {
@@ -449,7 +798,7 @@ void ReputationService::global_barrier(ShardSlot&, std::uint64_t seq) {
   {
     util::MutexLock lock(epoch_mu_);
     ++arrived_;
-    if (arrived_ == slots_.size()) {
+    if (arrived_ == barrier_size_) {
       // Last arriver: every other worker is parked, all shard state is
       // frozen — run the cross-shard epoch single-threaded.
       arrived_ = 0;
@@ -467,22 +816,24 @@ void ReputationService::global_barrier(ShardSlot&, std::uint64_t seq) {
 
 void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   const auto start = std::chrono::steady_clock::now();
-  for (auto& slot : slots_) slot->shard.manager().update_reputations();
+  const auto table = applied_table();
+  const auto& slots = table->slots;
+  for (const auto& slot : slots) slot->shard.manager().update_reputations();
 
-  const core::DetectionReport report = global_detect();
+  const core::DetectionReport report = global_detect(*table);
   const std::vector<rating::NodeId> flagged = report.colluders();
 
   using SuppressionMode = managers::CentralizedManager::SuppressionMode;
   if (config_.suppression != SuppressionMode::kNone && !flagged.empty()) {
     for (rating::NodeId id : flagged) {
-      ServiceShard& owner = slots_[shard_of(id)]->shard;
+      ServiceShard& owner = slots[table->map->owner(id)]->shard;
       owner.manager().restore_detected({id});
       if (config_.suppression == SuppressionMode::kPin)
         owner.engine().suppress(id);
       else
         owner.engine().reset_reputation(id);
     }
-    for (auto& slot : slots_) slot->shard.manager().update_reputations();
+    for (const auto& slot : slots) slot->shard.manager().update_reputations();
   }
 
   std::string text;
@@ -491,10 +842,10 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
     const util::MutexLock lock(log_mu_);
     report_log_ += text;
   }
-  for (auto& slot : slots_) {
+  for (const auto& slot : slots) {
     std::vector<rating::NodeId> owned;
     for (rating::NodeId id : flagged)
-      if (shard_of(id) == slot->shard.index()) owned.push_back(id);
+      if (table->map->owner(id) == slot->shard.index()) owned.push_back(id);
     slot->shard.finish_global_epoch(seq, owned, text);
   }
 
@@ -513,36 +864,65 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
     record_epoch_metrics(start, report.pairs.size() + report.rings.size());
     if (checkpoints_enabled_.load(std::memory_order_relaxed) &&
         seq % config_.checkpoint_every_epochs == 0) {
-      for (auto& slot : slots_) checkpoint_shard(*slot);
+      for (const auto& slot : slots) checkpoint_shard(*slot);
     }
   }
 }
 
-core::DetectionReport ReputationService::global_detect() {
+void ReputationService::make_global_detector(const ShardMap&) {
+  if (config_.epoch_scope != EpochScope::kGlobal) return;
+  if ((config_.detector == "basic" || config_.detector == "optimized") &&
+      !config_.detector_config.flag_accomplices) {
+    // The inline sweeps in global_detect() reproduce the pre-registry
+    // reports byte-for-byte; the registry adapters only add the
+    // accomplice fixpoint, so they are only needed when it is on.
+    global_detector_.reset();
+    return;
+  }
+  global_detector_ = detect::DetectorRegistry::global().create(
+      config_.detector, config_.detector_config);
+}
+
+core::DetectionReport ReputationService::global_detect(
+    const SlotTable& table) {
   const core::DetectorConfig& cfg = config_.detector_config;
   const std::size_t n = config_.num_nodes;
+  const auto& slots = table.slots;
   core::DetectionReport report;
 
-  // Plugin path: any registry detector other than basic/optimized runs
-  // over a snapshot of every shard matrix (plus dirty deltas when the
-  // detector streams). basic/optimized keep the inline sweeps below,
-  // which reproduce the pre-registry reports byte-for-byte.
+  // Plugin path: any registry detector other than basic/optimized — or
+  // those two with accomplice propagation on — runs over a snapshot of
+  // the shard matrices. basic/optimized without accomplices keep the
+  // inline sweeps below, which reproduce the pre-registry reports
+  // byte-for-byte.
   if (global_detector_) {
     detect::EpochSnapshot snap;
-    snap.matrices.reserve(slots_.size());
-    for (auto& slot : slots_)
-      snap.matrices.push_back(&slot->shard.manager().matrix());
+    // Accomplice-capable adapters take exactly one matrix. With a
+    // single-owner map every row lives in the owner shard, so hand the
+    // detector just that matrix (the other slots are empty).
+    const bool collapse = cfg.flag_accomplices && slots.size() > 1;
+    std::vector<std::size_t> sources;
+    if (collapse) {
+      sources.push_back(table.map->owner(0));
+    } else {
+      sources.reserve(slots.size());
+      for (std::size_t s = 0; s < slots.size(); ++s) sources.push_back(s);
+    }
+    snap.matrices.reserve(sources.size());
+    for (std::size_t s : sources)
+      snap.matrices.push_back(&slots[s]->shard.manager().matrix());
+    if (snap.matrices.size() > 1) snap.owners = table.map->owners();
     if (global_detector_->wants_dirty_tracking()) {
-      snap.dirty.reserve(slots_.size());
-      for (auto& slot : slots_)
-        snap.dirty.push_back(slot->shard.manager().take_dirty_cells());
+      snap.dirty.reserve(sources.size());
+      for (std::size_t s : sources)
+        snap.dirty.push_back(slots[s]->shard.manager().take_dirty_cells());
     }
     global_detector_->on_epoch(snap, report);
     return report;
   }
 
-  auto matrix_of = [this](rating::NodeId id) -> const rating::RatingMatrix& {
-    return slots_[shard_of(id)]->shard.manager().matrix();
+  auto matrix_of = [&table](rating::NodeId id) -> const rating::RatingMatrix& {
+    return table.slots[table.map->owner(id)]->shard.manager().matrix();
   };
 
   // One-directional predicates mirroring the detector classes; every
@@ -699,19 +1079,58 @@ void ReputationService::record_epoch_metrics(
 
 // --- Read side -------------------------------------------------------------
 
+std::shared_ptr<const ReputationService::SlotTable>
+ReputationService::routing_table() const {
+  const util::MutexLock lock(route_mu_);
+  return routing_;
+}
+
+std::shared_ptr<const ReputationService::SlotTable>
+ReputationService::applied_table() const {
+  const util::MutexLock lock(applied_mu_);
+  return applied_;
+}
+
+std::vector<std::shared_ptr<ReputationService::ShardSlot>>
+ReputationService::all_slots() const {
+  const auto routing = routing_table();
+  const auto applied = applied_table();
+  std::vector<std::shared_ptr<ShardSlot>> slots = applied->slots;
+  for (const auto& slot : routing->slots) {
+    if (std::find(slots.begin(), slots.end(), slot) == slots.end())
+      slots.push_back(slot);
+  }
+  return slots;
+}
+
+std::size_t ReputationService::num_shards() const {
+  return applied_table()->slots.size();
+}
+
+std::size_t ReputationService::shard_of(rating::NodeId id) const {
+  const auto table = applied_table();
+  return id < config_.num_nodes ? table->map->owner(id) : 0;
+}
+
 ServiceSnapshot ReputationService::snapshot() const {
+  const auto table = applied_table();
   ServiceSnapshot snap;
-  snap.shards.reserve(slots_.size());
-  for (const auto& slot : slots_) snap.shards.push_back(slot->shard.view());
+  snap.map = table->map;
+  snap.shards.reserve(table->slots.size());
+  for (const auto& slot : table->slots)
+    snap.shards.push_back(slot->shard.view());
   return snap;
 }
 
 ServiceMetrics ReputationService::metrics() const {
+  const auto table = applied_table();
+  const auto& slots = table->slots;
   ServiceMetrics m;
   m.ratings_accepted = accepted_.load(std::memory_order_relaxed);
   m.ratings_rejected = rejected_.load(std::memory_order_relaxed);
-  std::uint64_t applied = 0;
-  for (const auto& slot : slots_) {
+  m.ratings_dropped = retired_dropped_.load(std::memory_order_relaxed);
+  std::uint64_t applied = retired_applied_.load(std::memory_order_relaxed);
+  for (const auto& slot : slots) {
     m.ratings_dropped += slot->queue.dropped();
     m.queue_depth += slot->queue.size();
     applied += slot->shard.applied_total();
@@ -729,9 +1148,9 @@ ServiceMetrics ReputationService::metrics() const {
         static_cast<double>(applied - applied_base_) / secs;
 
   if (config_.epoch_scope == EpochScope::kGlobal) {
-    m.epochs_completed = slots_.empty() ? 0 : slots_[0]->shard.epochs_completed();
+    m.epochs_completed = slots.empty() ? 0 : slots[0]->shard.epochs_completed();
   } else {
-    for (const auto& slot : slots_)
+    for (const auto& slot : slots)
       m.epochs_completed += slot->shard.epochs_completed();
   }
   m.detections_total = detections_total_.load(std::memory_order_relaxed);
@@ -744,11 +1163,19 @@ ServiceMetrics ReputationService::metrics() const {
   m.rings_found = rings_found_.load(std::memory_order_relaxed);
   m.ring_largest = ring_largest_.load(std::memory_order_relaxed);
   m.ring_scan_us = ring_scan_us_.load(std::memory_order_relaxed);
-  for (const auto& slot : slots_) {
+  for (const auto& slot : slots) {
     m.rings_found += slot->shard.rings_found();
     m.ring_largest = std::max(m.ring_largest, slot->shard.ring_largest());
     m.ring_scan_us = std::max(m.ring_scan_us, slot->shard.ring_scan_us());
   }
+
+  // Shard-map gauges (elastic resharding).
+  m.current_shard_count = slots.size();
+  m.shard_map_epoch = table->map_epoch;
+  m.resizes_completed = resizes_completed_.load(std::memory_order_relaxed);
+  m.keys_moved_last_resize =
+      keys_moved_last_resize_.load(std::memory_order_relaxed);
+  m.last_resize_ms = last_resize_ms_.load(std::memory_order_relaxed);
 
   const util::MutexLock lock(latency_mu_);
   if (!epoch_latency_ms_.empty()) {
@@ -771,8 +1198,9 @@ std::string ReputationService::report_log() const {
     const util::MutexLock lock(log_mu_);
     return report_log_;
   }
+  const auto table = applied_table();
   std::string out;
-  for (const auto& slot : slots_) out += slot->shard.report_log();
+  for (const auto& slot : table->slots) out += slot->shard.report_log();
   return out;
 }
 

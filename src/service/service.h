@@ -1,11 +1,11 @@
 // ReputationService: the sharded online front-end of the collusion
 // detection pipeline (DESIGN.md "Service layer").
 //
-// Topology: ingest() consistent-hashes each rating by ratee id onto one of
-// N shards and enqueues it on that shard's bounded IngestQueue; a worker
-// thread per shard drains its queue into the shard's incremental manager.
-// Epochs (reputation update + detection) are triggered by rating-count or
-// virtual-time thresholds:
+// Topology: ingest() routes each rating by ratee id through the live
+// consistent-hash ShardMap onto one of S shards and enqueues it on that
+// shard's bounded IngestQueue; a worker thread per shard drains its queue
+// into the shard's incremental manager. Epochs (reputation update +
+// detection) are triggered by rating-count or virtual-time thresholds:
 //
 //  * EpochScope::kGlobal — the router injects an epoch marker into every
 //    queue; workers barrier on it and the last arriver runs one detection
@@ -16,6 +16,17 @@
 //    applied-rating count; detection is shard-local and shards never wait
 //    for each other.
 //
+// Elastic resharding (kGlobal only): resize(new_num_shards) changes the
+// shard count online. The router atomically injects a resize fence into
+// every current queue and swaps in the new routing table, so each worker
+// sees exactly the records routed under its map; once every worker is
+// parked at the fence, the handoff moves only the nodes whose owner
+// changed (consistent hashing: ~1/S of keys on grow), commits durably
+// (checkpoint + WAL rotate under the new map), and releases. Ingest for
+// non-moving keys never pauses longer than one handoff window, and
+// detection reports are byte-identical to a never-resized run
+// (tests/differential/reshard_differential_test.cpp).
+//
 // Reads (snapshot(), metrics(), report_log()) never block ingest: each
 // shard publishes an immutable ShardView behind a shared_ptr swap.
 //
@@ -23,52 +34,54 @@
 // record stream (ratings + epoch markers) to a per-shard WAL before
 // applying it, and periodically compacts the log into a checkpoint (see
 // service/wal.h). Constructing a service over a directory that already
-// holds service state recovers it: checkpoints are loaded, WAL suffixes
-// replayed — re-running every epoch whose marker reached all shards — and
-// the service resumes accepting ratings. Replay regenerates byte-identical
-// detection reports (tested).
+// holds service state recovers it: the shard count and map epoch are read
+// back from the stored headers (so a resized deployment recovers at its
+// resized width regardless of config.num_shards), checkpoints are loaded,
+// WAL suffixes replayed — re-running every epoch whose marker reached all
+// shards — and the service resumes accepting ratings. Replay regenerates
+// byte-identical detection reports (tested).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "dht/hash.h"
 #include "service/ingest_queue.h"
 #include "service/metrics.h"
 #include "service/shard.h"
+#include "service/shard_map.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace p2prep::service {
 
-/// Owner shard of node `id` among `num_shards` (consistent hash).
-[[nodiscard]] inline std::size_t shard_for(rating::NodeId id,
-                                           std::size_t num_shards) noexcept {
-  return static_cast<std::size_t>(dht::hash_node(id) %
-                                  static_cast<dht::Key>(num_shards));
-}
-
 /// Point-in-time read view over all shards. Holding one pins the views it
 /// references; the service keeps publishing newer ones concurrently.
 struct ServiceSnapshot {
   std::vector<std::shared_ptr<const ShardView>> shards;
+  /// The shard map the views were published under; resolves node -> shard.
+  std::shared_ptr<const ShardMap> map;
 
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return shards.size();
   }
+  /// Owner shard of node i under this snapshot's map.
+  [[nodiscard]] std::size_t owner(rating::NodeId i) const noexcept {
+    return map ? map->owner(i) : 0;
+  }
   /// Node i's published reputation, read from its owner shard's view.
   [[nodiscard]] double reputation(rating::NodeId i) const {
-    const auto& view = *shards[shard_for(i, shards.size())];
+    const auto& view = *shards[owner(i)];
     return i < view.reputations.size() ? view.reputations[i] : 0.0;
   }
   /// Whether node i has been flagged as a colluder by its owner shard.
   [[nodiscard]] bool suspected(rating::NodeId i) const {
-    const auto& view = *shards[shard_for(i, shards.size())];
+    const auto& view = *shards[owner(i)];
     return i < view.suspected.size() && view.suspected[i] != 0;
   }
   /// Lowest epoch any shard has published (== the epoch in kGlobal scope).
@@ -79,12 +92,20 @@ struct ServiceSnapshot {
   }
 };
 
+/// Outcome of one ReputationService::resize() call.
+struct ResizeStats {
+  std::size_t num_shards = 0;     ///< Shard count after the resize.
+  std::uint64_t keys_moved = 0;   ///< Nodes whose owner shard changed.
+  double duration_ms = 0.0;       ///< Handoff window (fence to release).
+};
+
 class ReputationService {
  public:
   /// Starts the shard workers. When config.wal_dir names a directory that
   /// already holds service state (service.meta present), recovers from
-  /// checkpoint + WAL replay first; a config mismatch with the stored
-  /// meta throws std::runtime_error.
+  /// checkpoint + WAL replay first — adopting the shard count the stored
+  /// state was written under; a config mismatch with the stored meta
+  /// (num_nodes / scope / detector) throws std::runtime_error.
   explicit ReputationService(ServiceConfig config);
   ~ReputationService();
 
@@ -116,7 +137,7 @@ class ReputationService {
   [[nodiscard]] std::uint64_t queue_depth() const;
 
   /// Blocks until every routed record has been fully processed and no
-  /// epoch is in flight. Deterministic quiesce point for tests/CLI.
+  /// epoch or resize is in flight. Deterministic quiesce point.
   void drain();
 
   /// Injects an epoch marker into every shard queue (asynchronously; use
@@ -125,13 +146,24 @@ class ReputationService {
   /// replayed at the same stream position on recovery.
   std::uint64_t force_epoch();
 
+  /// Changes the shard count online (kGlobal scope only; blocks until the
+  /// handoff committed). Only nodes whose ShardMap owner changes move;
+  /// ingest of non-moving keys continues throughout, bounded by one
+  /// handoff window. Throws std::invalid_argument for unsupported
+  /// configurations (per-shard scope, shard count 0, detector "group"
+  /// with > 1 shard, accomplice propagation with a multi-owner target
+  /// map, normalized engine) and std::runtime_error when the service is
+  /// stopped or the durable commit fails.
+  ResizeStats resize(std::size_t new_num_shards);
+
   /// Closes the ingest queues, lets workers drain them, and joins. Safe
   /// to call twice. The destructor calls it implicitly.
   void stop();
 
   /// Test hook simulating a hard crash: discards everything still queued,
-  /// abandons any in-flight epoch barrier and joins the workers without
-  /// flushing state — only the WAL survives, as in a real crash.
+  /// abandons any in-flight epoch barrier or resize fence and joins the
+  /// workers without flushing state — only the WAL survives, as in a real
+  /// crash.
   void crash_stop();
 
   [[nodiscard]] ServiceSnapshot snapshot() const;
@@ -143,9 +175,10 @@ class ReputationService {
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] std::size_t shard_of(rating::NodeId id) const noexcept {
-    return shard_for(id, slots_.size());
-  }
+  /// Current shard count (changes across resize()).
+  [[nodiscard]] std::size_t num_shards() const;
+  /// Owner shard of node `id` under the currently applied map.
+  [[nodiscard]] std::size_t shard_of(rating::NodeId id) const;
   /// Whether the constructor restored state from a previous run.
   [[nodiscard]] bool recovered() const noexcept { return recovered_; }
 
@@ -163,15 +196,48 @@ class ReputationService {
     std::thread worker;
   };
 
+  /// One immutable generation of the shard layout: the slots plus the map
+  /// that routes into them. Two generations are live during a resize —
+  /// the routing table (swapped when the fence is injected, so every
+  /// record a queue holds was routed under the map its worker expects)
+  /// and the applied table (swapped at the fence with all workers parked,
+  /// backing every read and epoch). Slots shared between generations are
+  /// the same objects.
+  struct SlotTable {
+    std::vector<std::shared_ptr<ShardSlot>> slots;
+    std::shared_ptr<const ShardMap> map;
+    std::uint64_t map_epoch = 0;
+  };
+
+  /// Durable files of one shard index, as found on disk at recovery.
+  struct ShardDurableState {
+    std::optional<ShardCheckpoint> ckpt;
+    WalReadResult wal;
+  };
+
   [[nodiscard]] std::string wal_path(std::size_t shard) const;
   [[nodiscard]] std::string ckpt_path(std::size_t shard) const;
   void write_meta() const;
   void check_meta() const;
-  void recover();
+  /// Reads checkpoint + WAL of every shard index that left files behind.
+  [[nodiscard]] std::vector<ShardDurableState> read_durable_state() const;
+  void recover(std::vector<ShardDurableState> state,
+               std::uint64_t map_epoch);
 
-  void worker_loop(std::size_t index);
+  [[nodiscard]] std::shared_ptr<const SlotTable> routing_table() const
+      P2PREP_EXCLUDES(route_mu_);
+  [[nodiscard]] std::shared_ptr<const SlotTable> applied_table() const
+      P2PREP_EXCLUDES(applied_mu_);
+  /// Union of routing + applied slots (distinct objects only), for
+  /// lifecycle paths that must reach retiring / not-yet-applied shards.
+  [[nodiscard]] std::vector<std::shared_ptr<ShardSlot>> all_slots() const;
+
+  void worker_loop(std::shared_ptr<ShardSlot> slot);
   void run_shard_epoch(ShardSlot& slot);
   void global_barrier(ShardSlot& slot, std::uint64_t seq);
+  /// Worker side of a resize: parks at the fence until the handoff for
+  /// `map_epoch` committed (or the service is crashing).
+  void resize_fence(std::uint64_t map_epoch);
   /// The cross-shard epoch body; `live` gates wall-clock metrics and
   /// checkpoint compaction (both skipped during recovery replay). Shard
   /// state needs no lock here: callers guarantee every worker is parked
@@ -179,33 +245,51 @@ class ReputationService {
   void run_global_epoch(std::uint64_t seq, bool live);
   /// Non-const: plugin detectors (global_detector_) keep streaming state
   /// between epochs, and draining dirty deltas mutates shard matrices.
-  [[nodiscard]] core::DetectionReport global_detect();
+  [[nodiscard]] core::DetectionReport global_detect(const SlotTable& table);
   void record_epoch_metrics(std::chrono::steady_clock::time_point start,
                             std::size_t detections);
   void checkpoint_shard(ShardSlot& slot);
+  /// (Re)creates global_detector_ for the given map — at construction and
+  /// after every resize (streaming detectors rebuild their caches from
+  /// the re-partitioned matrices on the next epoch).
+  void make_global_detector(const ShardMap& map);
 
   ServiceConfig config_;
-  std::vector<std::unique_ptr<ShardSlot>> slots_;
-  /// Cross-shard detector instance for global epochs with a plugin
-  /// detector ("basic"/"optimized" keep the inline sweep below; null in
-  /// per-shard scope, where each shard owns its detector).
+  /// Cross-shard detector instance for global epochs: any registry plugin
+  /// other than basic/optimized, or basic/optimized themselves when
+  /// accomplice propagation is on (single-owner maps only — the registry
+  /// adapters implement the fixpoint, the inline sweeps do not). Null in
+  /// per-shard scope, where each shard owns its detector.
   std::unique_ptr<detect::Detector> global_detector_;
   bool recovered_ = false;
   /// Cleared (from any worker) when a checkpoint attempt fails, so the
   /// service degrades to WAL-only durability instead of retrying forever.
   std::atomic<bool> checkpoints_enabled_{false};
 
-  // Router state (kGlobal cadence).
+  /// Serializes resize() calls against each other and against stop().
+  util::Mutex resize_mu_;
+
+  // Router state (kGlobal cadence) and the routing-generation table.
   mutable util::Mutex route_mu_;
+  std::shared_ptr<const SlotTable> routing_ P2PREP_GUARDED_BY(route_mu_);
   std::uint64_t epoch_seq_ P2PREP_GUARDED_BY(route_mu_) = 0;
   std::uint64_t routed_since_epoch_ P2PREP_GUARDED_BY(route_mu_) = 0;
   rating::Tick global_last_epoch_tick_ P2PREP_GUARDED_BY(route_mu_) = 0;
 
-  // Epoch barrier (kGlobal scope).
+  // Applied-generation table: what epochs, reads and queries run against.
+  mutable util::Mutex applied_mu_;
+  std::shared_ptr<const SlotTable> applied_ P2PREP_GUARDED_BY(applied_mu_);
+
+  // Epoch barrier and resize fence (kGlobal scope).
   util::Mutex epoch_mu_;
   util::CondVar epoch_cv_;
   std::size_t arrived_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
+  /// How many workers a full epoch barrier takes — the applied table's
+  /// slot count, updated while every worker is parked at a resize fence.
+  std::size_t barrier_size_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
   std::uint64_t epoch_done_seq_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
+  std::size_t resize_arrived_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
+  std::uint64_t resize_done_epoch_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
 
   // Lifecycle.
   std::atomic<bool> stopped_{false};
@@ -223,6 +307,14 @@ class ReputationService {
   std::atomic<std::uint64_t> rings_found_{0};
   std::atomic<std::uint64_t> ring_largest_{0};
   std::atomic<std::uint64_t> ring_scan_us_{0};
+  // Resize gauges.
+  std::atomic<std::uint64_t> resizes_completed_{0};
+  std::atomic<std::uint64_t> keys_moved_last_resize_{0};
+  std::atomic<double> last_resize_ms_{0.0};
+  // History counters of shards retired by shrinks, folded into metrics so
+  // service-wide totals stay monotone across resizes.
+  std::atomic<std::uint64_t> retired_applied_{0};
+  std::atomic<std::uint64_t> retired_dropped_{0};
   std::uint64_t applied_base_ = 0;  ///< Applied count restored by recovery.
   std::chrono::steady_clock::time_point start_time_;
   mutable util::Mutex latency_mu_;

@@ -162,6 +162,8 @@ std::optional<ShardCheckpoint> ServiceShard::make_checkpoint() const {
 
   ckpt.wal_generation = wal_ ? wal_->generation() : 0;
   ckpt.wal_records_applied = wal_ ? wal_->records() : 0;
+  ckpt.map_epoch = map_epoch_;
+  ckpt.map_num_shards = map_num_shards_;
   ckpt.epochs_completed = epochs_completed_.load(std::memory_order_relaxed);
   ckpt.applied_total = applied_total_.load(std::memory_order_relaxed);
   ckpt.applied_since_epoch = applied_since_epoch_;
@@ -192,11 +194,32 @@ bool ServiceShard::checkpoint_and_rotate(const std::string& ckpt_path) {
   if (!ckpt) return false;
   if (!write_checkpoint(ckpt_path, *ckpt)) return false;
   if (wal_) {
-    wal_->rotate();
+    // Rotate with the current map stamp so a post-resize rotation writes
+    // the new map's header (this is the resize commit point).
+    wal_->rotate(map_epoch_, map_num_shards_);
     wal_records_.store(wal_->records(), std::memory_order_relaxed);
     wal_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
   }
   return true;
+}
+
+ServiceShard::NodeTransfer ServiceShard::take_node(rating::NodeId id) {
+  NodeTransfer t;
+  t.id = id;
+  t.cells = manager_->take_window_row(id);
+  t.raw_sum = engine_.take_raw_sum(id);
+  t.suppressed = engine_.is_suppressed(id);
+  if (t.suppressed) engine_.unsuppress(id);
+  t.detected = manager_->take_detected(id);
+  return t;
+}
+
+void ServiceShard::restore_node(const NodeTransfer& t) {
+  for (const auto& [rater, stats] : t.cells)
+    manager_->restore_window_cell(t.id, rater, stats);
+  engine_.restore_raw_sum(t.id, t.raw_sum);
+  if (t.suppressed) engine_.suppress(t.id);
+  if (t.detected) manager_->restore_detected({t.id});
 }
 
 void ServiceShard::restore(const ShardCheckpoint& ckpt) {

@@ -1,11 +1,13 @@
 // One shard of the online reputation service: an IncrementalCentralizedManager
 // plus its SummationEngine, detector, WAL writer, epoch counters and the
-// published read view. Shards own disjoint ratee partitions (ratee id
-// consistent-hashed with dht::hash_node modulo shard count), so every
+// published read view. Shards own disjoint ratee partitions (the
+// consistent-hash service::ShardMap over dht::hash_node), so every
 // quantity detection needs about node i — its matrix row, window totals,
-// engine reputation — lives wholly inside shard_of(i). The shard's worker
-// thread (owned by ReputationService) is the only mutator; readers go
-// through the immutable ShardView snapshot.
+// engine reputation — lives wholly inside its owner shard. The shard's
+// worker thread (owned by ReputationService) is the only mutator; readers
+// go through the immutable ShardView snapshot. A resize moves a node
+// between shards via take_node()/restore_node() while both workers are
+// parked at the resize barrier.
 #pragma once
 
 #include <atomic>
@@ -13,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -43,6 +46,9 @@ enum class EpochScope {
 
 struct ServiceConfig {
   std::size_t num_nodes = 0;
+  /// Initial shard count. The live count can change afterwards via
+  /// ReputationService::resize(); durable recovery adopts the count the
+  /// on-disk state was written under, not this field.
   std::size_t num_shards = 1;
   std::size_t queue_capacity = 4096;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
@@ -135,6 +141,34 @@ class ServiceShard {
   /// engine view and the read snapshot.
   void restore(const ShardCheckpoint& ckpt);
 
+  /// Stamps the shard map (epoch, count) this shard currently runs under;
+  /// recorded in every checkpoint it writes and in rotated WAL headers.
+  void set_shard_map_stamp(std::uint64_t map_epoch,
+                           std::uint32_t num_shards) noexcept {
+    map_epoch_ = map_epoch;
+    map_num_shards_ = num_shards;
+  }
+
+  // --- Shard handoff (elastic resharding) ---
+
+  /// Everything one node's state amounts to inside a shard: its window
+  /// matrix row, raw engine sum, and suppression / detected membership.
+  struct NodeTransfer {
+    rating::NodeId id = 0;
+    std::vector<std::pair<rating::NodeId, rating::PairStats>> cells;
+    std::int64_t raw_sum = 0;
+    bool suppressed = false;
+    bool detected = false;
+  };
+
+  /// Extracts node `id`'s state from this shard, leaving it with no trace
+  /// of the node (empty row, zero sum, unsuppressed, undetected). Only
+  /// safe while the worker is parked at the resize barrier.
+  [[nodiscard]] NodeTransfer take_node(rating::NodeId id);
+  /// Installs a transfer taken from another shard. The node must be
+  /// untracked here (never owned, or previously taken).
+  void restore_node(const NodeTransfer& t);
+
   // --- Ingest path (worker thread only) ---
   /// Applies one rating to the manager + engine. Returns false when the
   /// manager rejected it (cannot happen for ratings that passed service
@@ -212,6 +246,8 @@ class ServiceShard {
 
   std::size_t index_;
   const ServiceConfig* config_;
+  std::uint64_t map_epoch_ = 0;
+  std::uint32_t map_num_shards_ = 1;
   reputation::SummationEngine engine_;
   std::unique_ptr<managers::IncrementalCentralizedManager> manager_;
   std::unique_ptr<detect::Detector> detector_;

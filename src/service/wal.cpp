@@ -11,11 +11,13 @@ namespace p2prep::service {
 namespace {
 
 constexpr std::array<char, 8> kWalMagic = {'P', '2', 'P', 'W',
-                                           'A', 'L', '1', '\0'};
+                                           'A', 'L', '2', '\0'};
 constexpr std::array<char, 8> kCkptMagic = {'P', '2', 'P', 'C',
-                                            'K', 'P', 'T', '1'};
-constexpr std::size_t kHeaderBytes = 16;  // magic + u64 generation
-constexpr std::size_t kFrameBytes = 8;    // u32 len + u32 crc
+                                            'K', 'P', 'T', '2'};
+constexpr std::size_t kFrameBytes = 8;  // u32 len + u32 crc
+
+static_assert(kWalHeaderBytes == 8 + 8 + 8 + 4,
+              "header = magic + generation + map_epoch + num_shards");
 
 // --- Little-endian encoding into / out of byte strings ---
 
@@ -75,6 +77,9 @@ std::string encode_payload(const WalRecord& rec) {
     put_u8(payload,
            static_cast<std::uint8_t>(rating::score_value(rec.rating.score) + 1));
     put_u64(payload, rec.rating.time);
+  } else if (rec.kind == WalRecordKind::kShardMapChange) {
+    put_u64(payload, rec.epoch_seq);
+    put_u32(payload, rec.num_shards);
   } else {
     put_u64(payload, rec.epoch_seq);
   }
@@ -97,6 +102,10 @@ bool decode_payload(const std::string& payload, WalRecord& rec) {
   } else if (kind == static_cast<std::uint8_t>(WalRecordKind::kEpochMarker)) {
     rec.kind = WalRecordKind::kEpochMarker;
     if (!c.get_u64(rec.epoch_seq)) return false;
+  } else if (kind ==
+             static_cast<std::uint8_t>(WalRecordKind::kShardMapChange)) {
+    rec.kind = WalRecordKind::kShardMapChange;
+    if (!c.get_u64(rec.epoch_seq) || !c.get_u32(rec.num_shards)) return false;
   } else {
     return false;
   }
@@ -113,9 +122,12 @@ std::string encode_frame(const WalRecord& rec) {
   return frame;
 }
 
-std::string encode_header(std::uint64_t generation) {
+std::string encode_header(std::uint64_t generation, std::uint64_t map_epoch,
+                          std::uint32_t num_shards) {
   std::string header(kWalMagic.begin(), kWalMagic.end());
   put_u64(header, generation);
+  put_u64(header, map_epoch);
+  put_u32(header, num_shards);
   return header;
 }
 
@@ -144,19 +156,25 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
     : path_(std::move(other.path_)),
       out_(std::move(other.out_)),
       generation_(other.generation_),
+      map_epoch_(other.map_epoch_),
+      num_shards_(other.num_shards_),
       records_(other.records_),
       bytes_(other.bytes_) {}
 
-WalWriter WalWriter::create(const std::string& path,
-                            std::uint64_t generation) {
+WalWriter WalWriter::create(const std::string& path, std::uint64_t generation,
+                            std::uint64_t map_epoch,
+                            std::uint32_t num_shards) {
   WalWriter w;
   w.path_ = path;
   {
     util::MutexLock lock(w.mu_);
     w.generation_ = generation;
+    w.map_epoch_ = map_epoch;
+    w.num_shards_ = num_shards;
     w.out_.open(path, std::ios::binary | std::ios::trunc);
     if (!w.out_) throw std::runtime_error("wal: cannot create " + path);
-    const std::string header = encode_header(generation);
+    const std::string header =
+        encode_header(generation, map_epoch, num_shards);
     w.out_.write(header.data(), static_cast<std::streamsize>(header.size()));
     w.out_.flush();
     w.bytes_ = header.size();
@@ -165,6 +183,7 @@ WalWriter WalWriter::create(const std::string& path,
 }
 
 WalWriter WalWriter::resume(const std::string& path, std::uint64_t generation,
+                            std::uint64_t map_epoch, std::uint32_t num_shards,
                             std::uint64_t valid_bytes,
                             std::uint64_t valid_records) {
   std::error_code ec;
@@ -179,6 +198,8 @@ WalWriter WalWriter::resume(const std::string& path, std::uint64_t generation,
   {
     util::MutexLock lock(w.mu_);
     w.generation_ = generation;
+    w.map_epoch_ = map_epoch;
+    w.num_shards_ = num_shards;
     w.records_ = valid_records;
     w.bytes_ = valid_bytes;
     w.out_.open(path, std::ios::binary | std::ios::app);
@@ -199,12 +220,24 @@ void WalWriter::append(const WalRecord& rec) {
 
 void WalWriter::rotate() {
   util::MutexLock lock(mu_);
+  rotate_locked();
+}
+
+void WalWriter::rotate(std::uint64_t map_epoch, std::uint32_t num_shards) {
+  util::MutexLock lock(mu_);
+  map_epoch_ = map_epoch;
+  num_shards_ = num_shards;
+  rotate_locked();
+}
+
+void WalWriter::rotate_locked() {
   out_.close();
   ++generation_;
   records_ = 0;
   out_.open(path_, std::ios::binary | std::ios::trunc);
   if (!out_) throw std::runtime_error("wal: cannot rotate " + path_);
-  const std::string header = encode_header(generation_);
+  const std::string header =
+      encode_header(generation_, map_epoch_, num_shards_);
   out_.write(header.data(), static_cast<std::streamsize>(header.size()));
   out_.flush();
   bytes_ = header.size();
@@ -216,14 +249,16 @@ WalReadResult read_wal(const std::string& path) {
   if (!in) return result;
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  if (content.size() < kHeaderBytes ||
+  if (content.size() < kWalHeaderBytes ||
       !std::equal(kWalMagic.begin(), kWalMagic.end(), content.begin()))
     return result;
 
   Cursor c{content, kWalMagic.size()};
-  if (!c.get_u64(result.generation)) return result;
+  if (!c.get_u64(result.generation) || !c.get_u64(result.map_epoch) ||
+      !c.get_u32(result.num_shards))
+    return result;
   result.found = true;
-  result.valid_bytes = kHeaderBytes;
+  result.valid_bytes = kWalHeaderBytes;
 
   while (!c.done()) {
     std::uint32_t len = 0, crc = 0;
@@ -253,6 +288,8 @@ bool write_checkpoint(const std::string& path, const ShardCheckpoint& ckpt) {
   std::string payload;
   put_u64(payload, ckpt.wal_generation);
   put_u64(payload, ckpt.wal_records_applied);
+  put_u64(payload, ckpt.map_epoch);
+  put_u32(payload, ckpt.map_num_shards);
   put_u64(payload, ckpt.epochs_completed);
   put_u64(payload, ckpt.applied_total);
   put_u64(payload, ckpt.applied_since_epoch);
@@ -315,7 +352,8 @@ std::optional<ShardCheckpoint> read_checkpoint(const std::string& path) {
   Cursor c{payload};
   std::uint32_t blob_len = 0;
   if (!c.get_u64(ckpt.wal_generation) ||
-      !c.get_u64(ckpt.wal_records_applied) ||
+      !c.get_u64(ckpt.wal_records_applied) || !c.get_u64(ckpt.map_epoch) ||
+      !c.get_u32(ckpt.map_num_shards) ||
       !c.get_u64(ckpt.epochs_completed) || !c.get_u64(ckpt.applied_total) ||
       !c.get_u64(ckpt.applied_since_epoch) ||
       !c.get_u64(ckpt.last_epoch_tick) || !c.get_u32(blob_len) ||

@@ -4,11 +4,21 @@
 //
 // WAL file layout (all integers little-endian, host-order independent):
 //
-//   header:  8-byte magic "P2PWAL1\0" | u64 generation
+//   header:  8-byte magic "P2PWAL2\0" | u64 generation | u64 map_epoch |
+//            u32 num_shards
 //   record:  u32 payload_len | u32 crc32(payload) | payload
 //   payload: u8 kind | kind-specific fields
-//     kRating      — u32 rater | u32 ratee | u8 score(+1 bias) | u64 tick
-//     kEpochMarker — u64 epoch_seq
+//     kRating         — u32 rater | u32 ratee | u8 score(+1 bias) | u64 tick
+//     kEpochMarker    — u64 epoch_seq
+//     kShardMapChange — u64 map_epoch | u32 new_num_shards
+//
+// The header's (map_epoch, num_shards) pin the shard map every record in
+// the file was routed under: a resize commits by checkpointing every shard
+// and rotating every WAL with the new map fields, so one file never mixes
+// records from two maps and recovery replays each file against the map
+// that wrote it. A kShardMapChange marker is only ever observed in a WAL
+// when the resize that logged it did NOT commit (crash inside the handoff
+// window) — recovery strips it and resumes under the old map.
 //
 // The shard worker appends each record immediately before applying it, so
 // replaying the log reproduces the shard's state transition sequence
@@ -44,15 +54,24 @@ namespace p2prep::service {
 /// CRC-32 (IEEE 802.3, reflected) over `len` bytes.
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len) noexcept;
 
+/// Bytes of the WAL file header (magic + generation + map_epoch +
+/// num_shards). Exposed for recovery's truncation arithmetic.
+inline constexpr std::uint64_t kWalHeaderBytes = 28;
+
 enum class WalRecordKind : std::uint8_t {
   kRating = 1,
   kEpochMarker = 2,
+  /// Resize fence: logged by every shard worker immediately before it
+  /// parks for the handoff window. Never survives a committed resize (the
+  /// commit rotates the WAL), so recovery treats it as uncommitted residue.
+  kShardMapChange = 3,
 };
 
 struct WalRecord {
   WalRecordKind kind = WalRecordKind::kRating;
   rating::Rating rating{};       ///< Valid when kind == kRating.
-  std::uint64_t epoch_seq = 0;   ///< Valid when kind == kEpochMarker.
+  std::uint64_t epoch_seq = 0;   ///< kEpochMarker seq / kShardMapChange epoch.
+  std::uint32_t num_shards = 0;  ///< Valid when kind == kShardMapChange.
 
   static WalRecord make_rating(const rating::Rating& r) {
     WalRecord rec;
@@ -66,18 +85,30 @@ struct WalRecord {
     rec.epoch_seq = seq;
     return rec;
   }
+  static WalRecord make_map_change(std::uint64_t map_epoch,
+                                   std::uint32_t new_num_shards) {
+    WalRecord rec;
+    rec.kind = WalRecordKind::kShardMapChange;
+    rec.epoch_seq = map_epoch;
+    rec.num_shards = new_num_shards;
+    return rec;
+  }
 };
 
 class WalWriter {
  public:
-  /// Creates (or truncates) a WAL file starting at `generation`.
-  static WalWriter create(const std::string& path, std::uint64_t generation);
+  /// Creates (or truncates) a WAL file starting at `generation`, stamped
+  /// with the shard map (map_epoch, num_shards) its records are routed
+  /// under.
+  static WalWriter create(const std::string& path, std::uint64_t generation,
+                          std::uint64_t map_epoch, std::uint32_t num_shards);
 
   /// Reopens a WAL for appending after recovery. `valid_bytes` /
   /// `valid_records` come from read_wal(); any bytes beyond `valid_bytes`
   /// (torn tail, or markers recovery chose to discard) are truncated away
   /// first. Throws std::runtime_error if the file cannot be opened.
   static WalWriter resume(const std::string& path, std::uint64_t generation,
+                          std::uint64_t map_epoch, std::uint32_t num_shards,
                           std::uint64_t valid_bytes,
                           std::uint64_t valid_records);
 
@@ -94,12 +125,27 @@ class WalWriter {
   /// other threads (metrics, tests).
   void append(const WalRecord& rec) P2PREP_EXCLUDES(mu_);
 
-  /// Truncates the file and starts generation + 1 (post-checkpoint).
+  /// Truncates the file and starts generation + 1 (post-checkpoint),
+  /// keeping the current shard-map stamp.
   void rotate() P2PREP_EXCLUDES(mu_);
+  /// Rotate variant for the resize commit: the fresh header carries the
+  /// new shard map's (map_epoch, num_shards).
+  void rotate(std::uint64_t map_epoch, std::uint32_t num_shards)
+      P2PREP_EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t generation() const P2PREP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return generation_;
+  }
+  /// Shard-map epoch stamped into the current file header.
+  [[nodiscard]] std::uint64_t map_epoch() const P2PREP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return map_epoch_;
+  }
+  /// Shard count stamped into the current file header.
+  [[nodiscard]] std::uint32_t map_shards() const P2PREP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_shards_;
   }
   /// Records present in the current-generation file.
   [[nodiscard]] std::uint64_t records() const P2PREP_EXCLUDES(mu_) {
@@ -116,10 +162,14 @@ class WalWriter {
  private:
   WalWriter() = default;
 
+  void rotate_locked() P2PREP_REQUIRES(mu_);
+
   std::string path_;  ///< Immutable after create()/resume().
   mutable util::Mutex mu_;
   std::ofstream out_ P2PREP_GUARDED_BY(mu_);
   std::uint64_t generation_ P2PREP_GUARDED_BY(mu_) = 0;
+  std::uint64_t map_epoch_ P2PREP_GUARDED_BY(mu_) = 0;
+  std::uint32_t num_shards_ P2PREP_GUARDED_BY(mu_) = 1;
   std::uint64_t records_ P2PREP_GUARDED_BY(mu_) = 0;
   std::uint64_t bytes_ P2PREP_GUARDED_BY(mu_) = 0;
 };
@@ -128,6 +178,8 @@ struct WalReadResult {
   bool found = false;            ///< File existed and had a valid header.
   bool truncated_tail = false;   ///< A torn/corrupt suffix was discarded.
   std::uint64_t generation = 0;
+  std::uint64_t map_epoch = 0;   ///< Shard map the records were routed under.
+  std::uint32_t num_shards = 0;  ///< Shard count of that map.
   std::vector<WalRecord> records;
   /// Byte offset just past record [i]; end_offsets.size() == records.size().
   std::vector<std::uint64_t> end_offsets;
@@ -151,6 +203,11 @@ struct CheckpointCell {
 struct ShardCheckpoint {
   std::uint64_t wal_generation = 0;
   std::uint64_t wal_records_applied = 0;  ///< Of that generation, consumed.
+  /// Shard map this checkpoint was written under. Recovery adopts the
+  /// highest map_epoch found across checkpoints (with its num_shards) as
+  /// the live map; a mix of epochs means a crash hit the resize commit.
+  std::uint64_t map_epoch = 0;
+  std::uint32_t map_num_shards = 1;
   std::uint64_t epochs_completed = 0;
   std::uint64_t applied_total = 0;
   std::uint64_t applied_since_epoch = 0;

@@ -1,0 +1,186 @@
+// Reshard differential suite: 100 seeded collusion traces replayed twice
+// — once through a service that resizes 1 -> 2 -> 4 -> 3 mid-stream, once
+// through a never-resized 3-shard service — must produce byte-identical
+// epoch detection reports and identical published state. The detection
+// pipeline is placement-independent (the global epoch sees every shard's
+// matrix through the live ShardMap), so an operator growing or shrinking
+// the fleet never changes what the system reports; these tests pin that
+// contract across the randomized threshold/feature mix of trace_gen.h.
+//
+// The durable variant also compares the final per-shard checkpoints
+// field-wise: the recoverable state (engine sums, window cells, verdict
+// sets) must be identical, while bookkeeping fields that legitimately
+// depend on the path taken (WAL generation, per-shard applied counts)
+// are excluded.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "service/wal.h"
+#include "tests/differential/trace_gen.h"
+
+namespace p2prep::service {
+namespace {
+
+namespace fs = std::filesystem;
+using rating::Rating;
+
+ServiceConfig config_for_trace(const testgen::Trace& t, std::uint64_t seed,
+                               std::size_t shards) {
+  ServiceConfig cfg;
+  cfg.num_nodes = t.n;
+  cfg.num_shards = shards;
+  cfg.epoch_ratings = 200;  // several natural cadence epochs per trace
+  cfg.detector_config = testgen::config_for(seed);
+  // Accomplice propagation cannot span a multi-owner map; the resized run
+  // starts at one shard (where it would stay enabled), so pin it off in
+  // both runs to keep the comparison meaningful.
+  cfg.detector_config.flag_accomplices = false;
+  return cfg;
+}
+
+struct RunResult {
+  std::string report_log;
+  std::vector<double> reputations;
+  std::vector<bool> suspected;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult capture(const ReputationService& svc, std::size_t n) {
+  RunResult out;
+  out.report_log = svc.report_log();
+  const ServiceSnapshot snap = svc.snapshot();
+  out.reputations.resize(n);
+  out.suspected.resize(n);
+  for (rating::NodeId i = 0; i < n; ++i) {
+    out.reputations[i] = snap.reputation(i);
+    out.suspected[i] = snap.suspected(i);
+  }
+  return out;
+}
+
+/// Replays the trace, resizing 1 -> 2 -> 4 -> 3 at the quarter marks.
+RunResult resized_run(ServiceConfig cfg, const std::vector<Rating>& load) {
+  cfg.num_shards = 1;
+  ReputationService svc(cfg);
+  const std::size_t q = load.size() / 4;
+  const std::size_t widths[3] = {2, 4, 3};
+  std::size_t k = 0;
+  for (std::size_t phase = 0; phase < 3; ++phase) {
+    for (; k < (phase + 1) * q; ++k) EXPECT_TRUE(svc.ingest(load[k]));
+    const ResizeStats rs = svc.resize(widths[phase]);
+    EXPECT_EQ(rs.num_shards, widths[phase]);
+  }
+  for (; k < load.size(); ++k) EXPECT_TRUE(svc.ingest(load[k]));
+  svc.force_epoch();
+  svc.drain();
+  RunResult out = capture(svc, cfg.num_nodes);
+  svc.stop();
+  return out;
+}
+
+RunResult static_run(ServiceConfig cfg, const std::vector<Rating>& load) {
+  ReputationService svc(cfg);
+  for (const Rating& r : load) EXPECT_TRUE(svc.ingest(r));
+  svc.force_epoch();
+  svc.drain();
+  RunResult out = capture(svc, cfg.num_nodes);
+  svc.stop();
+  return out;
+}
+
+TEST(ReshardDifferentialTest, HundredSeedsByteIdenticalAcrossResizes) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const testgen::Trace t = testgen::make_trace(seed);
+    const ServiceConfig cfg = config_for_trace(t, seed, 3);
+    const RunResult expected = static_run(cfg, t.ratings);
+    const RunResult actual = resized_run(cfg, t.ratings);
+    ASSERT_EQ(actual.report_log, expected.report_log) << "seed " << seed;
+    ASSERT_EQ(actual.reputations, expected.reputations) << "seed " << seed;
+    ASSERT_EQ(actual.suspected, expected.suspected) << "seed " << seed;
+  }
+}
+
+// --- Durable variant: checkpoints must match field-wise --------------------
+
+class ReshardDifferentialCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("p2prep_reshard_diff_" + std::string(::testing::UnitTest::
+                                                     GetInstance()
+                                                         ->current_test_info()
+                                                         ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string ckpt_path(std::size_t shard) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%03zu.ckpt", shard);
+    return (dir_ / name).string();
+  }
+
+  /// The recoverable state, minus path-dependent bookkeeping: WAL
+  /// generation and applied counts depend on how many rotations and which
+  /// records each shard instance saw, which a resize legitimately changes.
+  static void expect_state_equal(const ShardCheckpoint& a,
+                                 const ShardCheckpoint& b,
+                                 std::uint64_t seed, std::size_t shard) {
+    EXPECT_EQ(a.engine_blob, b.engine_blob)
+        << "seed " << seed << " shard " << shard;
+    EXPECT_EQ(a.suppressed, b.suppressed)
+        << "seed " << seed << " shard " << shard;
+    EXPECT_EQ(a.detected, b.detected)
+        << "seed " << seed << " shard " << shard;
+    ASSERT_EQ(a.cells.size(), b.cells.size())
+        << "seed " << seed << " shard " << shard;
+    for (std::size_t c = 0; c < a.cells.size(); ++c) {
+      EXPECT_EQ(a.cells[c].ratee, b.cells[c].ratee);
+      EXPECT_EQ(a.cells[c].rater, b.cells[c].rater);
+      EXPECT_EQ(a.cells[c].stats.positive, b.cells[c].stats.positive);
+      EXPECT_EQ(a.cells[c].stats.negative, b.cells[c].stats.negative);
+      EXPECT_EQ(a.cells[c].stats.total, b.cells[c].stats.total);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ReshardDifferentialCheckpointTest, FinalCheckpointsMatchFieldWise) {
+  // A handful of seeds with disk I/O; the in-memory loop above covers the
+  // full hundred.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const testgen::Trace t = testgen::make_trace(seed);
+    ServiceConfig cfg = config_for_trace(t, seed, 3);
+    cfg.wal_dir = dir_.string();
+    cfg.checkpoint_every_epochs = 1;
+
+    std::vector<ShardCheckpoint> resized(3), fixed(3);
+    (void)resized_run(cfg, t.ratings);
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto loaded = read_checkpoint(ckpt_path(s));
+      ASSERT_TRUE(loaded.has_value()) << "seed " << seed << " shard " << s;
+      resized[s] = *loaded;
+    }
+    fs::remove_all(dir_);
+
+    (void)static_run(cfg, t.ratings);
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto loaded = read_checkpoint(ckpt_path(s));
+      ASSERT_TRUE(loaded.has_value()) << "seed " << seed << " shard " << s;
+      fixed[s] = *loaded;
+    }
+    fs::remove_all(dir_);
+
+    for (std::size_t s = 0; s < 3; ++s)
+      expect_state_equal(resized[s], fixed[s], seed, s);
+  }
+}
+
+}  // namespace
+}  // namespace p2prep::service

@@ -1,5 +1,5 @@
 // Loopback integration tests for the RPC front-end: a real RpcServer on an
-// ephemeral 127.0.0.1 port, exercised through RpcClient for the six RPCs
+// ephemeral 127.0.0.1 port, exercised through RpcClient for the RPCs
 // and through a raw socket for the adversarial paths (unknown type,
 // version skew, corrupt frames, slowloris stalls, connection-limit
 // GoAway) that a well-behaved client never produces.
@@ -217,6 +217,55 @@ TEST(RpcLoopback, AllSixRpcsRoundTrip) {
   EXPECT_GT(m.rpc_bytes_out, 0u);
   EXPECT_EQ(m.rpc_shed, 0u);
 
+  svc.stop();
+}
+
+TEST(RpcLoopback, ResizeRpcGrowsTheServiceOnline) {
+  service::ReputationService svc(svc_config());
+  RpcServer server(svc, RpcServerConfig{});
+  RpcClient client(client_config(server.port()));
+  ASSERT_TRUE(client.connect());
+
+  for (std::uint32_t k = 0; k < 30; ++k)
+    ASSERT_EQ(client.submit_rating({k % 8, (k % 8) + 8, Score::kPositive,
+                                    k}).status,
+              Status::kOk);
+
+  ResizeResponse out;
+  ASSERT_EQ(client.resize(4, &out).status, Status::kOk);
+  EXPECT_EQ(out.num_shards, 4u);
+  EXPECT_GT(out.keys_moved, 0u);
+  EXPECT_EQ(svc.num_shards(), 4u);
+
+  // The service keeps serving at the new width on the same connection.
+  EXPECT_EQ(client.submit_rating({1, 2, Score::kPositive, 99}).status,
+            Status::kOk);
+  QueryReputationResponse rep;
+  ASSERT_EQ(client.query_reputation(9, &rep).status, Status::kOk);
+  EXPECT_EQ(rep.shard, svc.shard_of(9));
+
+  // Metrics carry the new shard-map gauges over the wire.
+  service::ServiceMetrics m;
+  ASSERT_EQ(client.get_metrics(&m).status, Status::kOk);
+  EXPECT_EQ(m.current_shard_count, 4u);
+  EXPECT_EQ(m.shard_map_epoch, 1u);
+  EXPECT_EQ(m.resizes_completed, 1u);
+  EXPECT_EQ(m.keys_moved_last_resize, out.keys_moved);
+
+  svc.drain();
+  svc.stop();
+}
+
+TEST(RpcLoopback, InvalidResizeIsRejectedWithCurrentWidth) {
+  service::ReputationService svc(svc_config());
+  RpcServer server(svc, RpcServerConfig{});
+  RpcClient client(client_config(server.port()));
+  ASSERT_TRUE(client.connect());
+
+  ResizeResponse out;
+  EXPECT_EQ(client.resize(0, &out).status, Status::kInvalidArgument);
+  EXPECT_EQ(out.num_shards, 2u);  // the failure response reports reality
+  EXPECT_EQ(client.ping().status, Status::kOk);  // connection survives
   svc.stop();
 }
 

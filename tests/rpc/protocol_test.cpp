@@ -338,6 +338,11 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   m.rings_found = 23;
   m.ring_largest = 24;
   m.ring_scan_us = 25;
+  m.current_shard_count = 26;
+  m.shard_map_epoch = 27;
+  m.resizes_completed = 28;
+  m.keys_moved_last_resize = 29;
+  m.last_resize_ms = 30.5;
 
   std::string buf;
   in.encode(buf);
@@ -351,6 +356,42 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   EXPECT_EQ(out->metrics.rings_found, 23u);
   EXPECT_EQ(out->metrics.ring_largest, 24u);
   EXPECT_EQ(out->metrics.ring_scan_us, 25u);
+  EXPECT_EQ(out->metrics.current_shard_count, 26u);
+  EXPECT_EQ(out->metrics.shard_map_epoch, 27u);
+  EXPECT_EQ(out->metrics.resizes_completed, 28u);
+  EXPECT_EQ(out->metrics.keys_moved_last_resize, 29u);
+  EXPECT_EQ(out->metrics.last_resize_ms, 30.5);
+}
+
+TEST(RpcProtocol, ResizeBodiesRoundTrip) {
+  {
+    ResizeRequest in;
+    in.new_num_shards = 8;
+    std::string buf;
+    in.encode(buf);
+    Reader r(buf);
+    const auto out = ResizeRequest::decode(r);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->new_num_shards, 8u);
+  }
+  {
+    ResizeResponse in;
+    in.num_shards = 8;
+    in.keys_moved = 1234;
+    in.duration_ms = 56;
+    std::string buf;
+    in.encode(buf);
+    Reader r(buf);
+    const auto out = ResizeResponse::decode(r);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->num_shards, 8u);
+    EXPECT_EQ(out->keys_moved, 1234u);
+    EXPECT_EQ(out->duration_ms, 56u);
+  }
+  {
+    Reader r(std::string_view("\x01", 1));  // underrun
+    EXPECT_FALSE(ResizeRequest::decode(r).has_value());
+  }
 }
 
 }  // namespace

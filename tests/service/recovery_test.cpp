@@ -200,6 +200,7 @@ TEST_F(RecoveryTest, UnpairedEpochMarkerIsDroppedAndTruncated) {
   ASSERT_TRUE(before.found);
   {
     WalWriter w = WalWriter::resume(wal0, before.generation,
+                                    before.map_epoch, before.num_shards,
                                     before.valid_bytes,
                                     before.records.size());
     w.append(WalRecord::make_marker(1));
@@ -316,9 +317,55 @@ TEST_F(RecoveryTest, ConfigMismatchWithStoredStateThrows) {
     svc.drain();
     svc.stop();
   }
+  // num_shards is deliberately NOT enforced (recovery adopts the stored
+  // shard-map width after a resize), but num_nodes still is.
   ServiceConfig other = durable_config();
-  other.num_shards = kShards + 1;
+  other.num_nodes = kN + 1;
   EXPECT_THROW(ReputationService svc(other), std::runtime_error);
+}
+
+TEST_F(RecoveryTest, ConfigShardCountIsIgnoredWhenStateExists) {
+  const std::vector<Rating> workload = collusion_workload(26, kN);
+  {
+    ReputationService svc(durable_config());
+    for (const Rating& r : workload) ASSERT_TRUE(svc.ingest(r));
+    svc.force_epoch();
+    svc.drain();
+    svc.stop();
+  }
+  // Reopening with a different configured count adopts the stored width.
+  ServiceConfig other = durable_config();
+  other.num_shards = kShards + 2;
+  ReputationService svc(other);
+  ASSERT_TRUE(svc.recovered());
+  EXPECT_EQ(svc.num_shards(), kShards);
+  EXPECT_EQ(svc.metrics().ratings_applied, workload.size());
+  svc.stop();
+}
+
+TEST_F(RecoveryTest, RecoveryAdoptsResizedShardCount) {
+  const std::vector<Rating> workload = collusion_workload(27, kN);
+  const std::size_t half = workload.size() / 2;
+  {
+    ReputationService svc(durable_config());
+    for (std::size_t k = 0; k < half; ++k)
+      ASSERT_TRUE(svc.ingest(workload[k]));
+    svc.drain();
+    const ResizeStats rs = svc.resize(kShards + 2);
+    EXPECT_GT(rs.keys_moved, 0u);
+    for (std::size_t k = half; k < workload.size(); ++k)
+      ASSERT_TRUE(svc.ingest(workload[k]));
+    svc.force_epoch();
+    svc.drain();
+    svc.stop();
+  }
+  // The config still says kShards; the stored map stamps say kShards + 2.
+  ReputationService svc(durable_config());
+  ASSERT_TRUE(svc.recovered());
+  EXPECT_EQ(svc.num_shards(), kShards + 2);
+  EXPECT_EQ(svc.metrics().ratings_applied, workload.size());
+  EXPECT_EQ(svc.metrics().shard_map_epoch, 1u);
+  svc.stop();
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// Elastic-resharding tests: online resize() under live traffic must leave
+// detection reports byte-identical to a never-resized run, survive crashes
+// inside the handoff window, and reject configurations it cannot serve
+// (DESIGN.md "Elastic resharding").
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "service/wal.h"
+#include "util/rng.h"
+
+namespace p2prep::service {
+namespace {
+
+namespace fs = std::filesystem;
+using rating::NodeId;
+using rating::Rating;
+using rating::Score;
+
+constexpr std::size_t kN = 60;
+
+std::vector<Rating> reshard_workload(std::uint64_t seed) {
+  std::vector<Rating> out;
+  util::Rng rng(seed);
+  rating::Tick t = 0;
+  for (int k = 0; k < 45; ++k) {
+    out.push_back({0, 1, Score::kPositive, t++});
+    out.push_back({1, 0, Score::kPositive, t++});
+    out.push_back({2, 3, Score::kPositive, t++});
+    out.push_back({3, 2, Score::kPositive, t++});
+  }
+  for (NodeId rater = 0; rater < kN; ++rater) {
+    for (int k = 0; k < 6; ++k) {
+      auto ratee = static_cast<NodeId>(rng.next_below(kN));
+      if (ratee == rater) ratee = static_cast<NodeId>((ratee + 1) % kN);
+      out.push_back({rater, ratee,
+                     rng.chance(ratee < 4 ? 0.05 : 0.85) ? Score::kPositive
+                                                         : Score::kNegative,
+                     t++});
+    }
+  }
+  return out;
+}
+
+ServiceConfig reshard_config(std::size_t shards) {
+  ServiceConfig cfg;
+  cfg.num_nodes = kN;
+  cfg.num_shards = shards;
+  cfg.epoch_ratings = 120;  // natural cadence epochs across the stream
+  cfg.detector_config.positive_fraction_min = 0.8;
+  cfg.detector_config.complement_fraction_max = 0.2;
+  cfg.detector_config.frequency_min = 20;
+  cfg.detector_config.high_rep_threshold = 0.05;
+  return cfg;
+}
+
+struct RunResult {
+  std::string report_log;
+  std::vector<double> reputations;
+  std::vector<bool> suspected;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult capture(const ReputationService& svc) {
+  RunResult out;
+  out.report_log = svc.report_log();
+  const ServiceSnapshot snap = svc.snapshot();
+  out.reputations.resize(kN);
+  out.suspected.resize(kN);
+  for (NodeId i = 0; i < kN; ++i) {
+    out.reputations[i] = snap.reputation(i);
+    out.suspected[i] = snap.suspected(i);
+  }
+  return out;
+}
+
+/// Replays the whole workload without any resize and captures the result.
+RunResult static_run(std::size_t shards, const std::vector<Rating>& load) {
+  ReputationService svc(reshard_config(shards));
+  for (const Rating& r : load) EXPECT_TRUE(svc.ingest(r));
+  svc.force_epoch();
+  svc.drain();
+  RunResult out = capture(svc);
+  svc.stop();
+  return out;
+}
+
+TEST(ReshardTest, GrowMidStreamKeepsReportsByteIdentical) {
+  const auto load = reshard_workload(61);
+  const RunResult expected = static_run(2, load);
+  ASSERT_FALSE(expected.report_log.empty());
+
+  ReputationService svc(reshard_config(2));
+  const std::size_t third = load.size() / 3;
+  for (std::size_t k = 0; k < third; ++k) ASSERT_TRUE(svc.ingest(load[k]));
+  const ResizeStats rs = svc.resize(4);
+  EXPECT_EQ(rs.num_shards, 4u);
+  EXPECT_GT(rs.keys_moved, 0u);
+  EXPECT_EQ(svc.num_shards(), 4u);
+  for (std::size_t k = third; k < load.size(); ++k)
+    ASSERT_TRUE(svc.ingest(load[k]));
+  svc.force_epoch();
+  svc.drain();
+  EXPECT_EQ(capture(svc), expected);
+  svc.stop();
+}
+
+TEST(ReshardTest, ShrinkMidStreamKeepsReportsByteIdentical) {
+  const auto load = reshard_workload(62);
+  const RunResult expected = static_run(4, load);
+
+  ReputationService svc(reshard_config(4));
+  const std::size_t half = load.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) ASSERT_TRUE(svc.ingest(load[k]));
+  const ResizeStats rs = svc.resize(2);
+  EXPECT_EQ(rs.num_shards, 2u);
+  EXPECT_GT(rs.keys_moved, 0u);
+  for (std::size_t k = half; k < load.size(); ++k)
+    ASSERT_TRUE(svc.ingest(load[k]));
+  svc.force_epoch();
+  svc.drain();
+  EXPECT_EQ(capture(svc), expected);
+  svc.stop();
+}
+
+TEST(ReshardTest, ResizeToSameCountIsANoOp) {
+  ReputationService svc(reshard_config(3));
+  ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
+  const ResizeStats rs = svc.resize(3);
+  EXPECT_EQ(rs.num_shards, 3u);
+  EXPECT_EQ(rs.keys_moved, 0u);
+  EXPECT_EQ(svc.metrics().resizes_completed, 0u);
+  svc.stop();
+}
+
+TEST(ReshardTest, MetricsExposeShardMapGauges) {
+  const auto load = reshard_workload(63);
+  ReputationService svc(reshard_config(2));
+  for (std::size_t k = 0; k < load.size() / 2; ++k)
+    ASSERT_TRUE(svc.ingest(load[k]));
+
+  ServiceMetrics before = svc.metrics();
+  EXPECT_EQ(before.current_shard_count, 2u);
+  EXPECT_EQ(before.shard_map_epoch, 0u);
+  EXPECT_EQ(before.resizes_completed, 0u);
+
+  const ResizeStats rs = svc.resize(4);
+  const ServiceMetrics after = svc.metrics();
+  EXPECT_EQ(after.current_shard_count, 4u);
+  EXPECT_EQ(after.shard_map_epoch, 1u);
+  EXPECT_EQ(after.resizes_completed, 1u);
+  EXPECT_EQ(after.keys_moved_last_resize, rs.keys_moved);
+  EXPECT_GT(after.last_resize_ms, 0.0);
+  // The gauges render in the text dump the CLI prints.
+  EXPECT_NE(after.to_string().find("shards: count=4"), std::string::npos);
+  svc.drain();
+  svc.stop();
+}
+
+TEST(ReshardTest, EpochCountersSurviveAResize) {
+  const auto load = reshard_workload(64);
+  ReputationService svc(reshard_config(2));
+  for (const Rating& r : load) ASSERT_TRUE(svc.ingest(r));
+  svc.drain();
+  const ServiceMetrics before = svc.metrics();
+  ASSERT_GT(before.epochs_completed, 0u);
+
+  svc.resize(5);
+  const ServiceMetrics after = svc.metrics();
+  // Applied/epoch totals are service-lifetime counters; the handoff must
+  // not reset them even though shard instances were reshuffled.
+  EXPECT_EQ(after.ratings_applied, before.ratings_applied);
+  EXPECT_EQ(after.epochs_completed, before.epochs_completed);
+  svc.stop();
+}
+
+// --- Rejected configurations ----------------------------------------------
+
+TEST(ReshardTest, PerShardScopeCannotResize) {
+  ServiceConfig cfg = reshard_config(2);
+  cfg.epoch_scope = EpochScope::kPerShard;
+  ReputationService svc(cfg);
+  EXPECT_THROW(svc.resize(4), std::invalid_argument);
+  svc.stop();
+}
+
+TEST(ReshardTest, ZeroShardsIsRejected) {
+  ReputationService svc(reshard_config(2));
+  EXPECT_THROW(svc.resize(0), std::invalid_argument);
+  svc.stop();
+}
+
+TEST(ReshardTest, GroupDetectorCannotGrowPastOneShard) {
+  ServiceConfig cfg = reshard_config(1);
+  cfg.detector = "group";
+  ReputationService svc(cfg);
+  EXPECT_THROW(svc.resize(2), std::invalid_argument);
+  EXPECT_EQ(svc.num_shards(), 1u);
+  svc.stop();
+}
+
+TEST(ReshardTest, ResizeAfterStopThrows) {
+  ReputationService svc(reshard_config(2));
+  svc.stop();
+  EXPECT_THROW(svc.resize(4), std::runtime_error);
+}
+
+// --- Accomplice propagation vs the shard map (regression) ------------------
+// The force-off decision consults ShardMap::single_owner(), not the shard
+// count's modulo arithmetic: with one shard the map is single-owner, the
+// full pair graph is visible, and accomplice propagation must stay ON.
+
+TEST(ReshardTest, SingleOwnerMapKeepsAccomplicePropagationEnabled) {
+  ServiceConfig cfg = reshard_config(1);
+  cfg.detector_config.flag_accomplices = true;
+  ReputationService svc(cfg);
+  ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
+  svc.drain();
+  // Accomplices survived the constructor, so growing to a multi-owner map
+  // must be refused — the feature cannot span partitions.
+  EXPECT_THROW(svc.resize(2), std::invalid_argument);
+  EXPECT_EQ(svc.num_shards(), 1u);
+  svc.stop();
+}
+
+TEST(ReshardTest, MultiOwnerMapForcesAccomplicePropagationOff) {
+  ServiceConfig cfg = reshard_config(2);
+  cfg.detector_config.flag_accomplices = true;
+  ReputationService svc(cfg);
+  ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
+  svc.drain();
+  // The constructor forced the flag off (multi-owner map), so resizing is
+  // legal — including down to one shard and back out.
+  EXPECT_NO_THROW(svc.resize(4));
+  svc.stop();
+}
+
+// --- Crash inside the handoff window ---------------------------------------
+
+class ReshardCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("p2prep_reshard_crash_" + std::string(::testing::UnitTest::
+                                                      GetInstance()
+                                                          ->current_test_info()
+                                                          ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] ServiceConfig durable(std::size_t shards) const {
+    ServiceConfig cfg = reshard_config(shards);
+    cfg.wal_dir = dir_.string();
+    return cfg;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ReshardCrashTest, FenceMarkerAtWalTailIsStrippedOnRecovery) {
+  const auto load = reshard_workload(65);
+  const std::size_t half = load.size() / 2;
+  {
+    ReputationService svc(durable(3));
+    for (std::size_t k = 0; k < half; ++k) ASSERT_TRUE(svc.ingest(load[k]));
+    svc.drain();
+    svc.crash_stop();
+  }
+  // Simulate a crash after the workers logged their resize fence but
+  // before the commit rotated the WALs: every shard's log ends with an
+  // uncommitted kShardMapChange marker.
+  for (std::size_t s = 0; s < 3; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%03zu.wal", s);
+    const std::string p = (dir_ / name).string();
+    const WalReadResult before = read_wal(p);
+    ASSERT_TRUE(before.found);
+    WalWriter w = WalWriter::resume(p, before.generation, before.map_epoch,
+                                    before.num_shards, before.valid_bytes,
+                                    before.records.size());
+    w.append(WalRecord::make_map_change(1, 5));
+  }
+  // Recovery strips the fence residue and resumes under the OLD map.
+  ReputationService svc(durable(3));
+  ASSERT_TRUE(svc.recovered());
+  EXPECT_EQ(svc.num_shards(), 3u);
+  EXPECT_EQ(svc.metrics().shard_map_epoch, 0u);
+  EXPECT_EQ(svc.metrics().ratings_applied, half);
+
+  // The interrupted resize never happened; rerunning it now and finishing
+  // the stream still matches the never-resized reference.
+  const ResizeStats rs = svc.resize(5);
+  EXPECT_EQ(rs.num_shards, 5u);
+  for (std::size_t k = half; k < load.size(); ++k)
+    ASSERT_TRUE(svc.ingest(load[k]));
+  svc.force_epoch();
+  svc.drain();
+  EXPECT_EQ(capture(svc), static_run(3, load));
+  svc.stop();
+}
+
+TEST_F(ReshardCrashTest, RecordsAfterAFenceMarkerAreCorruption) {
+  {
+    ReputationService svc(durable(2));
+    ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
+    svc.drain();
+    svc.crash_stop();
+  }
+  // A rating logged AFTER a fence marker cannot happen in any crash
+  // ordering (workers park at the fence until the commit rotates the
+  // file), so recovery must refuse the directory outright.
+  const std::string p = (dir_ / "shard-000.wal").string();
+  const WalReadResult before = read_wal(p);
+  ASSERT_TRUE(before.found);
+  {
+    WalWriter w = WalWriter::resume(p, before.generation, before.map_epoch,
+                                    before.num_shards, before.valid_bytes,
+                                    before.records.size());
+    w.append(WalRecord::make_map_change(1, 4));
+    w.append(WalRecord::make_rating({3, 4, Score::kPositive, 1}));
+  }
+  EXPECT_THROW(ReputationService svc(durable(2)), std::runtime_error);
+}
+
+TEST_F(ReshardCrashTest, CommittedResizeRecoversAtTheNewWidth) {
+  const auto load = reshard_workload(66);
+  const std::size_t half = load.size() / 2;
+  {
+    ReputationService svc(durable(2));
+    for (std::size_t k = 0; k < half; ++k) ASSERT_TRUE(svc.ingest(load[k]));
+    svc.drain();
+    svc.resize(4);
+    // Crash right after the commit: the new map must already be durable.
+    svc.crash_stop();
+  }
+  ReputationService svc(durable(2));
+  ASSERT_TRUE(svc.recovered());
+  EXPECT_EQ(svc.num_shards(), 4u);
+  EXPECT_EQ(svc.metrics().shard_map_epoch, 1u);
+  EXPECT_EQ(svc.metrics().ratings_applied, half);
+  for (std::size_t k = half; k < load.size(); ++k)
+    ASSERT_TRUE(svc.ingest(load[k]));
+  svc.force_epoch();
+  svc.drain();
+  const RunResult actual = capture(svc);
+  const RunResult expected = static_run(2, load);
+  EXPECT_EQ(actual.reputations, expected.reputations);
+  EXPECT_EQ(actual.suspected, expected.suspected);
+  // Pre-resize epochs were restored from the commit's checkpoints, not
+  // replayed, so the recovered log holds only the post-recovery epochs —
+  // byte-identical to the tail of the uninterrupted run's log.
+  EXPECT_FALSE(actual.report_log.empty());
+  EXPECT_TRUE(expected.report_log.ends_with(actual.report_log));
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace p2prep::service

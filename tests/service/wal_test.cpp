@@ -48,19 +48,23 @@ class WalTest : public ::testing::Test {
 TEST_F(WalTest, RoundTripRatingsAndMarkers) {
   const std::string p = path("a.wal");
   {
-    WalWriter w = WalWriter::create(p, 7);
+    WalWriter w = WalWriter::create(p, 7, 2, 4);
     w.append(WalRecord::make_rating(
         make_rating(1, 2, rating::Score::kPositive, 10)));
     w.append(WalRecord::make_rating(
         make_rating(3, 4, rating::Score::kNegative, 11)));
     w.append(WalRecord::make_marker(5));
     EXPECT_EQ(w.generation(), 7u);
+    EXPECT_EQ(w.map_epoch(), 2u);
+    EXPECT_EQ(w.map_shards(), 4u);
     EXPECT_EQ(w.records(), 3u);
   }
   const WalReadResult r = read_wal(p);
   ASSERT_TRUE(r.found);
   EXPECT_FALSE(r.truncated_tail);
   EXPECT_EQ(r.generation, 7u);
+  EXPECT_EQ(r.map_epoch, 2u);
+  EXPECT_EQ(r.num_shards, 4u);
   ASSERT_EQ(r.records.size(), 3u);
   EXPECT_EQ(r.records[0].kind, WalRecordKind::kRating);
   EXPECT_EQ(r.records[0].rating.rater, 1u);
@@ -84,7 +88,7 @@ TEST_F(WalTest, MissingFileIsNotFound) {
 TEST_F(WalTest, TornTailIsTruncatedToValidPrefix) {
   const std::string p = path("torn.wal");
   {
-    WalWriter w = WalWriter::create(p, 0);
+    WalWriter w = WalWriter::create(p, 0, 0, 1);
     w.append(WalRecord::make_rating(
         make_rating(1, 2, rating::Score::kPositive, 1)));
     w.append(WalRecord::make_rating(
@@ -105,7 +109,7 @@ TEST_F(WalTest, TornTailIsTruncatedToValidPrefix) {
 TEST_F(WalTest, CorruptPayloadStopsAtTheBadFrame) {
   const std::string p = path("corrupt.wal");
   {
-    WalWriter w = WalWriter::create(p, 0);
+    WalWriter w = WalWriter::create(p, 0, 0, 1);
     w.append(WalRecord::make_rating(
         make_rating(1, 2, rating::Score::kPositive, 1)));
     w.append(WalRecord::make_rating(
@@ -132,26 +136,63 @@ TEST_F(WalTest, CorruptPayloadStopsAtTheBadFrame) {
 
 TEST_F(WalTest, RotateBumpsGenerationAndEmptiesTheLog) {
   const std::string p = path("rot.wal");
-  WalWriter w = WalWriter::create(p, 3);
+  WalWriter w = WalWriter::create(p, 3, 5, 2);
   w.append(WalRecord::make_rating(
       make_rating(1, 2, rating::Score::kPositive, 1)));
   w.rotate();
   EXPECT_EQ(w.generation(), 4u);
   EXPECT_EQ(w.records(), 0u);
+  // A plain rotate keeps the shard-map stamp.
+  EXPECT_EQ(w.map_epoch(), 5u);
+  EXPECT_EQ(w.map_shards(), 2u);
   w.append(WalRecord::make_marker(9));
 
   const WalReadResult r = read_wal(p);
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.generation, 4u);
+  EXPECT_EQ(r.map_epoch, 5u);
+  EXPECT_EQ(r.num_shards, 2u);
   ASSERT_EQ(r.records.size(), 1u);
   EXPECT_EQ(r.records[0].epoch_seq, 9u);
+}
+
+TEST_F(WalTest, RotateWithNewMapRestampsTheHeader) {
+  const std::string p = path("restamp.wal");
+  WalWriter w = WalWriter::create(p, 0, 0, 4);
+  w.append(WalRecord::make_map_change(1, 8));
+  w.rotate(1, 8);  // the resize-commit rotate
+  EXPECT_EQ(w.generation(), 1u);
+  EXPECT_EQ(w.map_epoch(), 1u);
+  EXPECT_EQ(w.map_shards(), 8u);
+
+  const WalReadResult r = read_wal(p);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.map_epoch, 1u);
+  EXPECT_EQ(r.num_shards, 8u);
+  EXPECT_TRUE(r.records.empty());  // the fence marker did not survive
+}
+
+TEST_F(WalTest, MapChangeRecordRoundTrips) {
+  const std::string p = path("fence.wal");
+  {
+    WalWriter w = WalWriter::create(p, 2, 3, 4);
+    w.append(WalRecord::make_rating(
+        make_rating(1, 2, rating::Score::kPositive, 1)));
+    w.append(WalRecord::make_map_change(4, 6));
+  }
+  const WalReadResult r = read_wal(p);
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1].kind, WalRecordKind::kShardMapChange);
+  EXPECT_EQ(r.records[1].epoch_seq, 4u);
+  EXPECT_EQ(r.records[1].num_shards, 6u);
 }
 
 TEST_F(WalTest, ResumeTruncatesDiscardedSuffixAndAppends) {
   const std::string p = path("resume.wal");
   WalReadResult before;
   {
-    WalWriter w = WalWriter::create(p, 2);
+    WalWriter w = WalWriter::create(p, 2, 1, 2);
     w.append(WalRecord::make_rating(
         make_rating(1, 2, rating::Score::kPositive, 1)));
     w.append(WalRecord::make_marker(1));  // recovery will discard this
@@ -160,7 +201,7 @@ TEST_F(WalTest, ResumeTruncatesDiscardedSuffixAndAppends) {
   ASSERT_EQ(before.records.size(), 2u);
 
   {
-    WalWriter w = WalWriter::resume(p, 2, before.end_offsets[0], 1);
+    WalWriter w = WalWriter::resume(p, 2, 1, 2, before.end_offsets[0], 1);
     EXPECT_EQ(w.generation(), 2u);
     EXPECT_EQ(w.records(), 1u);
     w.append(WalRecord::make_rating(
@@ -177,6 +218,8 @@ TEST_F(WalTest, CheckpointRoundTrip) {
   ShardCheckpoint ckpt;
   ckpt.wal_generation = 4;
   ckpt.wal_records_applied = 17;
+  ckpt.map_epoch = 6;
+  ckpt.map_num_shards = 8;
   ckpt.epochs_completed = 3;
   ckpt.applied_total = 120;
   ckpt.applied_since_epoch = 7;
@@ -196,6 +239,8 @@ TEST_F(WalTest, CheckpointRoundTrip) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->wal_generation, 4u);
   EXPECT_EQ(loaded->wal_records_applied, 17u);
+  EXPECT_EQ(loaded->map_epoch, 6u);
+  EXPECT_EQ(loaded->map_num_shards, 8u);
   EXPECT_EQ(loaded->epochs_completed, 3u);
   EXPECT_EQ(loaded->applied_total, 120u);
   EXPECT_EQ(loaded->applied_since_epoch, 7u);

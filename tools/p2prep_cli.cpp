@@ -147,7 +147,9 @@ int usage() {
                "  rate      --port PORT [--host H] --rater N --ratee N "
                "[--score -1|0|1] [--tick N]\n"
                "  query     --port PORT [--host H] --node N | --colluders\n"
-               "  metrics   --port PORT [--host H]\n");
+               "  metrics   --port PORT [--host H]\n"
+               "  resize    --port PORT [--host H] --shards N "
+               "[--timeout-ms N]\n");
   return 2;
 }
 
@@ -726,6 +728,43 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
+// Admin: resize the running service's shard count online. The server
+// answers only after the handoff commits, so the default request timeout
+// is raised unless the operator set one explicitly.
+int cmd_resize(const Args& args) {
+  if (!args.has("shards")) {
+    std::fprintf(stderr, "error: resize requires --shards N\n");
+    return 1;
+  }
+  rpc::RpcClientConfig ccfg = client_config_from(args);
+  if (!args.has("request-timeout-ms") && !args.has("timeout-ms"))
+    ccfg.request_timeout_ms = 60000;
+  if (args.has("timeout-ms"))
+    ccfg.request_timeout_ms =
+        static_cast<std::uint32_t>(args.get_u64("timeout-ms",
+                                                ccfg.request_timeout_ms));
+  rpc::RpcClient client(ccfg);
+  if (!client_connect(args, client)) return 1;
+
+  const auto shards = static_cast<std::uint32_t>(args.get_u64("shards", 0));
+  rpc::ResizeResponse out;
+  const rpc::CallResult res = client.resize(shards, &out);
+  if (!res.ok) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return 1;
+  }
+  if (res.status != rpc::Status::kOk) {
+    std::fprintf(stderr, "resize rejected: %s (service still at %u shards)\n",
+                 status_cstr(res.status).c_str(), out.num_shards);
+    return 1;
+  }
+  std::printf("resized to %u shards: %llu keys moved in %llu ms\n",
+              out.num_shards,
+              static_cast<unsigned long long>(out.keys_moved),
+              static_cast<unsigned long long>(out.duration_ms));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -742,5 +781,6 @@ int main(int argc, char** argv) {
   if (command == "rate") return cmd_rate(args);
   if (command == "query") return cmd_query(args);
   if (command == "metrics") return cmd_metrics(args);
+  if (command == "resize") return cmd_resize(args);
   return usage();
 }

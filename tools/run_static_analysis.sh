@@ -26,7 +26,9 @@
 #                         RpcConcurrency — the multi-client loopback
 #                         smoke of the RPC front-end — plus
 #                         DetectRegistryConcurrency, which hammers the
-#                         detector registry from parallel shards)
+#                         detector registry from parallel shards, plus
+#                         the Reshard suites, which race-check the
+#                         resize handoff against live ingest)
 #   P2PREP_JOBS           parallel build/test jobs (default: nproc)
 #   P2PREP_CLANG          clang++ to use for tsa/tidy/tsan-under-clang
 #                         (default: first of clang++ in PATH)
@@ -41,7 +43,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_prefix="${P2PREP_BUILD_PREFIX:-${repo_root}/build-}"
 jobs="${P2PREP_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 ctest_filter="${P2PREP_CTEST_FILTER:-}"
-tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency|DetectRegistryConcurrency}"
+tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency|DetectRegistryConcurrency|Reshard}"
 clangxx="${P2PREP_CLANG:-$(command -v clang++ || true)}"
 clang_tidy="$(command -v clang-tidy || true)"
 
