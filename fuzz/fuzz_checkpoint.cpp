@@ -1,0 +1,10 @@
+// libFuzzer entry point for shard-checkpoint image parsing
+// (service::parse_checkpoint). Build with -DP2PREP_FUZZERS=ON under Clang;
+// run e.g.
+//   build/fuzz/fuzz_checkpoint fuzz/corpus/checkpoint -max_total_time=60
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return p2prep::fuzz::checkpoint_one_input(data, size);
+}

@@ -1,0 +1,10 @@
+// libFuzzer entry point for the RPC wire protocol (rpc/protocol.h):
+// framing, envelopes, and every message-body decoder. Build with
+// -DP2PREP_FUZZERS=ON under Clang; run e.g.
+//   build/fuzz/fuzz_rpc_protocol fuzz/corpus/rpc -max_total_time=60
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return p2prep::fuzz::rpc_one_input(data, size);
+}

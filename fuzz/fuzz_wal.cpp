@@ -1,0 +1,10 @@
+// libFuzzer entry point for WAL v2 image parsing (service::parse_wal):
+// header, record frames, fence markers, torn tails. Build with
+// -DP2PREP_FUZZERS=ON under Clang; run e.g.
+//   build/fuzz/fuzz_wal fuzz/corpus/wal -max_total_time=60
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return p2prep::fuzz::wal_one_input(data, size);
+}

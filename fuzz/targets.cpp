@@ -1,0 +1,185 @@
+#include "fuzz/targets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rpc/protocol.h"
+#include "service/wal.h"
+
+namespace p2prep::fuzz {
+
+namespace {
+
+/// Oracle check: unlike assert(), active in every build type (the replay
+/// driver runs in RelWithDebInfo ctest too).
+void fuzz_check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz oracle violated: %s\n", what);
+    std::abort();
+  }
+}
+
+// --- RPC -------------------------------------------------------------------
+
+/// Re-encodes a decoded body and re-decodes the result: decode must accept
+/// its own encoding and encoding must be a fixpoint (canonical codec). The
+/// first decode's consumed bytes are not compared — a body decoder may
+/// legitimately leave trailing bytes unread.
+template <typename Body>
+void roundtrip_body(const Body& first) {
+  std::string bytes;
+  first.encode(bytes);
+  rpc::Reader r(bytes);
+  const std::optional<Body> second = Body::decode(r);
+  fuzz_check(second.has_value(), "decoder rejected its own encoding");
+  fuzz_check(r.done(), "re-decode left trailing bytes of a re-encoding");
+  std::string bytes2;
+  second->encode(bytes2);
+  fuzz_check(bytes == bytes2, "encode-of-decode is not a fixpoint");
+}
+
+/// Runs every decoder that could meet `payload` in a real connection: the
+/// request envelope + type-dispatched request body (the server's read
+/// path), then the response envelope + body (the client's read path).
+void exercise_rpc_payload(std::string_view payload) {
+  {
+    rpc::Reader r(payload);
+    rpc::RequestHeader h;
+    if (rpc::decode_request_header(r, h)) {
+      switch (static_cast<rpc::MsgType>(h.type)) {
+        case rpc::MsgType::kSubmitRating:
+          if (auto b = rpc::SubmitRatingRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kSubmitBatch:
+          if (auto b = rpc::SubmitBatchRequest::decode(r)) roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kQueryReputation:
+          if (auto b = rpc::QueryReputationRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kResize:
+          if (auto b = rpc::ResizeRequest::decode(r)) roundtrip_body(*b);
+          break;
+        default:
+          // kPing / kQueryColluders / kGetMetrics / kGoAway have no request
+          // body; unknown types are the server's kUnsupportedType path.
+          break;
+      }
+    }
+  }
+  {
+    rpc::Reader r(payload);
+    rpc::ResponseHeader h;
+    if (rpc::decode_response_header(r, h)) {
+      switch (static_cast<rpc::MsgType>(h.type)) {
+        case rpc::MsgType::kSubmitBatch:
+          if (auto b = rpc::SubmitBatchResponse::decode(r)) roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kQueryReputation:
+          if (auto b = rpc::QueryReputationResponse::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kQueryColluders:
+          if (auto b = rpc::QueryColludersResponse::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kGetMetrics:
+          if (auto b = rpc::GetMetricsResponse::decode(r)) roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kResize:
+          if (auto b = rpc::ResizeResponse::decode(r)) roundtrip_body(*b);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int rpc_one_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Stream mode: the server/client read path — extract CRC-checked frames
+  // from the byte stream, feed each payload to the envelope decoders.
+  std::string_view rest = input;
+  for (;;) {
+    std::string_view payload;
+    std::size_t consumed = 0;
+    std::string error;
+    const rpc::FrameResult res = rpc::try_decode_frame(
+        rest, rpc::kDefaultMaxFrameBytes, &payload, &consumed, &error);
+    if (res != rpc::FrameResult::kFrame) break;
+    fuzz_check(consumed >= rpc::kFrameHeaderBytes && consumed <= rest.size(),
+               "frame consumed outside buffer bounds");
+    fuzz_check(payload.size() == consumed - rpc::kFrameHeaderBytes,
+               "frame payload size inconsistent with consumed bytes");
+    exercise_rpc_payload(payload);
+    rest.remove_prefix(consumed);
+  }
+
+  // Raw mode: the same bytes as a bare payload, so envelope/body decoders
+  // see inputs no CRC check has laundered.
+  exercise_rpc_payload(input);
+  return 0;
+}
+
+// --- WAL -------------------------------------------------------------------
+
+int wal_one_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const service::WalReadResult result = service::parse_wal(input);
+
+  fuzz_check(result.records.size() == result.end_offsets.size(),
+             "records/end_offsets size mismatch");
+  fuzz_check(result.valid_bytes <= input.size(),
+             "valid_bytes exceeds input size");
+  if (!result.found) {
+    fuzz_check(result.records.empty() && result.valid_bytes == 0,
+               "records parsed out of a header-less file");
+    return 0;
+  }
+  fuzz_check(result.valid_bytes >= service::kWalHeaderBytes,
+             "valid_bytes below header size");
+
+  // Canonical-encoding oracle: rebuilding the image from the parsed header
+  // and records must reproduce the accepted prefix byte-for-byte.
+  std::string rebuilt;
+  service::append_wal_header(rebuilt, result.generation, result.map_epoch,
+                             result.num_shards);
+  std::uint64_t prev_end = service::kWalHeaderBytes;
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    service::append_wal_frame(rebuilt, result.records[i]);
+    fuzz_check(result.end_offsets[i] > prev_end,
+               "record end offsets not strictly increasing");
+    fuzz_check(rebuilt.size() == result.end_offsets[i],
+               "re-encoded record length disagrees with end offset");
+    prev_end = result.end_offsets[i];
+  }
+  fuzz_check(rebuilt.size() == result.valid_bytes,
+             "re-encoded image length disagrees with valid_bytes");
+  fuzz_check(rebuilt == input.substr(0, result.valid_bytes),
+             "re-encoded WAL image differs from accepted prefix");
+  return 0;
+}
+
+// --- Checkpoint ------------------------------------------------------------
+
+int checkpoint_one_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const std::optional<service::ShardCheckpoint> ckpt =
+      service::parse_checkpoint(input);
+  if (!ckpt) return 0;
+  // parse_checkpoint accepts only whole, CRC-clean, fully-consumed images,
+  // so re-encoding must reproduce the input exactly.
+  fuzz_check(service::encode_checkpoint(*ckpt) == input,
+             "re-encoded checkpoint differs from accepted image");
+  return 0;
+}
+
+}  // namespace p2prep::fuzz

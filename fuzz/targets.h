@@ -1,0 +1,35 @@
+// Shared fuzz-target entry points (DESIGN.md §14 "Correctness tooling").
+//
+// Each function consumes arbitrary attacker-controlled bytes through one of
+// the project's hostile-input decoders and must never crash, over-read,
+// leak, or trip a sanitizer. The same three functions back two harnesses:
+//
+//  * the libFuzzer binaries fuzz/fuzz_{rpc_protocol,wal,checkpoint}.cpp
+//    (Clang only, -DP2PREP_FUZZERS=ON) for coverage-guided exploration;
+//  * the portable corpus-replay driver fuzz/replay_main.cpp (plain C++,
+//    builds everywhere) that replays every checked-in corpus file under
+//    ctest, so each fixture is a regression test on gcc+ASan too.
+//
+// Beyond "don't crash", the targets assert round-trip oracles: whenever a
+// decoder accepts an input, re-encoding the decoded value must reproduce
+// the accepted bytes exactly (the codecs are canonical). A violation calls
+// std::abort(), which both libFuzzer and the replay driver report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2prep::fuzz {
+
+/// RPC wire protocol: frame extraction, request/response envelopes, and
+/// every message-body decoder (rpc/protocol.h).
+int rpc_one_input(const std::uint8_t* data, std::size_t size);
+
+/// WAL v2 images: header, record frames, fence markers, torn tails
+/// (service::parse_wal).
+int wal_one_input(const std::uint8_t* data, std::size_t size);
+
+/// Shard checkpoint images (service::parse_checkpoint).
+int checkpoint_one_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace p2prep::fuzz

@@ -222,7 +222,8 @@ void SubmitBatchRequest::encode(std::string& out) const {
 std::optional<SubmitBatchRequest> SubmitBatchRequest::decode(Reader& r) {
   std::uint32_t count = 0;
   if (!r.get_u32(count)) return std::nullopt;
-  if (static_cast<std::size_t>(count) * kRatingBytes > r.remaining())
+  if (count > kMaxBatchRatings ||
+      static_cast<std::size_t>(count) * kRatingBytes > r.remaining())
     return std::nullopt;
   SubmitBatchRequest req;
   req.ratings.reserve(count);
@@ -284,7 +285,8 @@ std::optional<QueryColludersResponse> QueryColludersResponse::decode(
     Reader& r) {
   std::uint32_t count = 0;
   if (!r.get_u32(count)) return std::nullopt;
-  if (static_cast<std::size_t>(count) * 4 > r.remaining())
+  if (count > kMaxColluderIds ||
+      static_cast<std::size_t>(count) * 4 > r.remaining())
     return std::nullopt;
   QueryColludersResponse resp;
   resp.colluders.reserve(count);

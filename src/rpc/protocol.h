@@ -43,6 +43,15 @@ inline constexpr std::size_t kFrameHeaderBytes = 8;
 inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
 /// High bit of the msg_type byte marks a response.
 inline constexpr std::uint8_t kResponseBit = 0x80;
+/// Hard cap on ratings in one SubmitBatch request. Decoders reject a
+/// larger count outright — even when the frame really carries that many
+/// bytes — so one request cannot stage an outsized allocation or hold a
+/// server worker for an unbounded apply loop. (The bench sweet spot is
+/// batch=256; the cap leaves two orders of magnitude of headroom.)
+inline constexpr std::uint32_t kMaxBatchRatings = 1u << 16;
+/// Hard cap on node ids in one QueryColluders response; the server's own
+/// truncation cap is far below this.
+inline constexpr std::uint32_t kMaxColluderIds = 1u << 20;
 
 enum class MsgType : std::uint8_t {
   kPing = 1,

@@ -266,22 +266,38 @@ class ReputationService {
   /// service degrades to WAL-only durability instead of retrying forever.
   std::atomic<bool> checkpoints_enabled_{false};
 
+  // --- Lock hierarchy -------------------------------------------------
+  // Service mutexes are ordered; the P2PREP_ACQUIRED_AFTER annotations
+  // below make an out-of-order acquisition a compile error under the
+  // Clang TSA gate (-Wthread-safety-beta, see CMakeLists). Levels:
+  //
+  //   L0  resize_mu_              resize()/stop() serialization, outermost
+  //   L1  route_mu_ | epoch_mu_   router swap / barrier+fence (never held
+  //                               together — both only nest under L0)
+  //   L2  applied_mu_             applied-table swap (under epoch_mu_ in
+  //                               the global-epoch body)
+  //   L3  latency_mu_, log_mu_    metric/report leaves (under epoch_mu_)
+  //
+  // Below the service sit the per-object leaves — IngestQueue::mu_ (under
+  // route_mu_: fence/marker injection pushes while routing), WalWriter::
+  // mu_ and ServiceShard::view_mu_/log_mu_ (under epoch_mu_: the last
+  // barrier arriver publishes views and rotates WALs). Those cannot be
+  // named in member annotations here (TSA attribute arguments must be
+  // in-scope member expressions), so their ordering is enforced by the
+  // linter's conventions and documented in DESIGN.md §14.
+
   /// Serializes resize() calls against each other and against stop().
   util::Mutex resize_mu_;
 
   // Router state (kGlobal cadence) and the routing-generation table.
-  mutable util::Mutex route_mu_;
+  mutable util::Mutex route_mu_ P2PREP_ACQUIRED_AFTER(resize_mu_);
   std::shared_ptr<const SlotTable> routing_ P2PREP_GUARDED_BY(route_mu_);
   std::uint64_t epoch_seq_ P2PREP_GUARDED_BY(route_mu_) = 0;
   std::uint64_t routed_since_epoch_ P2PREP_GUARDED_BY(route_mu_) = 0;
   rating::Tick global_last_epoch_tick_ P2PREP_GUARDED_BY(route_mu_) = 0;
 
-  // Applied-generation table: what epochs, reads and queries run against.
-  mutable util::Mutex applied_mu_;
-  std::shared_ptr<const SlotTable> applied_ P2PREP_GUARDED_BY(applied_mu_);
-
   // Epoch barrier and resize fence (kGlobal scope).
-  util::Mutex epoch_mu_;
+  util::Mutex epoch_mu_ P2PREP_ACQUIRED_AFTER(resize_mu_);
   util::CondVar epoch_cv_;
   std::size_t arrived_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
   /// How many workers a full epoch barrier takes — the applied table's
@@ -290,6 +306,11 @@ class ReputationService {
   std::uint64_t epoch_done_seq_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
   std::size_t resize_arrived_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
   std::uint64_t resize_done_epoch_ P2PREP_GUARDED_BY(epoch_mu_) = 0;
+
+  // Applied-generation table: what epochs, reads and queries run against.
+  mutable util::Mutex applied_mu_
+      P2PREP_ACQUIRED_AFTER(resize_mu_, epoch_mu_);
+  std::shared_ptr<const SlotTable> applied_ P2PREP_GUARDED_BY(applied_mu_);
 
   // Lifecycle.
   std::atomic<bool> stopped_{false};
@@ -317,11 +338,12 @@ class ReputationService {
   std::atomic<std::uint64_t> retired_dropped_{0};
   std::uint64_t applied_base_ = 0;  ///< Applied count restored by recovery.
   std::chrono::steady_clock::time_point start_time_;
-  mutable util::Mutex latency_mu_;
+  mutable util::Mutex latency_mu_
+      P2PREP_ACQUIRED_AFTER(resize_mu_, epoch_mu_);
   std::vector<double> epoch_latency_ms_ P2PREP_GUARDED_BY(latency_mu_);
 
   // Global-scope report log.
-  mutable util::Mutex log_mu_;
+  mutable util::Mutex log_mu_ P2PREP_ACQUIRED_AFTER(resize_mu_, epoch_mu_);
   std::string report_log_ P2PREP_GUARDED_BY(log_mu_);
 };
 

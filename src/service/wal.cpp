@@ -37,7 +37,7 @@ void put_u64(std::string& out, std::uint64_t v) {
 
 /// Sequential reader over a byte string; get_* return false on underrun.
 struct Cursor {
-  const std::string& data;
+  std::string_view data;
   std::size_t pos = 0;
 
   [[nodiscard]] bool get_u8(std::uint8_t& v) {
@@ -80,13 +80,13 @@ std::string encode_payload(const WalRecord& rec) {
   } else if (rec.kind == WalRecordKind::kShardMapChange) {
     put_u64(payload, rec.epoch_seq);
     put_u32(payload, rec.num_shards);
-  } else {
+  } else if (rec.kind == WalRecordKind::kEpochMarker) {
     put_u64(payload, rec.epoch_seq);
   }
   return payload;
 }
 
-bool decode_payload(const std::string& payload, WalRecord& rec) {
+bool decode_payload(std::string_view payload, WalRecord& rec) {
   Cursor c{payload};
   std::uint8_t kind = 0;
   if (!c.get_u8(kind)) return false;
@@ -113,25 +113,35 @@ bool decode_payload(const std::string& payload, WalRecord& rec) {
 }
 
 std::string encode_frame(const WalRecord& rec) {
-  const std::string payload = encode_payload(rec);
   std::string frame;
-  frame.reserve(kFrameBytes + payload.size());
-  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
-  put_u32(frame, crc32(payload.data(), payload.size()));
-  frame += payload;
+  append_wal_frame(frame, rec);
   return frame;
 }
 
 std::string encode_header(std::uint64_t generation, std::uint64_t map_epoch,
                           std::uint32_t num_shards) {
-  std::string header(kWalMagic.begin(), kWalMagic.end());
-  put_u64(header, generation);
-  put_u64(header, map_epoch);
-  put_u32(header, num_shards);
+  std::string header;
+  append_wal_header(header, generation, map_epoch, num_shards);
   return header;
 }
 
 }  // namespace
+
+void append_wal_header(std::string& out, std::uint64_t generation,
+                       std::uint64_t map_epoch, std::uint32_t num_shards) {
+  out.append(kWalMagic.data(), kWalMagic.size());
+  put_u64(out, generation);
+  put_u64(out, map_epoch);
+  put_u32(out, num_shards);
+}
+
+void append_wal_frame(std::string& out, const WalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  out.reserve(out.size() + kFrameBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+}
 
 std::uint32_t crc32(const void* data, std::size_t len) noexcept {
   // Table generated on first use (polynomial 0xEDB88320, reflected).
@@ -244,11 +254,15 @@ void WalWriter::rotate_locked() {
 }
 
 WalReadResult read_wal(const std::string& path) {
-  WalReadResult result;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return result;
+  if (!in) return {};
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
+  return parse_wal(content);
+}
+
+WalReadResult parse_wal(std::string_view content) {
+  WalReadResult result;
   if (content.size() < kWalHeaderBytes ||
       !std::equal(kWalMagic.begin(), kWalMagic.end(), content.begin()))
     return result;
@@ -262,11 +276,15 @@ WalReadResult read_wal(const std::string& path) {
 
   while (!c.done()) {
     std::uint32_t len = 0, crc = 0;
-    if (!c.get_u32(len) || !c.get_u32(crc) || c.pos + len > content.size()) {
+    // A length beyond the record cap is treated exactly like a torn tail:
+    // no real record is that large, and trusting it would make the reader
+    // hash (and a naive reader allocate) attacker-chosen gigabytes.
+    if (!c.get_u32(len) || !c.get_u32(crc) || len > kMaxWalRecordBytes ||
+        c.pos + len > content.size()) {
       result.truncated_tail = true;
       break;
     }
-    const std::string payload = content.substr(c.pos, len);
+    const std::string_view payload = content.substr(c.pos, len);
     if (crc32(payload.data(), payload.size()) != crc) {
       result.truncated_tail = true;
       break;
@@ -284,7 +302,7 @@ WalReadResult read_wal(const std::string& path) {
   return result;
 }
 
-bool write_checkpoint(const std::string& path, const ShardCheckpoint& ckpt) {
+std::string encode_checkpoint(const ShardCheckpoint& ckpt) {
   std::string payload;
   put_u64(payload, ckpt.wal_generation);
   put_u64(payload, ckpt.wal_records_applied);
@@ -313,7 +331,11 @@ bool write_checkpoint(const std::string& path, const ShardCheckpoint& ckpt) {
   put_u32(blob, static_cast<std::uint32_t>(payload.size()));
   put_u32(blob, crc32(payload.data(), payload.size()));
   blob += payload;
+  return blob;
+}
 
+bool write_checkpoint(const std::string& path, const ShardCheckpoint& ckpt) {
+  const std::string blob = encode_checkpoint(ckpt);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -336,6 +358,10 @@ std::optional<ShardCheckpoint> read_checkpoint(const std::string& path) {
   if (!in) return std::nullopt;
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
+  return parse_checkpoint(content);
+}
+
+std::optional<ShardCheckpoint> parse_checkpoint(std::string_view content) {
   if (content.size() < kCkptMagic.size() + kFrameBytes ||
       !std::equal(kCkptMagic.begin(), kCkptMagic.end(), content.begin()))
     return std::nullopt;
@@ -345,7 +371,7 @@ std::optional<ShardCheckpoint> read_checkpoint(const std::string& path) {
   if (!header.get_u32(len) || !header.get_u32(crc) ||
       header.pos + len != content.size())
     return std::nullopt;
-  const std::string payload = content.substr(header.pos, len);
+  const std::string_view payload = content.substr(header.pos, len);
   if (crc32(payload.data(), payload.size()) != crc) return std::nullopt;
 
   ShardCheckpoint ckpt;
@@ -362,18 +388,32 @@ std::optional<ShardCheckpoint> read_checkpoint(const std::string& path) {
   ckpt.engine_blob = payload.substr(c.pos, blob_len);
   c.pos += blob_len;
 
+  // Every count below is validated against the bytes actually present
+  // BEFORE the vector is sized: a checkpoint is adversary-presentable
+  // input (an attacker with filesystem access can hand recovery anything),
+  // and resize(count) on an unchecked u32/u64 would turn a 30-byte file
+  // into a multi-GiB allocation. CRC alone does not help — the attacker
+  // computes a valid CRC over the hostile counts.
   std::uint32_t count = 0;
-  if (!c.get_u32(count)) return std::nullopt;
+  if (!c.get_u32(count) ||
+      std::size_t{count} * 4 > payload.size() - c.pos)
+    return std::nullopt;
   ckpt.suppressed.resize(count);
   for (auto& id : ckpt.suppressed)
     if (!c.get_u32(id)) return std::nullopt;
-  if (!c.get_u32(count)) return std::nullopt;
+  if (!c.get_u32(count) ||
+      std::size_t{count} * 4 > payload.size() - c.pos)
+    return std::nullopt;
   ckpt.detected.resize(count);
   for (auto& id : ckpt.detected)
     if (!c.get_u32(id)) return std::nullopt;
 
+  // 5 * u32 per cell on the wire.
+  constexpr std::uint64_t kCellBytes = 20;
   std::uint64_t cell_count = 0;
-  if (!c.get_u64(cell_count)) return std::nullopt;
+  if (!c.get_u64(cell_count) ||
+      cell_count > (payload.size() - c.pos) / kCellBytes)
+    return std::nullopt;
   ckpt.cells.resize(cell_count);
   for (auto& cell : ckpt.cells) {
     if (!c.get_u32(cell.ratee) || !c.get_u32(cell.rater) ||

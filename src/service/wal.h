@@ -42,6 +42,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rating/pair_stats.h"
@@ -57,6 +58,13 @@ namespace p2prep::service {
 /// Bytes of the WAL file header (magic + generation + map_epoch +
 /// num_shards). Exposed for recovery's truncation arithmetic.
 inline constexpr std::uint64_t kWalHeaderBytes = 28;
+
+/// Hard cap on one WAL record's payload length. Real payloads are at most
+/// 18 bytes (kRating); a length field beyond this cap is corruption, not a
+/// record, and the reader cuts the file there instead of trusting a
+/// hostile 4 GiB length (an attacker-authored WAL is parsed with the same
+/// code as our own — see fuzz/fuzz_wal.cpp).
+inline constexpr std::uint32_t kMaxWalRecordBytes = 4096;
 
 enum class WalRecordKind : std::uint8_t {
   kRating = 1,
@@ -190,6 +198,25 @@ struct WalReadResult {
 /// Reads every intact record; stops at the first bad frame.
 [[nodiscard]] WalReadResult read_wal(const std::string& path);
 
+/// Parses WAL bytes already in memory (read_wal delegates here after
+/// slurping the file). This is the hostile-input decoding surface: it
+/// never throws, never over-reads, and caps every length field — fuzzed
+/// by fuzz/fuzz_wal.cpp and replayed over the checked-in corpus in ctest.
+[[nodiscard]] WalReadResult parse_wal(std::string_view content);
+
+// --- Record/header encoders ------------------------------------------------
+// Exposed so the fuzz seed-corpus generator (fuzz/corpus_gen.cpp), the
+// round-trip oracles in the fuzz targets, and the corruption tests can
+// build byte-exact WAL images without touching the filesystem. WalWriter
+// uses these same functions — there is exactly one encoding of a record.
+
+/// Appends the 28-byte file header (magic + generation + map stamp).
+void append_wal_header(std::string& out, std::uint64_t generation,
+                       std::uint64_t map_epoch, std::uint32_t num_shards);
+
+/// Appends one framed record (u32 len | u32 crc | payload).
+void append_wal_frame(std::string& out, const WalRecord& rec);
+
 // --- Shard checkpoints -----------------------------------------------------
 
 /// One non-empty window cell of the shard's rating matrix.
@@ -226,5 +253,18 @@ struct ShardCheckpoint {
 /// Loads a checkpoint; nullopt when missing or malformed (CRC mismatch).
 [[nodiscard]] std::optional<ShardCheckpoint> read_checkpoint(
     const std::string& path);
+
+/// Serializes `ckpt` to the full file image (magic + frame + payload);
+/// write_checkpoint writes exactly these bytes. Exposed for the corpus
+/// generator and round-trip oracles.
+[[nodiscard]] std::string encode_checkpoint(const ShardCheckpoint& ckpt);
+
+/// Parses a checkpoint file image already in memory (read_checkpoint
+/// delegates here). Like parse_wal this is a hostile-input surface: every
+/// count field is validated against the bytes actually present before any
+/// allocation, so an adversarial image cannot force a multi-GiB resize.
+/// Fuzzed by fuzz/fuzz_checkpoint.cpp.
+[[nodiscard]] std::optional<ShardCheckpoint> parse_checkpoint(
+    std::string_view content);
 
 }  // namespace p2prep::service

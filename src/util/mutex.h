@@ -11,6 +11,11 @@
 //    std::condition_variable — the analysis cannot see through a lambda,
 //    so predicates reading guarded state would defeat the checking.
 //  * notify_one/notify_all are called after the MutexLock scope closes.
+//  * Components that ever hold two mutexes declare the order with
+//    P2PREP_ACQUIRED_AFTER / P2PREP_ACQUIRED_BEFORE on the members (see
+//    ReputationService's hierarchy in service/service.h); under the Clang
+//    gate (-Wthread-safety-beta) an inverted acquisition then fails to
+//    compile (canary: tests/static_analysis/lock_order_fail.cpp).
 #pragma once
 
 #include <condition_variable>

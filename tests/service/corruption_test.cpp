@@ -1,0 +1,280 @@
+// Systematic corruption sweeps over the WAL v2 and checkpoint disk
+// formats, all in memory via parse_wal/parse_checkpoint (DESIGN.md §14).
+// Where the fuzz corpus pins individual hostile fixtures, these tests are
+// exhaustive over a dimension: truncation at EVERY byte, a bit-flip at
+// EVERY position of the v2 header and the resize-fence record, so the
+// recovery guarantees ("keep the valid prefix", "never trust a torn or
+// tampered tail") hold at every offset, not just the ones we thought of.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rating/types.h"
+#include "service/wal.h"
+
+namespace p2prep::service {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+/// A representative WAL image: ratings, an epoch marker, a resize fence
+/// (uncommitted-resize residue), one more rating after it.
+struct WalImage {
+  std::string bytes;
+  std::vector<WalRecord> records;
+  std::vector<std::uint64_t> end_offsets;
+  std::size_t fence_index = 0;  ///< Index of the kShardMapChange record.
+};
+
+WalImage build_wal_image() {
+  WalImage img;
+  append_wal_header(img.bytes, /*generation=*/2, /*map_epoch=*/1,
+                    /*num_shards=*/4);
+  img.records = {
+      WalRecord::make_rating(Rating{1, 2, Score::kPositive, 10}),
+      WalRecord::make_rating(Rating{2, 3, Score::kNegative, 11}),
+      WalRecord::make_marker(1),
+      WalRecord::make_rating(Rating{3, 1, Score::kNeutral, 12}),
+      WalRecord::make_map_change(/*map_epoch=*/2, /*new_num_shards=*/8),
+      WalRecord::make_rating(Rating{1, 3, Score::kPositive, 13}),
+  };
+  img.fence_index = 4;
+  for (const WalRecord& rec : img.records) {
+    append_wal_frame(img.bytes, rec);
+    img.end_offsets.push_back(img.bytes.size());
+  }
+  return img;
+}
+
+bool same_record(const WalRecord& a, const WalRecord& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case WalRecordKind::kRating:
+      return a.rating == b.rating;
+    case WalRecordKind::kEpochMarker:
+      return a.epoch_seq == b.epoch_seq;
+    case WalRecordKind::kShardMapChange:
+      return a.epoch_seq == b.epoch_seq && a.num_shards == b.num_shards;
+  }
+  return false;
+}
+
+TEST(WalCorruptionTest, IntactImageRoundTrips) {
+  const WalImage img = build_wal_image();
+  const WalReadResult r = parse_wal(img.bytes);
+  ASSERT_TRUE(r.found);
+  EXPECT_FALSE(r.truncated_tail);
+  EXPECT_EQ(r.generation, 2u);
+  EXPECT_EQ(r.map_epoch, 1u);
+  EXPECT_EQ(r.num_shards, 4u);
+  ASSERT_EQ(r.records.size(), img.records.size());
+  for (std::size_t i = 0; i < img.records.size(); ++i)
+    EXPECT_TRUE(same_record(r.records[i], img.records[i])) << "record " << i;
+  EXPECT_EQ(r.end_offsets, img.end_offsets);
+  EXPECT_EQ(r.valid_bytes, img.bytes.size());
+}
+
+// Truncation at every record boundary: the cut is clean, so the reader
+// must keep exactly the records before it and not report a torn tail.
+TEST(WalCorruptionTest, TruncationAtEveryRecordBoundary) {
+  const WalImage img = build_wal_image();
+  for (std::size_t i = 0; i < img.end_offsets.size(); ++i) {
+    const std::string cut =
+        img.bytes.substr(0, static_cast<std::size_t>(img.end_offsets[i]));
+    const WalReadResult r = parse_wal(cut);
+    ASSERT_TRUE(r.found) << "cut after record " << i;
+    EXPECT_FALSE(r.truncated_tail) << "cut after record " << i;
+    EXPECT_EQ(r.records.size(), i + 1) << "cut after record " << i;
+    EXPECT_EQ(r.valid_bytes, cut.size()) << "cut after record " << i;
+  }
+}
+
+// Truncation at EVERY byte: whatever the cut point — mid-header,
+// mid-frame-header, mid-payload — the reader keeps the longest whole-
+// record prefix, reports the tear, and never reads past the buffer
+// (ASan-checked in the sanitizer CI legs).
+TEST(WalCorruptionTest, TruncationAtEveryByte) {
+  const WalImage img = build_wal_image();
+  for (std::size_t len = 0; len < img.bytes.size(); ++len) {
+    const std::string cut = img.bytes.substr(0, len);
+    const WalReadResult r = parse_wal(cut);
+    if (len < kWalHeaderBytes) {
+      EXPECT_FALSE(r.found) << "cut at byte " << len;
+      EXPECT_EQ(r.records.size(), 0u) << "cut at byte " << len;
+      continue;
+    }
+    ASSERT_TRUE(r.found) << "cut at byte " << len;
+    // The valid prefix is the greatest record boundary <= len.
+    std::size_t expect_records = 0;
+    std::uint64_t expect_valid = kWalHeaderBytes;
+    for (std::size_t i = 0; i < img.end_offsets.size(); ++i) {
+      if (img.end_offsets[i] <= len) {
+        expect_records = i + 1;
+        expect_valid = img.end_offsets[i];
+      }
+    }
+    EXPECT_EQ(r.records.size(), expect_records) << "cut at byte " << len;
+    EXPECT_EQ(r.valid_bytes, expect_valid) << "cut at byte " << len;
+    EXPECT_EQ(r.truncated_tail, len != expect_valid) << "cut at byte " << len;
+    for (std::size_t i = 0; i < expect_records; ++i)
+      EXPECT_TRUE(same_record(r.records[i], img.records[i]))
+          << "cut at byte " << len << ", record " << i;
+  }
+}
+
+// A bit-flip at every position of the 28-byte v2 header. Flips inside the
+// magic must make the file unrecognizable; flips in the
+// generation/map_epoch/num_shards fields yield a well-formed header with
+// a different stamp — the records must still parse intact (recovery
+// cross-checks the stamp against checkpoints, not the reader).
+TEST(WalCorruptionTest, BitFlipsOverHeader) {
+  const WalImage img = build_wal_image();
+  for (std::size_t byte = 0; byte < kWalHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = img.bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const WalReadResult r = parse_wal(mutated);
+      if (byte < 8) {
+        EXPECT_FALSE(r.found) << "magic byte " << byte << " bit " << bit;
+        EXPECT_TRUE(r.records.empty())
+            << "magic byte " << byte << " bit " << bit;
+      } else {
+        ASSERT_TRUE(r.found) << "header byte " << byte << " bit " << bit;
+        EXPECT_FALSE(r.truncated_tail)
+            << "header byte " << byte << " bit " << bit;
+        EXPECT_EQ(r.records.size(), img.records.size())
+            << "header byte " << byte << " bit " << bit;
+        // Exactly one stamp field differs, by exactly the flipped bit.
+        EXPECT_NE(r.generation ^ r.map_epoch ^ r.num_shards,
+                  2u ^ 1u ^ 4u)
+            << "header byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+// A bit-flip at every position of the resize-fence record's frame (length,
+// CRC, payload). Whatever the flip does — length mismatch, CRC mismatch,
+// unknown kind — the reader must keep every record before the fence and
+// cut the file there; a tampered fence must never decode as something
+// else, and the flip must never damage the preceding records.
+TEST(WalCorruptionTest, BitFlipsOverFenceRecord) {
+  const WalImage img = build_wal_image();
+  const std::size_t fence_begin = static_cast<std::size_t>(
+      img.fence_index == 0 ? kWalHeaderBytes
+                           : img.end_offsets[img.fence_index - 1]);
+  const std::size_t fence_end =
+      static_cast<std::size_t>(img.end_offsets[img.fence_index]);
+  for (std::size_t byte = fence_begin; byte < fence_end; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = img.bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const WalReadResult r = parse_wal(mutated);
+      ASSERT_TRUE(r.found) << "fence byte " << byte << " bit " << bit;
+      EXPECT_TRUE(r.truncated_tail) << "fence byte " << byte << " bit " << bit;
+      ASSERT_EQ(r.records.size(), img.fence_index)
+          << "fence byte " << byte << " bit " << bit;
+      EXPECT_EQ(r.valid_bytes, fence_begin)
+          << "fence byte " << byte << " bit " << bit;
+      for (std::size_t i = 0; i < img.fence_index; ++i)
+        EXPECT_TRUE(same_record(r.records[i], img.records[i]))
+            << "fence byte " << byte << " bit " << bit << ", record " << i;
+    }
+  }
+}
+
+// Version skew: the reader must not accept a file stamped with a past or
+// future format version under the v2 parser (the magic encodes the
+// version, so "cross-version" is "wrong magic byte 7").
+TEST(WalCorruptionTest, RejectsOtherFormatVersions) {
+  const WalImage img = build_wal_image();
+  for (char version : {'1', '3'}) {
+    std::string mutated = img.bytes;
+    mutated[6] = version;  // "P2PWAL<version>\0"
+    const WalReadResult r = parse_wal(mutated);
+    EXPECT_FALSE(r.found) << "version " << version;
+    EXPECT_TRUE(r.records.empty()) << "version " << version;
+  }
+}
+
+// --- Checkpoints -----------------------------------------------------------
+
+ShardCheckpoint build_checkpoint() {
+  ShardCheckpoint ckpt;
+  ckpt.wal_generation = 3;
+  ckpt.wal_records_applied = 57;
+  ckpt.map_epoch = 2;
+  ckpt.map_num_shards = 8;
+  ckpt.epochs_completed = 5;
+  ckpt.applied_total = 1024;
+  ckpt.applied_since_epoch = 32;
+  ckpt.last_epoch_tick = 640;
+  ckpt.engine_blob = "opaque-engine-state";
+  ckpt.suppressed = {2, 7, 19};
+  ckpt.detected = {7, 19};
+  ckpt.cells.push_back({/*ratee=*/1, /*rater=*/2, {10, 8, 1}});
+  ckpt.cells.push_back({/*ratee=*/2, /*rater=*/1, {4, 1, 3}});
+  return ckpt;
+}
+
+TEST(CheckpointCorruptionTest, IntactImageRoundTrips) {
+  const ShardCheckpoint ckpt = build_checkpoint();
+  const std::string image = encode_checkpoint(ckpt);
+  const std::optional<ShardCheckpoint> parsed = parse_checkpoint(image);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->wal_generation, ckpt.wal_generation);
+  EXPECT_EQ(parsed->engine_blob, ckpt.engine_blob);
+  EXPECT_EQ(parsed->suppressed, ckpt.suppressed);
+  EXPECT_EQ(parsed->detected, ckpt.detected);
+  ASSERT_EQ(parsed->cells.size(), ckpt.cells.size());
+  EXPECT_EQ(encode_checkpoint(*parsed), image);
+}
+
+// Unlike the WAL (an append stream with a valid prefix), a checkpoint is
+// all-or-nothing: truncation at ANY byte must reject the whole image —
+// the length field pins the exact size, so recovery falls back to the WAL
+// rather than trusting half a snapshot.
+TEST(CheckpointCorruptionTest, TruncationAtEveryByteRejects) {
+  const std::string image = encode_checkpoint(build_checkpoint());
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(parse_checkpoint(image.substr(0, len)).has_value())
+        << "cut at byte " << len;
+  }
+}
+
+// A bit-flip at every position of the whole image must reject it: magic
+// and length flips break the envelope, everything else breaks the CRC.
+// (Contrast with the WAL header, whose stamp fields are deliberately not
+// CRC-protected — the checkpoint covers its entire payload.)
+TEST(CheckpointCorruptionTest, BitFlipAnywhereRejects) {
+  const std::string image = encode_checkpoint(build_checkpoint());
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = image;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_FALSE(parse_checkpoint(mutated).has_value())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckpointCorruptionTest, RejectsOtherFormatVersions) {
+  std::string image = encode_checkpoint(build_checkpoint());
+  image[7] = '1';  // "P2PCKPT<version>"
+  EXPECT_FALSE(parse_checkpoint(image).has_value());
+}
+
+// Appending trailing garbage after a valid image must also reject: the
+// envelope length must account for every byte of the file.
+TEST(CheckpointCorruptionTest, TrailingGarbageRejects) {
+  std::string image = encode_checkpoint(build_checkpoint());
+  image.push_back('\0');
+  EXPECT_FALSE(parse_checkpoint(image).has_value());
+}
+
+}  // namespace
+}  // namespace p2prep::service

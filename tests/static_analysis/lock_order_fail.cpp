@@ -1,0 +1,51 @@
+// Deliberately lock-order-inverted negative example: this file MUST NOT
+// compile under Clang with -Wthread-safety -Wthread-safety-beta
+// -Werror=thread-safety -Werror=thread-safety-beta. It is the canary
+// proving the ACQUIRED_BEFORE/ACQUIRED_AFTER lock-hierarchy checking is
+// actually armed — if the StaticAnalysis.LockOrderNegative ctest check
+// (tests/CMakeLists.txt, WILL_FAIL) ever sees this build succeed, the
+// -Wthread-safety-beta wiring is broken, not this file.
+//
+// The hierarchy mirrors the service's real one (service/service.h): an
+// outer mutex declared ACQUIRED_BEFORE an inner one, then a function that
+// takes them inner-first — the inversion that would deadlock against a
+// correctly-ordered thread at runtime.
+//
+// The target is registered only under Clang and EXCLUDE_FROM_ALL, so
+// regular builds never touch it.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Hierarchy {
+ public:
+  // Correct order, as every real call site writes it.
+  void ordered() {
+    p2prep::util::MutexLock outer(outer_mu_);
+    p2prep::util::MutexLock inner(inner_mu_);
+    ++guarded_;
+  }
+
+  // BUG (by design): acquires inner_mu_ first, violating the declared
+  // ACQUIRED_AFTER(outer_mu_) ordering.
+  void inverted() {
+    p2prep::util::MutexLock inner(inner_mu_);
+    p2prep::util::MutexLock outer(outer_mu_);
+    ++guarded_;
+  }
+
+ private:
+  p2prep::util::Mutex outer_mu_;
+  p2prep::util::Mutex inner_mu_ P2PREP_ACQUIRED_AFTER(outer_mu_);
+  int guarded_ P2PREP_GUARDED_BY(inner_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Hierarchy h;
+  h.ordered();
+  h.inverted();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Negative fixture for the enum-switch rule (paired with impl.cpp): the
+// enum grows a kGrewOnlyOneSide enumerator that impl.cpp's decode path
+// never handles. Never compiled — only fed to p2prep_lint.py --self-test.
+#pragma once
+
+#include <cstdint>
+
+namespace p2prep::fixture {
+
+enum class TestKind : std::uint8_t {
+  kAlpha = 1,
+  kBeta = 2,
+  kGrewOnlyOneSide = 3,
+};
+
+}  // namespace p2prep::fixture

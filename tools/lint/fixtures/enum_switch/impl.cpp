@@ -1,0 +1,32 @@
+// Negative fixture for the enum-switch rule (paired with enum.h):
+// encode_payload handles every TestKind, decode_payload misses
+// kGrewOnlyOneSide — exactly the codec drift the rule exists to catch.
+// Never compiled — only fed to p2prep_lint.py --self-test.
+#include "enum.h"
+
+namespace p2prep::fixture {
+
+int encode_payload(TestKind kind) {
+  switch (kind) {
+    case TestKind::kAlpha:
+      return 1;
+    case TestKind::kBeta:
+      return 2;
+    case TestKind::kGrewOnlyOneSide:
+      return 3;
+  }
+  return 0;
+}
+
+int decode_payload(TestKind kind) {
+  switch (kind) {
+    case TestKind::kAlpha:
+      return 1;
+    case TestKind::kBeta:
+      return 2;
+    default:  // violation: kGrewOnlyOneSide decodes as "unknown"
+      return 0;
+  }
+}
+
+}  // namespace p2prep::fixture

@@ -1,0 +1,26 @@
+// Negative fixture for the guard-block rule: members declared directly
+// under a util::Mutex member without P2PREP_GUARDED_BY. Never compiled —
+// only fed to p2prep_lint.py --self-test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace p2prep::fixture {
+
+class Unguarded {
+ private:
+  mutable util::Mutex mu_;
+  std::uint64_t counter_ = 0;        // violation: no P2PREP_GUARDED_BY(mu_)
+  std::string annotated_ P2PREP_GUARDED_BY(mu_);  // fine
+  bool closed_ = false;              // violation: no P2PREP_GUARDED_BY(mu_)
+
+  // A blank line above ends the guarded block: this member is legitimately
+  // unannotated (not mutex-adjacent state).
+  std::uint64_t standalone_ = 0;
+};
+
+}  // namespace p2prep::fixture

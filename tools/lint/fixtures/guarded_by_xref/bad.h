@@ -1,0 +1,23 @@
+// Negative fixture for the guarded-by-xref rule: annotations naming a
+// mutex that is not declared in this file (typo'd name, stale rename).
+// Under gcc the macros expand to nothing, so only the linter sees this.
+// Never compiled — only fed to p2prep_lint.py --self-test.
+#pragma once
+
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace p2prep::fixture {
+
+class TypoGuard {
+ private:
+  mutable util::Mutex state_mu_;
+  std::uint64_t ok_ P2PREP_GUARDED_BY(state_mu_) = 0;      // fine
+  std::uint64_t typo_ P2PREP_GUARDED_BY(state_mux_) = 0;   // violation
+  mutable util::Mutex late_mu_ P2PREP_ACQUIRED_AFTER(renamed_away_mu_);
+  std::uint64_t more_ P2PREP_GUARDED_BY(late_mu_) = 0;     // fine
+};
+
+}  // namespace p2prep::fixture

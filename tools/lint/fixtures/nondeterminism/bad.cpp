@@ -1,0 +1,24 @@
+// Negative fixture for the nondeterminism rule: ambient clocks and RNG in
+// code that must replay deterministically. Never compiled — only fed to
+// p2prep_lint.py --self-test, which must report every marked line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace p2prep::fixture {
+
+unsigned roll_detection_threshold() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // violation x2
+  return static_cast<unsigned>(std::rand());              // violation
+}
+
+long stamp_epoch() {
+  std::random_device entropy;  // violation: ambient RNG
+  (void)entropy;
+  return std::chrono::system_clock::now()  // violation: wall clock
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace p2prep::fixture

@@ -1,0 +1,17 @@
+// Negative fixture for the raw-sync rule: raw standard-library
+// synchronization outside src/util/mutex.h. Never compiled — only fed to
+// p2prep_lint.py --self-test, which must report every line below.
+#include <condition_variable>
+#include <mutex>
+
+namespace p2prep::fixture {
+
+std::mutex g_mu;                 // violation: raw std::mutex
+std::condition_variable g_cv;    // violation: raw std::condition_variable
+
+int locked_increment(int& counter) {
+  std::lock_guard<std::mutex> lock(g_mu);  // violation: raw std::lock_guard
+  return ++counter;
+}
+
+}  // namespace p2prep::fixture

@@ -1,0 +1,521 @@
+#!/usr/bin/env python3
+"""Project-invariant linter (DESIGN.md section 14 "Correctness tooling").
+
+Enforces invariants the compiler cannot see (or only Clang can), so they
+hold on every build, gcc included:
+
+  raw-sync         -- no raw std::mutex / std::condition_variable /
+                      std::lock_guard & friends outside src/util/mutex.h;
+                      everything locks through the annotated util wrappers,
+                      otherwise Clang thread-safety analysis goes blind.
+  guard-block      -- a data member declared directly under a util::Mutex
+                      member (the project convention for "guarded by it")
+                      must carry P2PREP_GUARDED_BY.
+  enum-switch      -- every WalRecordKind enumerator is handled in both the
+                      WAL encode and decode paths, and every MsgType /
+                      Status enumerator in its to_string; a new enumerator
+                      that only grew half the wire format fails here.
+  nondeterminism   -- no wall clocks or ambient RNG (time(), rand(),
+                      std::random_device, system_clock) in the detector /
+                      replay-critical sources; replaying a WAL or a trace
+                      must reproduce identical results. steady_clock is
+                      allowed (duration metrics, never decisions).
+  guarded-by-xref  -- the argument of every P2PREP_GUARDED_BY /
+                      P2PREP_ACQUIRED_AFTER/BEFORE names a Mutex member
+                      declared in the same file; a typo'd mutex name makes
+                      the annotation silently vacuous under gcc.
+
+Usage:
+  p2prep_lint.py [--root DIR]   lint the tree; exit 1 on any violation
+  p2prep_lint.py --self-test    prove each rule fires on its checked-in
+                                negative fixture (tools/lint/fixtures/)
+
+Zero dependencies beyond the standard library; deterministic output
+(sorted by path, then line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, NamedTuple
+
+
+class Violation(NamedTuple):
+    path: Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+# --- Source-text helpers -----------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Keeps every newline so line numbers in the stripped text match the
+    original file; everything else inside a comment or literal becomes a
+    space so token regexes cannot match there.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def cpp_files(root: Path, subdirs: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for sub in subdirs:
+        base = root / sub
+        if not base.exists():
+            continue
+        files.extend(p for p in base.rglob("*.h") if p.is_file())
+        files.extend(p for p in base.rglob("*.cpp") if p.is_file())
+    return sorted(set(files))
+
+
+def function_region(stripped: str, signature: str, path: Path) -> str:
+    """Returns the body text of the function whose definition contains
+    `signature`, located by brace matching from its opening brace."""
+    start = stripped.find(signature)
+    if start < 0:
+        raise SystemExit(f"lint: internal: '{signature}' not found in {path}")
+    brace = stripped.find("{", start)
+    if brace < 0:
+        raise SystemExit(f"lint: internal: no body for '{signature}' in {path}")
+    depth = 0
+    for i in range(brace, len(stripped)):
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return stripped[brace : i + 1]
+    raise SystemExit(f"lint: internal: unbalanced braces after '{signature}' in {path}")
+
+
+# --- Rule: raw-sync ----------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+
+def check_raw_sync(files: Iterable[Path], allowed: set[str]) -> list[Violation]:
+    """Raw standard-library synchronization primitives are confined to the
+    annotated wrappers in src/util/mutex.h; anywhere else they'd bypass
+    Clang thread-safety analysis entirely."""
+    violations = []
+    for path in files:
+        if path.name in allowed and path.parent.name == "util":
+            continue
+        stripped = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                violations.append(
+                    Violation(
+                        path,
+                        lineno,
+                        "raw-sync",
+                        f"raw std::{m.group(1)} — use the annotated "
+                        "wrappers from util/mutex.h",
+                    )
+                )
+    return violations
+
+
+# --- Rule: guard-block -------------------------------------------------------
+
+# Trailing underscore = data member (project naming convention); local
+# mutexes in function bodies guard locals the annotations cannot express.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+_)\s*(?:P2PREP_\w+\s*\(|;|$)"
+)
+EXEMPT_MEMBER_RE = re.compile(
+    r"^\s*(?:public:|private:|protected:|friend\b|using\b|typedef\b|"
+    r"static\b|constexpr\b|enum\b|struct\b|class\b|template\b|"
+    r"(?:mutable\s+)?(?:util::)?CondVar\b|(?:mutable\s+)?std::atomic\b)"
+)
+BLOCK_END_RE = re.compile(r"^\s*\}|^\s*(?:public|private|protected)\s*:")
+
+
+def check_guard_block(files: Iterable[Path]) -> list[Violation]:
+    """Members declared contiguously under a util::Mutex member (the
+    project's declaration convention for guarded state) must carry
+    P2PREP_GUARDED_BY. A blank line ends the guarded block — state below
+    it is the next section's business."""
+    violations = []
+    for path in files:
+        raw_lines = path.read_text().splitlines()
+        stripped_lines = strip_comments_and_strings(path.read_text()).splitlines()
+        guard_mutex: str | None = None
+        pending: list[str] = []  # continuation lines of one declaration
+        pending_start = 0
+        for lineno, line in enumerate(stripped_lines, 1):
+            raw = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            if not line.strip():
+                # Comment-only lines (blank after stripping) keep the block
+                # alive; genuinely blank source lines end it.
+                if not raw.strip():
+                    guard_mutex = None
+                    pending = []
+                continue
+            if pending:
+                pending.append(line)
+                if ";" not in line:
+                    continue
+                stmt = " ".join(p.strip() for p in pending)
+                pending = []
+                violations.extend(
+                    _judge_member(path, pending_start, stmt, guard_mutex)
+                )
+                continue
+            if BLOCK_END_RE.match(line):
+                guard_mutex = None
+                continue
+            m = MUTEX_DECL_RE.match(line)
+            if m:
+                guard_mutex = m.group(1)
+                continue
+            if guard_mutex is None:
+                continue
+            if ";" not in line:
+                pending = [line]
+                pending_start = lineno
+                continue
+            violations.extend(_judge_member(path, lineno, line, guard_mutex))
+    return violations
+
+
+def _judge_member(
+    path: Path, lineno: int, stmt: str, guard_mutex: str | None
+) -> list[Violation]:
+    if guard_mutex is None:
+        return []
+    if EXEMPT_MEMBER_RE.match(stmt):
+        return []
+    if "GUARDED_BY" in stmt:
+        return []
+    if "(" in stmt.split("=")[0].split("{")[0]:
+        return []  # function declaration, not a data member
+    if not stmt.strip() or stmt.strip() in {";"}:
+        return []
+    return [
+        Violation(
+            path,
+            lineno,
+            "guard-block",
+            f"member under mutex '{guard_mutex}' lacks "
+            f"P2PREP_GUARDED_BY({guard_mutex})",
+        )
+    ]
+
+
+# --- Rule: enum-switch -------------------------------------------------------
+
+
+class EnumSwitchCheck(NamedTuple):
+    enum_file: str
+    enum_name: str
+    impl_file: str
+    regions: tuple[str, ...]  # substrings locating each handler definition
+
+
+ENUM_SWITCH_CHECKS = (
+    EnumSwitchCheck(
+        "src/service/wal.h",
+        "WalRecordKind",
+        "src/service/wal.cpp",
+        ("encode_payload(", "decode_payload("),
+    ),
+    EnumSwitchCheck(
+        "src/rpc/protocol.h",
+        "MsgType",
+        "src/rpc/protocol.cpp",
+        ("to_string(MsgType",),
+    ),
+    EnumSwitchCheck(
+        "src/rpc/protocol.h",
+        "Status",
+        "src/rpc/protocol.cpp",
+        ("to_string(Status",),
+    ),
+)
+
+
+def enum_values(stripped: str, enum_name: str, path: Path) -> list[str]:
+    m = re.search(
+        rf"enum\s+(?:class\s+)?{re.escape(enum_name)}\b[^{{]*{{(.*?)}}\s*;",
+        stripped,
+        re.DOTALL,
+    )
+    if not m:
+        raise SystemExit(f"lint: internal: enum {enum_name} not found in {path}")
+    return re.findall(r"\b(k\w+)\b\s*(?:=\s*[\w:x]+)?\s*(?:,|$)", m.group(1))
+
+
+def check_enum_switch(root: Path, checks: Iterable[EnumSwitchCheck]) -> list[Violation]:
+    """Every enumerator of a wire-format enum must be named in each of its
+    handler functions (encode AND decode, or to_string): the two sides of a
+    codec drift apart exactly when an enumerator grows only one of them."""
+    violations = []
+    for check in checks:
+        enum_path = root / check.enum_file
+        impl_path = root / check.impl_file
+        enum_stripped = strip_comments_and_strings(enum_path.read_text())
+        values = enum_values(enum_stripped, check.enum_name, enum_path)
+        impl_text = impl_path.read_text()
+        impl_stripped = strip_comments_and_strings(impl_text)
+        for region in check.regions:
+            body = function_region(impl_stripped, region, impl_path)
+            for value in values:
+                if not re.search(rf"\b{re.escape(value)}\b", body):
+                    # Anchor the report at the handler's definition line.
+                    lineno = impl_stripped[: impl_stripped.find(region)].count("\n") + 1
+                    violations.append(
+                        Violation(
+                            impl_path,
+                            lineno,
+                            "enum-switch",
+                            f"{check.enum_name}::{value} is not handled in "
+                            f"'{region}...'",
+                        )
+                    )
+    return violations
+
+
+# --- Rule: nondeterminism ----------------------------------------------------
+
+NONDET_PATTERNS = (
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+)
+
+NONDET_SUBDIRS = (
+    "src/core",
+    "src/detect",
+    "src/rating",
+    "src/reputation",
+    "src/dht",
+)
+NONDET_EXTRA_FILES = ("src/service/wal.cpp",)
+
+
+def check_nondeterminism(files: Iterable[Path]) -> list[Violation]:
+    """Detector / replay-critical code must be a pure function of its
+    inputs: replaying the same WAL or trace twice must flag the same
+    colluders. Seeded util::Rng and steady_clock durations are fine; wall
+    clocks and ambient RNG are not."""
+    violations = []
+    for path in files:
+        stripped = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            for pattern, label in NONDET_PATTERNS:
+                if pattern.search(line):
+                    violations.append(
+                        Violation(
+                            path,
+                            lineno,
+                            "nondeterminism",
+                            f"{label} in replay-deterministic code — take "
+                            "ticks/seeds as inputs instead",
+                        )
+                    )
+    return violations
+
+
+# --- Rule: guarded-by-xref ---------------------------------------------------
+
+ANNOTATION_ARG_RE = re.compile(
+    r"\bP2PREP_(?:GUARDED_BY|PT_GUARDED_BY|ACQUIRED_AFTER|ACQUIRED_BEFORE)"
+    r"\s*\(([^)]*)\)"
+)
+MUTEX_MEMBER_RE = re.compile(r"\b(?:util::)?Mutex\s+(\w+)\s*[;P]")
+
+
+def check_guarded_by_xref(files: Iterable[Path]) -> list[Violation]:
+    """Every mutex named by a guard/ordering annotation must be a Mutex
+    declared in the same file. Under gcc the macros expand to nothing, so a
+    typo'd name is invisible until someone builds with Clang — this keeps
+    the annotation set well-formed everywhere."""
+    violations = []
+    for path in files:
+        stripped = strip_comments_and_strings(path.read_text())
+        declared = set(MUTEX_MEMBER_RE.findall(stripped))
+        in_directive = False
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            # Skip preprocessor directives (and their backslash
+            # continuations): the macro definitions themselves use the
+            # annotation names with formal parameters, not mutex members.
+            if in_directive or line.lstrip().startswith("#"):
+                in_directive = line.rstrip().endswith("\\")
+                continue
+            for m in ANNOTATION_ARG_RE.finditer(line):
+                for arg in m.group(1).split(","):
+                    arg = arg.strip()
+                    # Only simple member names are checkable; expressions
+                    # (this->x, a.b) are out of scope for a text linter.
+                    if not arg or not re.fullmatch(r"\w+", arg):
+                        continue
+                    if arg not in declared:
+                        violations.append(
+                            Violation(
+                                path,
+                                lineno,
+                                "guarded-by-xref",
+                                f"annotation names '{arg}' but no Mutex "
+                                "member of that name is declared in this "
+                                "file",
+                            )
+                        )
+    return violations
+
+
+# --- Driver ------------------------------------------------------------------
+
+
+def lint_tree(root: Path) -> list[Violation]:
+    src_files = cpp_files(root, ("src", "fuzz"))
+    nondet_files = cpp_files(root, NONDET_SUBDIRS) + [
+        root / f for f in NONDET_EXTRA_FILES if (root / f).exists()
+    ]
+    violations: list[Violation] = []
+    violations += check_raw_sync(src_files, allowed={"mutex.h"})
+    violations += check_guard_block(src_files)
+    violations += check_enum_switch(root, ENUM_SWITCH_CHECKS)
+    violations += check_nondeterminism(nondet_files)
+    violations += check_guarded_by_xref(src_files)
+    return sorted(violations, key=lambda v: (str(v.path), v.line, v.rule))
+
+
+def self_test(root: Path) -> int:
+    """Each rule must fire on its negative fixture — a rule that reports
+    nothing on a file built to violate it is dead code, and a clean tree
+    would prove nothing."""
+    fixtures = Path(__file__).resolve().parent / "fixtures"
+    failures = 0
+
+    def expect(rule: str, violations: list[Violation]) -> None:
+        nonlocal failures
+        hits = [v for v in violations if v.rule == rule]
+        if hits:
+            print(f"self-test PASS {rule}: fixture raised {len(hits)} violation(s)")
+        else:
+            print(f"self-test FAIL {rule}: fixture raised no violations")
+            failures += 1
+
+    expect(
+        "raw-sync",
+        check_raw_sync([fixtures / "raw_sync" / "bad.cpp"], allowed=set()),
+    )
+    expect("guard-block", check_guard_block([fixtures / "guard_block" / "bad.h"]))
+    expect(
+        "enum-switch",
+        check_enum_switch(
+            fixtures,
+            [
+                EnumSwitchCheck(
+                    "enum_switch/enum.h",
+                    "TestKind",
+                    "enum_switch/impl.cpp",
+                    ("encode_payload(", "decode_payload("),
+                )
+            ],
+        ),
+    )
+    expect(
+        "nondeterminism",
+        check_nondeterminism([fixtures / "nondeterminism" / "bad.cpp"]),
+    )
+    expect(
+        "guarded-by-xref",
+        check_guarded_by_xref([fixtures / "guarded_by_xref" / "bad.h"]),
+    )
+
+    # The stripper is the foundation every rule stands on; pin its contract.
+    stripped = strip_comments_and_strings('a // std::mutex\nb "std::mutex" /* x\ny */ c\n')
+    if "std::mutex" in stripped or stripped.count("\n") != 3:
+        print("self-test FAIL strip: comment/string stripping broke")
+        failures += 1
+    else:
+        print("self-test PASS strip: comments/strings blanked, lines kept")
+
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[2],
+        help="repository root (default: two levels above this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify each rule fires on its negative fixture",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    violations = lint_tree(args.root.resolve())
+    for v in violations:
+        try:
+            rel = v.path.relative_to(args.root.resolve())
+        except ValueError:
+            rel = v.path
+        print(f"{rel}:{v.line}: [{v.rule}] {v.message}")
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,16 @@
 #           (compile-time race / lock-discipline detection) + the negative
 #           compile-fail check
 #   tidy    clang-tidy over every source via P2PREP_CLANG_TIDY=ON
+#   lint    project-invariant linter (tools/lint/p2prep_lint.py): rule
+#           self-test over the negative fixtures, then a clean-tree check
 #   asan    AddressSanitizer + UndefinedBehaviorSanitizer combined build,
 #           full ctest suite (UB findings are hard failures)
+#   replay  fuzz-corpus replay + format-corruption sweeps under ASan+UBSan:
+#           every checked-in corpus file through the fuzz targets
+#           (FuzzReplay/FuzzCorpus) plus the exhaustive WAL/checkpoint
+#           corruption tests — the gcc-portable half of the fuzzing story
+#   fuzz    libFuzzer smoke (Clang only): each fuzz target explores from
+#           the seed corpus for P2PREP_FUZZ_SECONDS (default 60) under ASan
 #   tsan    ThreadSanitizer build, service concurrency stress suite
 #
 # Usage: tools/run_static_analysis.sh [stage ...]     (default: all stages)
@@ -29,14 +37,17 @@
 #                         detector registry from parallel shards, plus
 #                         the Reshard suites, which race-check the
 #                         resize handoff against live ingest)
+#   P2PREP_FUZZ_SECONDS   libFuzzer time budget per target in the fuzz
+#                         stage (default: 60)
 #   P2PREP_JOBS           parallel build/test jobs (default: nproc)
 #   P2PREP_CLANG          clang++ to use for tsa/tidy/tsan-under-clang
 #                         (default: first of clang++ in PATH)
 #   CC/CXX                respected for werror/asan/tsan stages
 #
-# Clang-dependent stages (tsa, tidy) are SKIPPED with a warning when no
-# clang is installed; skipped stages do not fail the gate, every stage
-# that runs must pass. Exit code 0 == everything that could run is green.
+# Clang-dependent stages (tsa, tidy, fuzz) are SKIPPED with a warning when
+# no clang is installed, and lint is SKIPPED without python3; skipped
+# stages do not fail the gate, every stage that runs must pass. Exit code
+# 0 == everything that could run is green.
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -49,7 +60,7 @@ clang_tidy="$(command -v clang-tidy || true)"
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(werror tsa tidy asan tsan)
+  stages=(werror tsa tidy lint asan replay fuzz tsan)
 fi
 
 declare -A results
@@ -111,9 +122,61 @@ run_tidy() {
   cmake --build "${dir}" -j "${jobs}"
 }
 
+run_lint() {
+  local python3_bin
+  python3_bin="$(command -v python3 || true)"
+  if [[ -z "${python3_bin}" ]]; then
+    results[lint]=SKIP
+    echo "SKIP [lint]: no python3 in PATH"
+    return 0
+  fi
+  log lint "rule self-test over negative fixtures"
+  "${python3_bin}" "${repo_root}/tools/lint/p2prep_lint.py" --self-test ||
+    return 1
+  log lint "tree scan"
+  "${python3_bin}" "${repo_root}/tools/lint/p2prep_lint.py" \
+    --root "${repo_root}"
+}
+
 run_asan() {
   configure_build_test asan "${ctest_filter}" \
     -DP2PREP_SANITIZE="address;undefined"
+}
+
+run_replay() {
+  # The portable half of the fuzzing harness: replay every checked-in
+  # corpus file and run the exhaustive corruption sweeps with ASan+UBSan
+  # armed, under whatever compiler is default (gcc in CI's main legs).
+  configure_build_test replay \
+    "FuzzReplay|FuzzCorpus|WalCorruption|CheckpointCorruption" \
+    -DP2PREP_SANITIZE="address;undefined"
+}
+
+run_fuzz() {
+  if [[ -z "${clangxx}" ]]; then
+    results[fuzz]=SKIP
+    echo "SKIP [fuzz]: no clang++ in PATH (libFuzzer needs Clang)"
+    return 0
+  fi
+  local dir="${build_prefix}fuzz"
+  local seconds="${P2PREP_FUZZ_SECONDS:-60}"
+  log fuzz "libFuzzer build in ${dir}"
+  cmake -B "${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="${clangxx}" \
+    -DP2PREP_FUZZERS=ON \
+    -DP2PREP_SANITIZE=address \
+    -DP2PREP_BUILD_BENCH=OFF \
+    -DP2PREP_BUILD_EXAMPLES=OFF || return 1
+  cmake --build "${dir}" -j "${jobs}" \
+    --target fuzz_rpc_protocol fuzz_wal fuzz_checkpoint || return 1
+  local target corpus
+  for target in rpc_protocol wal checkpoint; do
+    corpus="${repo_root}/fuzz/corpus/${target/rpc_protocol/rpc}"
+    log fuzz "${target}: ${seconds}s from seed corpus ${corpus}"
+    "${dir}/fuzz/fuzz_${target}" "${corpus}" \
+      -max_total_time="${seconds}" -print_final_stats=1 || return 1
+  done
 }
 
 run_tsan() {
@@ -133,9 +196,10 @@ run_tsan() {
 
 for stage in "${stages[@]}"; do
   case "${stage}" in
-    werror|tsa|tidy|asan|tsan) ;;
+    werror|tsa|tidy|lint|asan|replay|fuzz|tsan) ;;
     *)
-      echo "unknown stage '${stage}' (known: werror tsa tidy asan tsan)" >&2
+      echo "unknown stage '${stage}' (known: werror tsa tidy lint asan" \
+        "replay fuzz tsan)" >&2
       exit 2
       ;;
   esac
