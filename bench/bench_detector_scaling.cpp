@@ -2,7 +2,16 @@
 // timings plus the detectors' own work-unit counters over growing n with
 // all rows high-reputed (the worst case the propositions bound):
 // Basic = O(m n^2), Optimized = O(m n).
+//
+// The BM_ParallelEpochService family adds the service-level dimension:
+// full global-epoch wall time (freeze, multithreaded sweep, accomplice
+// exchange, suppression) across shards x scan threads on a 10k-node / 1%
+// density trace. `--smoke` runs only that family at reduced size — the
+// ctest entry BenchDetectorScaling.Smoke keeps the wiring from rotting.
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
 
 #include "core/basic_detector.h"
 #include "core/optimized_detector.h"
@@ -11,11 +20,14 @@
 #include "detect/snapshot.h"
 #include "rating/matrix.h"
 #include "rating/store.h"
+#include "service/service.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace p2prep;
+
+bool g_smoke = false;
 
 core::DetectorConfig config() {
   core::DetectorConfig c;
@@ -248,6 +260,91 @@ BENCHMARK(BM_RingEpoch10k)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 
+// Parallel-epoch scaling: wall time of one full global epoch through the
+// sharded service. Arg 0: shard count. Arg 1: epoch scan threads, with 0
+// selecting the serial coordinator (parallel_epoch = false) as the
+// baseline. The trace is 10k nodes at ~1% cell density with planted
+// colluding pairs (1 per 40 nodes); overlap is off so the measurement is
+// the pure frozen-state scan, not ingest admission. The ISSUE gate reads
+// the (shards=4, threads=0) vs (shards=4, threads=hw) ratio.
+void BM_ParallelEpochService(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = g_smoke ? 1000 : 10000;
+  const std::size_t cells = n * n / 100;  // ~1% density
+
+  service::ServiceConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_shards = shards;
+  cfg.queue_capacity = 8192;
+  cfg.epoch_ratings = 1u << 30;  // epochs only via force_epoch()
+  cfg.detector = "optimized";
+  cfg.detector_config = config();
+  cfg.record_reports = false;
+  cfg.parallel_epoch = threads != 0;
+  cfg.epoch_overlap = false;
+  cfg.epoch_scan_threads = threads == 0 ? 1 : threads;
+  service::ReputationService svc(cfg);
+
+  util::Rng rng(n);
+  const std::size_t pairs = std::max<std::size_t>(1, n / 40);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto a = static_cast<rating::NodeId>(2 * p);
+    const auto b = static_cast<rating::NodeId>(2 * p + 1);
+    for (int k = 0; k < 40; ++k) {
+      svc.ingest({a, b, rating::Score::kPositive, 0});
+      svc.ingest({b, a, rating::Score::kPositive, 0});
+    }
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    const auto rater = static_cast<rating::NodeId>(rng.next_below(n));
+    auto ratee = static_cast<rating::NodeId>(rng.next_below(n));
+    if (ratee == rater) ratee = static_cast<rating::NodeId>((ratee + 1) % n);
+    svc.ingest({rater, ratee,
+                rng.chance(ratee < 2 * pairs ? 0.1 : 0.85)
+                    ? rating::Score::kPositive
+                    : rating::Score::kNegative,
+                0});
+  }
+  svc.drain();
+
+  for (auto _ : state) {
+    svc.force_epoch();
+    svc.drain();
+  }
+
+  const service::ServiceMetrics m = svc.metrics();
+  state.counters["epochs"] =
+      benchmark::Counter(static_cast<double>(m.epochs_completed));
+  state.counters["scan_threads"] =
+      benchmark::Counter(static_cast<double>(m.epoch_scan_threads));
+  svc.stop();
+}
+BENCHMARK(BM_ParallelEpochService)
+    ->ArgsProduct({{1, 2, 4}, {0, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a --smoke preamble: strip the flag, restrict the
+// run to the service-level family at reduced size, and let every other
+// argument pass through to google-benchmark untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke")
+      g_smoke = true;
+    else
+      args.push_back(argv[i]);
+  }
+  static char smoke_filter[] = "--benchmark_filter=BM_ParallelEpochService";
+  if (g_smoke) args.push_back(smoke_filter);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Cross-shard accomplice propagation via flagged-set exchange
+// (DESIGN.md §15).
+//
+// core::propagate_accomplices walks one matrix's rows depth-first; it
+// cannot span a multi-owner shard map because a pair's two directions
+// live in two different shard matrices (cell(d, k) in owner(d)'s row d,
+// cell(k, d) in owner(k)'s row k). This version runs the same fixpoint
+// as an iterated frontier exchange over an EpochSnapshot:
+//
+//   round r: every frontier node d is scanned against its OWNER matrix's
+//   row d; a candidate k passes when both directions are frequent and
+//   mostly positive (the mutual-boosting signature, C3 + C4 in both
+//   matrices); newly flagged nodes form round r+1's frontier. Rounds
+//   repeat until no new node is flagged — the global fixpoint.
+//
+// Output equivalence: the flagged set is the closure of the seed set
+// under the symmetric mutual-boosting relation, which is independent of
+// traversal order — DFS over one combined matrix (the core walk) and
+// breadth-first rounds over S shard matrices reach the same closure, and
+// DetectionReport::canonicalize() erases any ordering difference, so the
+// reports are byte-identical (tests/service/accomplice_exchange_test.cpp
+// proves it against the 1-shard serial walk).
+//
+// Each round's frontier is grouped by owner shard and the groups run as
+// one task each through snapshot.executor (serial when null); candidate
+// lists merge in shard-index order, so the evidence stream is
+// deterministic even before canonicalization.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/evidence.h"
+#include "detect/snapshot.h"
+
+namespace p2prep::detect {
+
+/// Extends `report` in place with accomplice pairs reachable from its
+/// currently flagged nodes (pairs and ring members), exactly like
+/// core::propagate_accomplices but across any number of shard matrices.
+/// Returns the number of exchange rounds run until the fixpoint (0 when
+/// the flag is off or nothing was seeded). Canonicalizes the report.
+std::uint32_t propagate_accomplices(const EpochSnapshot& snapshot,
+                                    const core::DetectorConfig& config,
+                                    core::DetectionReport& report);
+
+}  // namespace p2prep::detect

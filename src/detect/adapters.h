@@ -10,10 +10,12 @@
 //    outside aggregates), so group membership flows through the same
 //    suppression, accomplice and RPC paths as ring membership.
 //
-// The adapters are single-matrix: the service's global epoch keeps its
-// own cross-shard sweep for basic/optimized (byte-compatible with the
-// pre-registry reports) and restricts group to one shard, so a
-// multi-matrix snapshot here is a host bug — std::logic_error.
+// Basic/Optimized accept multi-matrix (sharded) snapshots too: those run
+// the range-partitioned detect::sweep_{basic,optimized} plus the
+// cross-shard accomplice exchange, byte-identical after
+// format_epoch_report to the single-matrix path. Group stays
+// single-matrix (the service restricts it to one shard), so a
+// multi-matrix snapshot there is a host bug — std::logic_error.
 #pragma once
 
 #include "core/basic_detector.h"

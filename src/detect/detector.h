@@ -31,6 +31,9 @@ struct DetectorStats {
   std::uint64_t rings_found = 0;   ///< Rings in the last report.
   std::uint64_t largest_ring = 0;  ///< Members of the biggest ring seen.
   std::uint64_t scan_us = 0;       ///< Wall time of the last on_epoch().
+  /// Accomplice-exchange rounds to fixpoint in the last pass (0 when the
+  /// flag is off or nothing seeded the walk).
+  std::uint64_t accomplice_rounds = 0;
   bool incremental = false;        ///< Last pass reused cached state.
 };
 

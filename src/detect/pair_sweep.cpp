@@ -1,0 +1,195 @@
+#include "detect/pair_sweep.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/formula.h"
+#include "core/predicates.h"
+
+namespace p2prep::detect {
+
+namespace {
+
+/// Splits [0, n) into contiguous ranges sized for the executor's
+/// concurrency (over-decomposed 4x for load balance — the Basic sweep's
+/// per-row work shrinks with the row index) and runs `range_fn(begin,
+/// end, sub_report)` per range, merging sub-reports in range order.
+core::DetectionReport sweep_ranges(
+    const EpochSnapshot& snapshot, std::size_t n,
+    const std::function<void(rating::NodeId, rating::NodeId,
+                             core::DetectionReport&)>& range_fn) {
+  std::size_t tasks = 1;
+  if (snapshot.executor != nullptr) {
+    tasks = std::min<std::size_t>(
+        std::max<std::size_t>(1, snapshot.executor->concurrency() * 4),
+        std::max<std::size_t>(1, n));
+  }
+  std::vector<core::DetectionReport> parts(tasks);
+  const std::size_t chunk = tasks == 0 ? n : (n + tasks - 1) / tasks;
+  run_tasks(snapshot.executor, tasks, [&](std::size_t t) {
+    const auto begin = static_cast<rating::NodeId>(t * chunk);
+    const auto end =
+        static_cast<rating::NodeId>(std::min(n, (t + 1) * chunk));
+    if (begin < end) range_fn(begin, end, parts[t]);
+  });
+
+  core::DetectionReport report = std::move(parts.front());
+  for (std::size_t t = 1; t < parts.size(); ++t) {
+    report.pairs.insert(report.pairs.end(), parts[t].pairs.begin(),
+                        parts[t].pairs.end());
+    report.cost += parts[t].cost;
+  }
+  report.canonicalize();
+  return report;
+}
+
+}  // namespace
+
+core::DetectionReport sweep_basic(const EpochSnapshot& snapshot,
+                                  const core::DetectorConfig& cfg) {
+  const std::size_t n = snapshot.num_nodes();
+
+  // One-directional Basic predicate: the complement is derived from the
+  // incremental row aggregates, but the paper's full-row scan cost is
+  // charged (matching core::BasicCollusionDetector and the pre-registry
+  // global sweep byte-for-byte).
+  const auto basic_dir = [&](core::DetectionReport& report,
+                             const rating::RatingMatrix& mi, rating::NodeId i,
+                             rating::NodeId j, double& positive_fraction,
+                             double& complement_fraction) {
+    const rating::PairStats& cell = mi.cell(i, j);
+    report.cost.add_scan(mi.size());
+    rating::PairStats complement;
+    if (cfg.joint_complement) {
+      complement = mi.totals(i) - mi.frequent_totals(i);
+      if (cell.total < cfg.frequency_min) complement -= cell;
+    } else {
+      complement = mi.totals(i) - cell;
+    }
+    report.cost.add_check();
+    if (cell.total < cfg.frequency_min) return false;  // C4
+    positive_fraction = cell.positive_fraction();
+    report.cost.add_check();
+    if (positive_fraction < cfg.positive_fraction_min) return false;  // C3
+    report.cost.add_check();
+    if (complement.total == 0) {
+      complement_fraction = 0.0;
+      return cfg.empty_complement_is_suspicious;
+    }
+    complement_fraction = complement.positive_fraction();
+    return complement_fraction < cfg.complement_fraction_max;  // C2
+  };
+
+  return sweep_ranges(
+      snapshot, n,
+      [&](rating::NodeId begin, rating::NodeId end,
+          core::DetectionReport& report) {
+        // Marks-equivalent enumeration: each unordered pair is examined
+        // once, from its first high-reputed endpoint in ascending order.
+        // Partitioning by the first endpoint keeps each pair in exactly
+        // one range.
+        for (rating::NodeId a = begin; a < end; ++a) {
+          for (rating::NodeId b = a + 1; b < n; ++b) {
+            rating::NodeId i, j;
+            report.cost.add_check();
+            if (snapshot.matrix_of(a).high_reputed(a)) {
+              i = a;
+              j = b;
+            } else if (snapshot.matrix_of(b).high_reputed(b)) {
+              i = b;
+              j = a;
+            } else {
+              continue;  // C1 fails on both sides
+            }
+            const rating::RatingMatrix& mi = snapshot.matrix_of(i);
+            const rating::RatingMatrix& mj = snapshot.matrix_of(j);
+            report.cost.add_scan();
+            report.cost.add_check();
+            if (cfg.require_mutual && !mj.high_reputed(j)) continue;
+
+            core::PairEvidence ev;
+            ev.first = i;
+            ev.second = j;
+            ev.ratings_to_first = mi.cell(i, j).total;
+            ev.ratings_to_second = mj.cell(j, i).total;
+            ev.global_rep_first = mi.global_reputation(i);
+            ev.global_rep_second = mj.global_reputation(j);
+            if (!basic_dir(report, mi, i, j, ev.positive_fraction_first,
+                           ev.complement_fraction_first))
+              continue;
+            if (cfg.require_mutual &&
+                !basic_dir(report, mj, j, i, ev.positive_fraction_second,
+                           ev.complement_fraction_second))
+              continue;
+            report.pairs.push_back(ev);
+          }
+        }
+      });
+}
+
+core::DetectionReport sweep_optimized(const EpochSnapshot& snapshot,
+                                      const core::DetectorConfig& cfg) {
+  const std::size_t n = snapshot.num_nodes();
+
+  const auto optimized_dir = [&](core::DetectionReport& report,
+                                 const rating::RatingMatrix& mi,
+                                 rating::NodeId i, rating::NodeId j) {
+    const rating::PairStats& cell = mi.cell(i, j);
+    report.cost.add_scan();
+    report.cost.add_check();
+    if (cell.total < cfg.frequency_min) return false;  // C4
+    if (!cfg.joint_complement) {
+      report.cost.add_check();
+      return core::formula2_satisfied(
+          static_cast<double>(mi.window_reputation(i)),
+          cfg.positive_fraction_min, cfg.complement_fraction_max,
+          mi.totals(i).total, cell.total, cfg.inclusive_bounds);
+    }
+    report.cost.add_check();
+    if (!core::positive_fraction_ok(cell, cfg)) return false;  // C3
+    report.cost.add_scan();
+    const rating::PairStats complement = mi.totals(i) - mi.frequent_totals(i);
+    report.cost.add_check();
+    return core::complement_ok(complement, cfg);  // C2
+  };
+
+  return sweep_ranges(
+      snapshot, n,
+      [&](rating::NodeId begin, rating::NodeId end,
+          core::DetectionReport& report) {
+        // Mirrors OptimizedCollusionDetector: all ordered (i, j); a
+        // mutual pair surfaces from both sides and canonicalize() dedups.
+        // Partitioning by i keeps each ordered pair in exactly one range.
+        for (rating::NodeId i = begin; i < end; ++i) {
+          const rating::RatingMatrix& mi = snapshot.matrix_of(i);
+          report.cost.add_check();
+          if (!mi.high_reputed(i)) continue;  // C1
+          for (rating::NodeId j = 0; j < n; ++j) {
+            if (j == i) continue;
+            if (!optimized_dir(report, mi, i, j)) continue;
+            const rating::RatingMatrix& mj = snapshot.matrix_of(j);
+            if (cfg.require_mutual) {
+              report.cost.add_check();
+              if (!mj.high_reputed(j)) continue;
+              if (!optimized_dir(report, mj, j, i)) continue;
+            }
+            core::PairEvidence ev;
+            ev.first = i;
+            ev.second = j;
+            ev.ratings_to_first = mi.cell(i, j).total;
+            ev.ratings_to_second = mj.cell(j, i).total;
+            ev.positive_fraction_first = mi.cell(i, j).positive_fraction();
+            ev.positive_fraction_second = mj.cell(j, i).positive_fraction();
+            const rating::PairStats comp_i = mi.totals(i) - mi.cell(i, j);
+            const rating::PairStats comp_j = mj.totals(j) - mj.cell(j, i);
+            ev.complement_fraction_first = comp_i.positive_fraction();
+            ev.complement_fraction_second = comp_j.positive_fraction();
+            ev.global_rep_first = mi.global_reputation(i);
+            ev.global_rep_second = mj.global_reputation(j);
+            report.pairs.push_back(ev);
+          }
+        }
+      });
+}
+
+}  // namespace p2prep::detect

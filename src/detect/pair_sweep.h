@@ -1,0 +1,42 @@
+// Range-partitioned cross-shard pair sweeps (DESIGN.md §15).
+//
+// These are the Basic / Optimized pairwise scans of the paper, lifted
+// from the service's global-epoch body into the detect layer and
+// generalized over an EpochSnapshot: every quantity about node i (row,
+// totals, frequent aggregate, window reputation) is read from
+// snapshot.matrix_of(i) — the owner shard's matrix — so the same code
+// serves one matrix or S shard matrices, and a single-owner snapshot
+// reproduces the single-matrix sweep exactly.
+//
+// Parallelism: the outer node index [0, n) is split into contiguous
+// ranges, one task per range, run through snapshot.executor (serial when
+// null). Each task fills a task-local sub-report; the merge concatenates
+// pairs in range order and sums the cost counters, so the merged report
+// is identical to a serial pass for ANY task count — every (ordered or
+// unordered) pair is examined by exactly one range, charging the same
+// scans/checks wherever it runs, and canonicalize() fixes the final
+// ordering regardless. This is the determinism argument the
+// parallel-vs-serial differential suite (tests/differential/
+// parallel_epoch_test.cpp) enforces byte-for-byte.
+#pragma once
+
+#include "core/config.h"
+#include "core/evidence.h"
+#include "detect/snapshot.h"
+
+namespace p2prep::detect {
+
+/// Basic-method sweep: each unordered pair examined once, from its first
+/// high-reputed endpoint in ascending order, with the paper's full-row
+/// complement scan charged per direction. Returns the canonicalized
+/// report (pairs only — rings never come from the pairwise methods).
+[[nodiscard]] core::DetectionReport sweep_basic(
+    const EpochSnapshot& snapshot, const core::DetectorConfig& config);
+
+/// Optimized-method sweep: all ordered (i, j) with the incremental-bound
+/// predicates; a mutual pair surfaces from both sides and canonicalize()
+/// dedups. Returns the canonicalized report.
+[[nodiscard]] core::DetectionReport sweep_optimized(
+    const EpochSnapshot& snapshot, const core::DetectorConfig& config);
+
+}  // namespace p2prep::detect

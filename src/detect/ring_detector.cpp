@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
-#include "core/accomplice.h"
 #include "core/predicates.h"
+#include "detect/accomplice_exchange.h"
 
 namespace p2prep::detect {
 
@@ -107,16 +107,48 @@ bool RingDetector::edge_qualifies(
 void RingDetector::rebuild_edges(const EpochSnapshot& snapshot,
                                  util::CostCounter& cost) {
   edges_.clear();
+  // Range-partitioned rebuild: each (matrix, row-range) pair is one task
+  // collecting its qualifying edges locally; the merge inserts them
+  // sequentially. Cells are disjoint across tasks (a cell lives in one
+  // row of one matrix), so the merged edge set — and everything Tarjan
+  // derives from it — is identical to the serial scan for any task count.
+  struct RangeTask {
+    const rating::RatingMatrix* matrix = nullptr;
+    rating::NodeId begin = 0;
+    rating::NodeId end = 0;
+  };
+  const std::size_t per_matrix =
+      snapshot.executor == nullptr
+          ? 1
+          : std::max<std::size_t>(1, snapshot.executor->concurrency());
+  std::vector<RangeTask> tasks;
   for (const rating::RatingMatrix* matrix : snapshot.matrices) {
-    for (rating::NodeId i = 0; i < matrix->size(); ++i) {
-      if (matrix->totals(i).total == 0) continue;
-      matrix->for_each_nonzero_cell(
-          i, [&](rating::NodeId k, const rating::PairStats& stats) {
-            cost.add_scan();
-            cost.add_check();
-            if (edge_qualifies(stats)) edges_[edge_key(k, i)] = stats;
-          });
+    const std::size_t n = matrix->size();
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (n + per_matrix - 1) / per_matrix);
+    for (std::size_t b = 0; b < n; b += chunk) {
+      tasks.push_back({matrix, static_cast<rating::NodeId>(b),
+                       static_cast<rating::NodeId>(std::min(n, b + chunk))});
     }
+  }
+  std::vector<std::vector<std::pair<std::uint64_t, rating::PairStats>>>
+      found(tasks.size());
+  std::vector<std::uint64_t> scanned(tasks.size(), 0);
+  run_tasks(snapshot.executor, tasks.size(), [&](std::size_t t) {
+    const RangeTask& task = tasks[t];
+    task.matrix->for_each_nonzero_cell_in_rows(
+        task.begin, task.end,
+        [&](rating::NodeId i, rating::NodeId k,
+            const rating::PairStats& stats) {
+          ++scanned[t];
+          if (edge_qualifies(stats)) found[t].push_back({edge_key(k, i),
+                                                         stats});
+        });
+  });
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    cost.add_scan(scanned[t]);
+    cost.add_check(scanned[t]);
+    for (const auto& [key, stats] : found[t]) edges_[key] = stats;
   }
 }
 
@@ -236,12 +268,11 @@ void RingDetector::on_epoch(const EpochSnapshot& snapshot,
   find_rings(snapshot, report);
 
   // Ring members seed accomplice propagation exactly like flagged pairs.
-  // Only meaningful on single-matrix snapshots: the fixpoint walks full
-  // rows, which one shard matrix of a multi-shard snapshot cannot provide
-  // (the service's global scope forces flag_accomplices off anyway).
-  if (config_.flag_accomplices && snapshot.matrices.size() == 1) {
-    core::propagate_accomplices(*snapshot.matrices.front(), config_, report);
-  }
+  // The flagged-set exchange resolves each pair direction from its owner
+  // matrix, so the fixpoint spans any shard count (and reduces to the
+  // single-matrix walk on one matrix).
+  stats_.accomplice_rounds =
+      detect::propagate_accomplices(snapshot, config_, report);
   report.canonicalize();
 
   stats_.incremental = incremental;

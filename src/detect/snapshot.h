@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detect/executor.h"
 #include "dht/hash.h"
 #include "rating/matrix.h"
 #include "rating/types.h"
@@ -33,6 +34,12 @@ struct EpochSnapshot {
   /// across resizes. When empty, owner_of falls back to the legacy modulo
   /// partition (standalone multi-matrix callers that partition that way).
   std::vector<std::uint32_t> owners;
+
+  /// Optional host-provided thread lender. Detectors that support
+  /// range-partitioned scans run their tasks through it (merging results
+  /// in task-index order, so the report stays byte-identical to a serial
+  /// pass); null means serial. Not owned; valid for the on_epoch() call.
+  Executor* executor = nullptr;
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return matrices.empty() ? 0 : matrices.front()->size();

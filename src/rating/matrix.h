@@ -181,6 +181,22 @@ class RatingMatrix {
     }
   }
 
+  /// Row-range visitor: for_each_nonzero_cell over every row in
+  /// [row_begin, row_end), ascending row then ascending rater order, as
+  /// fn(ratee, rater, stats). Deterministic on both backends; the
+  /// parallel detection passes partition a matrix into disjoint row
+  /// ranges with this and merge the per-range results in range order.
+  template <typename Fn>
+  void for_each_nonzero_cell_in_rows(NodeId row_begin, NodeId row_end,
+                                     Fn&& fn) const {
+    row_end = std::min<NodeId>(row_end, static_cast<NodeId>(size()));
+    for (NodeId i = row_begin; i < row_end; ++i) {
+      for_each_nonzero_cell(i, [&](NodeId k, const PairStats& stats) {
+        fn(i, k, stats);
+      });
+    }
+  }
+
   /// Resident-memory estimate of this matrix (cells + row metadata + pair
   /// marks), in bytes. Exact for the dense backend; for the sparse backend
   /// a conservative model of the hash-map rows (nodes, buckets, map

@@ -335,6 +335,10 @@ void GetMetricsResponse::encode(std::string& out) const {
   put_u64(out, m.resizes_completed);
   put_u64(out, m.keys_moved_last_resize);
   put_f64(out, m.last_resize_ms);
+  // Appended fields (parallel-epoch gauges).
+  put_u64(out, m.epoch_scan_threads);
+  put_u64(out, m.epoch_overlap_us);
+  put_u64(out, m.accomplice_exchange_rounds);
 }
 
 std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
@@ -355,7 +359,9 @@ std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
       !r.get_u64(m.rings_found) || !r.get_u64(m.ring_largest) ||
       !r.get_u64(m.ring_scan_us) || !r.get_u64(m.current_shard_count) ||
       !r.get_u64(m.shard_map_epoch) || !r.get_u64(m.resizes_completed) ||
-      !r.get_u64(m.keys_moved_last_resize) || !r.get_f64(m.last_resize_ms))
+      !r.get_u64(m.keys_moved_last_resize) || !r.get_f64(m.last_resize_ms) ||
+      !r.get_u64(m.epoch_scan_threads) || !r.get_u64(m.epoch_overlap_us) ||
+      !r.get_u64(m.accomplice_exchange_rounds))
     return std::nullopt;
   return resp;
 }

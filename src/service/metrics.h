@@ -31,6 +31,19 @@ struct ServiceMetrics {
   std::uint64_t ring_largest = 0;  ///< Largest ring's member count seen.
   std::uint64_t ring_scan_us = 0;  ///< Last epoch's detector scan time.
 
+  // Parallel global epochs (kGlobal scope; see ServiceConfig::
+  // parallel_epoch / epoch_overlap).
+  /// Scan thread budget of the epoch coordinator, itself included (gauge;
+  /// 1 = serial sweeps).
+  std::uint64_t epoch_scan_threads = 1;
+  /// Wall time of the last overlapped epoch's detection window — the span
+  /// during which ingest ran concurrently with the scan. 0 until the
+  /// first overlapped epoch completes.
+  std::uint64_t epoch_overlap_us = 0;
+  /// Cross-shard accomplice-exchange rounds of the last global epoch (0
+  /// when flag_accomplices is off or no pairs were flagged).
+  std::uint64_t accomplice_exchange_rounds = 0;
+
   // Shard map (elastic resharding).
   std::uint64_t current_shard_count = 0;   ///< Live shard count (gauge).
   std::uint64_t shard_map_epoch = 0;       ///< Bumped by each committed resize.
@@ -73,6 +86,9 @@ struct ServiceMetrics {
        << " latency_p99_ms=" << epoch_latency_ms_p99 << "\n"
        << "rings: found=" << rings_found << " largest=" << ring_largest
        << " scan_us=" << ring_scan_us << "\n"
+       << "parallel_epoch: scan_threads=" << epoch_scan_threads
+       << " overlap_us=" << epoch_overlap_us
+       << " accomplice_rounds=" << accomplice_exchange_rounds << "\n"
        << "shards: count=" << current_shard_count
        << " map_epoch=" << shard_map_epoch << " resizes=" << resizes_completed
        << " keys_moved_last=" << keys_moved_last_resize

@@ -7,8 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/formula.h"
-#include "core/predicates.h"
+#include "detect/accomplice_exchange.h"
+#include "detect/pair_sweep.h"
 #include "detect/registry.h"
 
 namespace p2prep::service {
@@ -76,17 +76,25 @@ ReputationService::ReputationService(ServiceConfig config)
   auto map = std::make_shared<const ShardMap>(live_shards, config_.num_nodes);
 
   if (config_.epoch_scope == EpochScope::kGlobal) {
-    // Accomplice propagation walks full matrix rows; it survives only when
-    // the shard map keeps every row in one matrix (a single-owner map).
-    // Multi-owner maps force it off — the cross-shard fixpoint is a
-    // ROADMAP open item.
-    if (!map->single_owner()) config_.detector_config.flag_accomplices = false;
     // The group adapter needs full rows in one matrix; a multi-shard
-    // global sweep cannot provide them (ring handles sharding natively).
+    // global sweep cannot provide them (ring handles sharding natively,
+    // and basic/optimized run the cross-shard accomplice exchange).
     if (config_.detector == "group" && map->num_shards() > 1)
       throw std::invalid_argument(
           "service: detector 'group' does not support multi-shard global "
           "epochs (use per-shard scope, one shard, or detector 'ring')");
+    if (config_.parallel_epoch) {
+      const std::size_t budget =
+          config_.epoch_scan_threads != 0
+              ? config_.epoch_scan_threads
+              : std::min<std::size_t>(
+                    std::max<std::size_t>(
+                        1, std::thread::hardware_concurrency()),
+                    8);
+      epoch_scan_threads_.store(budget, std::memory_order_relaxed);
+      if (budget > 1)
+        epoch_pool_ = std::make_unique<util::ThreadPool>(budget - 1);
+    }
   }
   // Fails fast on unknown detector names before any shard work starts
   // (create() throws listing every registered name).
@@ -510,7 +518,8 @@ void ReputationService::drain() {
     bool barrier_busy = false;
     {
       const util::MutexLock lock(epoch_mu_);
-      barrier_busy = arrived_ != 0 || resize_arrived_ != 0;
+      barrier_busy =
+          arrived_ != 0 || resize_arrived_ != 0 || overlap_inflight_;
     }
     std::uint64_t dropped = retired_dropped_.load(std::memory_order_relaxed);
     std::uint64_t depth = 0;
@@ -557,11 +566,6 @@ ResizeStats ReputationService::resize(std::size_t new_num_shards) {
 
   auto new_map =
       std::make_shared<const ShardMap>(new_num_shards, config_.num_nodes);
-  if (config_.detector_config.flag_accomplices && !new_map->single_owner())
-    throw std::invalid_argument(
-        "service resize: accomplice propagation requires a single-owner "
-        "shard map (resize to 1 shard, or disable flag_accomplices)");
-
   const std::uint64_t new_epoch = old_table->map_epoch + 1;
   const auto new_count32 = static_cast<std::uint32_t>(new_num_shards);
   const auto start = std::chrono::steady_clock::now();
@@ -749,7 +753,20 @@ void ReputationService::worker_loop(std::shared_ptr<ShardSlot> slot_ptr) {
     if (crashing_.load(std::memory_order_relaxed)) return;
     if (rec->kind == WalRecordKind::kRating) {
       slot.shard.log_record(*rec);
-      slot.shard.apply_rating(rec->rating);
+      {
+        // Overlapped-epoch commit point: while the coordinator scans the
+        // frozen matrices, ratings are buffered (already WAL-logged, so
+        // log order is unchanged) and applied by the coordinator after
+        // the epoch commits. Outside an overlap window the lock is
+        // uncontended and the rating applies directly.
+        const util::MutexLock lock(slot.apply_mu_);
+        if (slot.deferred) {
+          slot.pending.push_back(*rec);
+          handled_records_.fetch_add(1, std::memory_order_release);
+          continue;
+        }
+        slot.shard.apply_rating(rec->rating);
+      }
       if (config_.epoch_scope == EpochScope::kPerShard &&
           slot.shard.epoch_due(rec->rating.time)) {
         slot.shard.log_record(
@@ -794,24 +811,109 @@ void ReputationService::run_shard_epoch(ShardSlot& slot) {
 }
 
 void ReputationService::global_barrier(ShardSlot&, std::uint64_t seq) {
-  bool last_arriver = false;
+  bool coordinator = false;
   {
-    util::MutexLock lock(epoch_mu_);
+    const util::MutexLock lock(epoch_mu_);
     ++arrived_;
     if (arrived_ == barrier_size_) {
-      // Last arriver: every other worker is parked, all shard state is
-      // frozen — run the cross-shard epoch single-threaded.
       arrived_ = 0;
-      run_global_epoch(seq, /*live=*/true);
-      epoch_done_seq_ = seq;
-      last_arriver = true;
-    } else {
-      while (epoch_done_seq_ < seq &&
-             !crashing_.load(std::memory_order_relaxed))
-        epoch_cv_.wait(epoch_mu_);
+      coordinator = true;
     }
   }
-  if (last_arriver) epoch_cv_.notify_all();
+  if (!coordinator) {
+    // Parked worker: wait for the epoch to complete, lending this thread
+    // to the coordinator's scan whenever tasks are published. The claim
+    // loop runs off-lock, hence the re-lock dance.
+    for (;;) {
+      {
+        util::MutexLock lock(epoch_mu_);
+        while (epoch_done_seq_ < seq &&
+               !crashing_.load(std::memory_order_relaxed) &&
+               !scan_work_available())
+          epoch_cv_.wait(epoch_mu_);
+        if (epoch_done_seq_ >= seq ||
+            crashing_.load(std::memory_order_relaxed))
+          return;
+      }
+      scan_claim_loop();
+    }
+  }
+  // Coordinator (last arriver): every other worker is parked, all shard
+  // state is frozen. The epoch body runs off-lock so parked workers and
+  // pool helpers can claim scan tasks — and, with epoch_overlap, so the
+  // released workers can keep ingesting while the scan runs.
+  run_global_epoch(seq, /*live=*/true);
+  {
+    const util::MutexLock lock(epoch_mu_);
+    epoch_done_seq_ = seq;
+  }
+  epoch_cv_.notify_all();
+}
+
+bool ReputationService::scan_work_available() const {
+  return scan_fn_ != nullptr && scan_next_ < scan_task_count_;
+}
+
+std::size_t ReputationService::scan_concurrency() const noexcept {
+  return 1 + (epoch_pool_ ? epoch_pool_->size() : 0);
+}
+
+void ReputationService::scan_claim_loop() {
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t idx = 0;
+    {
+      const util::MutexLock lock(epoch_mu_);
+      if (scan_fn_ == nullptr || scan_next_ >= scan_task_count_) return;
+      idx = scan_next_++;
+      fn = scan_fn_;
+    }
+    try {
+      (*fn)(idx);
+    } catch (...) {
+      const util::MutexLock lock(epoch_mu_);
+      if (!scan_error_) scan_error_ = std::current_exception();
+    }
+    bool batch_done = false;
+    {
+      const util::MutexLock lock(epoch_mu_);
+      ++scan_done_;
+      batch_done = scan_done_ >= scan_task_count_;
+    }
+    if (batch_done) epoch_cv_.notify_all();
+  }
+}
+
+void ReputationService::run_scan_tasks(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    const util::MutexLock lock(epoch_mu_);
+    scan_fn_ = &fn;
+    scan_task_count_ = count;
+    scan_next_ = 0;
+    scan_done_ = 0;
+    scan_error_ = nullptr;
+  }
+  epoch_cv_.notify_all();  // parked workers start claiming
+  if (epoch_pool_) {
+    const std::size_t helpers = std::min(epoch_pool_->size(), count);
+    for (std::size_t h = 0; h < helpers; ++h)
+      epoch_pool_->submit([this] { scan_claim_loop(); });
+  }
+  scan_claim_loop();  // the coordinator claims too
+  std::exception_ptr err;
+  {
+    util::MutexLock lock(epoch_mu_);
+    while (scan_done_ < scan_task_count_) epoch_cv_.wait(epoch_mu_);
+    scan_fn_ = nullptr;
+    err = scan_error_;
+    scan_error_ = nullptr;
+  }
+  // Helper jobs that never got to claim must not outlive this call (they
+  // touch epoch_mu_, and `fn` dies with the caller's frame).
+  if (epoch_pool_) epoch_pool_->wait_idle();
+  if (err) std::rethrow_exception(err);
 }
 
 void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
@@ -819,6 +921,34 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   const auto table = applied_table();
   const auto& slots = table->slots;
   for (const auto& slot : slots) slot->shard.manager().update_reputations();
+
+  // Detection/ingest overlap: reputations are frozen above and the scan
+  // reads only matrix + engine state, so the parked workers can resume
+  // draining their queues into per-shard pending buffers right now. The
+  // buffers apply after the commit below, so the matrices see exactly the
+  // serial record stream. Checkpoint epochs stay non-overlapped — the WAL
+  // rotation at the end of this function must not race workers logging
+  // into the files being rotated.
+  const bool checkpoint_due =
+      live && checkpoints_enabled_.load(std::memory_order_relaxed) &&
+      seq % config_.checkpoint_every_epochs == 0;
+  const bool overlap = live && config_.parallel_epoch &&
+                       config_.epoch_overlap && !checkpoint_due &&
+                       slots.size() > 1 &&
+                       !crashing_.load(std::memory_order_relaxed);
+  if (overlap) {
+    for (const auto& slot : slots) {
+      const util::MutexLock lock(slot->apply_mu_);
+      slot->deferred = true;
+    }
+    {
+      const util::MutexLock lock(epoch_mu_);
+      overlap_inflight_ = true;
+      epoch_done_seq_ = seq;
+    }
+    epoch_cv_.notify_all();
+  }
+  const auto scan_start = std::chrono::steady_clock::now();
 
   const core::DetectionReport report = global_detect(*table);
   const std::vector<rating::NodeId> flagged = report.colluders();
@@ -860,10 +990,33 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   ring_scan_us_.store(global_detector_ ? global_detector_->stats().scan_us : 0,
                       std::memory_order_relaxed);
 
+  if (overlap) {
+    epoch_overlap_us_.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - scan_start)
+                .count()),
+        std::memory_order_relaxed);
+    // Commit the buffered streams: each shard's pending ratings apply in
+    // pop order, exactly as they would have had the workers stayed
+    // parked — just later in wall-clock time.
+    for (const auto& slot : slots) {
+      const util::MutexLock lock(slot->apply_mu_);
+      for (const WalRecord& rec : slot->pending)
+        slot->shard.apply_rating(rec.rating);
+      slot->pending.clear();
+      slot->deferred = false;
+    }
+    {
+      const util::MutexLock lock(epoch_mu_);
+      overlap_inflight_ = false;
+    }
+    epoch_cv_.notify_all();
+  }
+
   if (live) {
     record_epoch_metrics(start, report.pairs.size() + report.rings.size());
-    if (checkpoints_enabled_.load(std::memory_order_relaxed) &&
-        seq % config_.checkpoint_every_epochs == 0) {
+    if (checkpoint_due) {
       for (const auto& slot : slots) checkpoint_shard(*slot);
     }
   }
@@ -871,11 +1024,11 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
 
 void ReputationService::make_global_detector(const ShardMap&) {
   if (config_.epoch_scope != EpochScope::kGlobal) return;
-  if ((config_.detector == "basic" || config_.detector == "optimized") &&
-      !config_.detector_config.flag_accomplices) {
-    // The inline sweeps in global_detect() reproduce the pre-registry
-    // reports byte-for-byte; the registry adapters only add the
-    // accomplice fixpoint, so they are only needed when it is on.
+  if (config_.detector == "basic" || config_.detector == "optimized") {
+    // global_detect() runs these inline via the range-partitioned
+    // detect::sweep_* plus the cross-shard accomplice exchange — which
+    // reproduce the pre-registry reports byte-for-byte at any shard
+    // count — so no plugin instance is needed.
     global_detector_.reset();
     return;
   }
@@ -885,173 +1038,43 @@ void ReputationService::make_global_detector(const ShardMap&) {
 
 core::DetectionReport ReputationService::global_detect(
     const SlotTable& table) {
-  const core::DetectorConfig& cfg = config_.detector_config;
-  const std::size_t n = config_.num_nodes;
   const auto& slots = table.slots;
   core::DetectionReport report;
 
-  // Plugin path: any registry detector other than basic/optimized — or
-  // those two with accomplice propagation on — runs over a snapshot of
-  // the shard matrices. basic/optimized without accomplices keep the
-  // inline sweeps below, which reproduce the pre-registry reports
-  // byte-for-byte.
+  detect::EpochSnapshot snap;
+  snap.matrices.reserve(slots.size());
+  for (const auto& slot : slots)
+    snap.matrices.push_back(&slot->shard.manager().matrix());
+  if (snap.matrices.size() > 1) snap.owners = table.map->owners();
+  // Lend the coordinator's scan labor (pool helpers + parked workers) to
+  // the detect layer; a null executor keeps every sweep serial.
+  if (config_.parallel_epoch) snap.executor = &scan_executor_;
+
+  // Plugin path: any registry detector other than basic/optimized runs
+  // over the snapshot of all shard matrices (the adapters handle
+  // multi-matrix natively, accomplice exchange included).
   if (global_detector_) {
-    detect::EpochSnapshot snap;
-    // Accomplice-capable adapters take exactly one matrix. With a
-    // single-owner map every row lives in the owner shard, so hand the
-    // detector just that matrix (the other slots are empty).
-    const bool collapse = cfg.flag_accomplices && slots.size() > 1;
-    std::vector<std::size_t> sources;
-    if (collapse) {
-      sources.push_back(table.map->owner(0));
-    } else {
-      sources.reserve(slots.size());
-      for (std::size_t s = 0; s < slots.size(); ++s) sources.push_back(s);
-    }
-    snap.matrices.reserve(sources.size());
-    for (std::size_t s : sources)
-      snap.matrices.push_back(&slots[s]->shard.manager().matrix());
-    if (snap.matrices.size() > 1) snap.owners = table.map->owners();
     if (global_detector_->wants_dirty_tracking()) {
-      snap.dirty.reserve(sources.size());
-      for (std::size_t s : sources)
-        snap.dirty.push_back(slots[s]->shard.manager().take_dirty_cells());
+      snap.dirty.reserve(slots.size());
+      for (const auto& slot : slots)
+        snap.dirty.push_back(slot->shard.manager().take_dirty_cells());
     }
     global_detector_->on_epoch(snap, report);
+    accomplice_rounds_.store(global_detector_->stats().accomplice_rounds,
+                             std::memory_order_relaxed);
     return report;
   }
 
-  auto matrix_of = [&table](rating::NodeId id) -> const rating::RatingMatrix& {
-    return table.slots[table.map->owner(id)]->shard.manager().matrix();
-  };
-
-  // One-directional predicates mirroring the detector classes; every
-  // quantity about ratee i (row, totals, frequent aggregate, window
-  // reputation) is read from i's owner matrix `mi`.
-  auto optimized_dir = [&](const rating::RatingMatrix& mi, rating::NodeId i,
-                           rating::NodeId j) {
-    const rating::PairStats& cell = mi.cell(i, j);
-    report.cost.add_scan();
-    report.cost.add_check();
-    if (cell.total < cfg.frequency_min) return false;  // C4
-    if (!cfg.joint_complement) {
-      report.cost.add_check();
-      return core::formula2_satisfied(
-          static_cast<double>(mi.window_reputation(i)),
-          cfg.positive_fraction_min, cfg.complement_fraction_max,
-          mi.totals(i).total, cell.total, cfg.inclusive_bounds);
-    }
-    report.cost.add_check();
-    if (!core::positive_fraction_ok(cell, cfg)) return false;  // C3
-    report.cost.add_scan();
-    const rating::PairStats complement =
-        mi.totals(i) - mi.frequent_totals(i);
-    report.cost.add_check();
-    return core::complement_ok(complement, cfg);  // C2
-  };
-
-  auto basic_dir = [&](const rating::RatingMatrix& mi, rating::NodeId i,
-                       rating::NodeId j, double& positive_fraction,
-                       double& complement_fraction) {
-    const rating::PairStats& cell = mi.cell(i, j);
-    // The Basic method scans row i for the complement; the incremental
-    // aggregates yield the same sums, but the scan's cost is charged.
-    report.cost.add_scan(mi.size());
-    rating::PairStats complement;
-    if (cfg.joint_complement) {
-      complement = mi.totals(i) - mi.frequent_totals(i);
-      if (cell.total < cfg.frequency_min) complement -= cell;
-    } else {
-      complement = mi.totals(i) - cell;
-    }
-    report.cost.add_check();
-    if (cell.total < cfg.frequency_min) return false;  // C4
-    positive_fraction = cell.positive_fraction();
-    report.cost.add_check();
-    if (positive_fraction < cfg.positive_fraction_min) return false;  // C3
-    report.cost.add_check();
-    if (complement.total == 0) {
-      complement_fraction = 0.0;
-      return cfg.empty_complement_is_suspicious;
-    }
-    complement_fraction = complement.positive_fraction();
-    return complement_fraction < cfg.complement_fraction_max;  // C2
-  };
-
-  if (config_.detector == "basic") {
-    // Marks-equivalent enumeration: each unordered pair is examined once,
-    // from its first high-reputed endpoint in ascending order.
-    for (rating::NodeId a = 0; a < n; ++a) {
-      for (rating::NodeId b = a + 1; b < n; ++b) {
-        rating::NodeId i, j;
-        report.cost.add_check();
-        if (matrix_of(a).high_reputed(a)) {
-          i = a;
-          j = b;
-        } else if (matrix_of(b).high_reputed(b)) {
-          i = b;
-          j = a;
-        } else {
-          continue;  // C1 fails on both sides
-        }
-        const rating::RatingMatrix& mi = matrix_of(i);
-        const rating::RatingMatrix& mj = matrix_of(j);
-        report.cost.add_scan();
-        report.cost.add_check();
-        if (cfg.require_mutual && !mj.high_reputed(j)) continue;
-
-        core::PairEvidence ev;
-        ev.first = i;
-        ev.second = j;
-        ev.ratings_to_first = mi.cell(i, j).total;
-        ev.ratings_to_second = mj.cell(j, i).total;
-        ev.global_rep_first = mi.global_reputation(i);
-        ev.global_rep_second = mj.global_reputation(j);
-        if (!basic_dir(mi, i, j, ev.positive_fraction_first,
-                       ev.complement_fraction_first))
-          continue;
-        if (cfg.require_mutual &&
-            !basic_dir(mj, j, i, ev.positive_fraction_second,
-                       ev.complement_fraction_second))
-          continue;
-        report.pairs.push_back(ev);
-      }
-    }
-  } else {
-    // Mirrors OptimizedCollusionDetector: all ordered (i, j); a mutual
-    // pair surfaces from both sides and canonicalize() dedups.
-    for (rating::NodeId i = 0; i < n; ++i) {
-      const rating::RatingMatrix& mi = matrix_of(i);
-      report.cost.add_check();
-      if (!mi.high_reputed(i)) continue;  // C1
-      for (rating::NodeId j = 0; j < n; ++j) {
-        if (j == i) continue;
-        if (!optimized_dir(mi, i, j)) continue;
-        const rating::RatingMatrix& mj = matrix_of(j);
-        if (cfg.require_mutual) {
-          report.cost.add_check();
-          if (!mj.high_reputed(j)) continue;
-          if (!optimized_dir(mj, j, i)) continue;
-        }
-        core::PairEvidence ev;
-        ev.first = i;
-        ev.second = j;
-        ev.ratings_to_first = mi.cell(i, j).total;
-        ev.ratings_to_second = mj.cell(j, i).total;
-        ev.positive_fraction_first = mi.cell(i, j).positive_fraction();
-        ev.positive_fraction_second = mj.cell(j, i).positive_fraction();
-        const rating::PairStats comp_i = mi.totals(i) - mi.cell(i, j);
-        const rating::PairStats comp_j = mj.totals(j) - mj.cell(j, i);
-        ev.complement_fraction_first = comp_i.positive_fraction();
-        ev.complement_fraction_second = comp_j.positive_fraction();
-        ev.global_rep_first = mi.global_reputation(i);
-        ev.global_rep_second = mj.global_reputation(j);
-        report.pairs.push_back(ev);
-      }
-    }
-  }
-
-  report.canonicalize();
+  // basic/optimized: range-partitioned sweep plus the cross-shard
+  // accomplice exchange. Both reproduce the pre-registry inline sweeps'
+  // reports byte-for-byte at any shard count
+  // (tests/differential/parallel_epoch_test.cpp).
+  report = config_.detector == "basic"
+               ? detect::sweep_basic(snap, config_.detector_config)
+               : detect::sweep_optimized(snap, config_.detector_config);
+  accomplice_rounds_.store(
+      detect::propagate_accomplices(snap, config_.detector_config, report),
+      std::memory_order_relaxed);
   return report;
 }
 
@@ -1168,6 +1191,12 @@ ServiceMetrics ReputationService::metrics() const {
     m.ring_largest = std::max(m.ring_largest, slot->shard.ring_largest());
     m.ring_scan_us = std::max(m.ring_scan_us, slot->shard.ring_scan_us());
   }
+
+  // Parallel-epoch gauges.
+  m.epoch_scan_threads = epoch_scan_threads_.load(std::memory_order_relaxed);
+  m.epoch_overlap_us = epoch_overlap_us_.load(std::memory_order_relaxed);
+  m.accomplice_exchange_rounds =
+      accomplice_rounds_.load(std::memory_order_relaxed);
 
   // Shard-map gauges (elastic resharding).
   m.current_shard_count = slots.size();

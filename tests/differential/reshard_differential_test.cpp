@@ -35,10 +35,9 @@ ServiceConfig config_for_trace(const testgen::Trace& t, std::uint64_t seed,
   cfg.num_shards = shards;
   cfg.epoch_ratings = 200;  // several natural cadence epochs per trace
   cfg.detector_config = testgen::config_for(seed);
-  // Accomplice propagation cannot span a multi-owner map; the resized run
-  // starts at one shard (where it would stay enabled), so pin it off in
-  // both runs to keep the comparison meaningful.
-  cfg.detector_config.flag_accomplices = false;
+  // config_for enables flag_accomplices on most seeds; it stays on here —
+  // the cross-shard flagged-set exchange makes propagation map-agnostic,
+  // so resized and never-resized runs must agree with it enabled too.
   return cfg;
 }
 

@@ -343,6 +343,9 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   m.resizes_completed = 28;
   m.keys_moved_last_resize = 29;
   m.last_resize_ms = 30.5;
+  m.epoch_scan_threads = 31;
+  m.epoch_overlap_us = 32;
+  m.accomplice_exchange_rounds = 33;
 
   std::string buf;
   in.encode(buf);
@@ -361,6 +364,9 @@ TEST(RpcProtocol, GetMetricsRoundTripCoversEveryField) {
   EXPECT_EQ(out->metrics.resizes_completed, 28u);
   EXPECT_EQ(out->metrics.keys_moved_last_resize, 29u);
   EXPECT_EQ(out->metrics.last_resize_ms, 30.5);
+  EXPECT_EQ(out->metrics.epoch_scan_threads, 31u);
+  EXPECT_EQ(out->metrics.epoch_overlap_us, 32u);
+  EXPECT_EQ(out->metrics.accomplice_exchange_rounds, 33u);
 }
 
 TEST(RpcProtocol, ResizeBodiesRoundTrip) {

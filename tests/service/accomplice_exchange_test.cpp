@@ -1,0 +1,166 @@
+// Cross-shard accomplice exchange: a planted accomplice chain whose links
+// straddle shard boundaries must be flagged identically at every shard
+// width. The workload builds a textbook colluding pair (a, b) — mutual
+// frequent positives, mostly-negative complements — plus a chain of
+// accomplices b <-> c <-> d who keep their own records clean (outsiders
+// rate them positively, so the pair predicates reject (b, c) and (c, d)
+// on the complement test) and are reachable only through accomplice
+// propagation from the flagged pair. The chain ids are picked so that at
+// four shards consecutive links live on different shards: flagging d
+// requires the iterated flagged-set exchange to carry c's verdict across
+// a shard boundary in a later round, which is exactly the machinery the
+// old multi-owner force-off used to disable.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "service/shard_map.h"
+
+namespace p2prep::service {
+namespace {
+
+using rating::NodeId;
+using rating::Rating;
+using rating::Score;
+
+constexpr std::size_t kN = 32;
+constexpr int kBoosts = 30;  // per direction, well above frequency_min
+
+struct ChainIds {
+  NodeId a, b, c, d;
+};
+
+/// Picks four distinct nodes such that under the 4-shard map every
+/// consecutive link of the chain a-b-c-d crosses a shard boundary. The
+/// ShardMap is deterministic for a given (shards, nodes), so the same ids
+/// produce the same placement inside the service under test.
+ChainIds pick_chain_ids() {
+  const ShardMap map(4, kN);
+  ChainIds ids{0, 0, 0, 0};
+  ids.a = 0;
+  NodeId next = 1;
+  const auto pick_after = [&](NodeId prev) {
+    while (map.owner(next) == map.owner(prev)) ++next;
+    return next++;
+  };
+  ids.b = pick_after(ids.a);
+  ids.c = pick_after(ids.b);
+  ids.d = pick_after(ids.c);
+  return ids;
+}
+
+/// The planted trace. Every cell is either a chain-link boost (frequent,
+/// all positive) or a single outsider rating (infrequent, lands in the
+/// complement): negatives onto the colluding pair, positives onto the
+/// accomplices, and a one-way positive stream among outsiders so nobody
+/// else forms a mutual frequent cell.
+std::vector<Rating> chain_workload(const ChainIds& ids) {
+  std::vector<Rating> load;
+  const auto boost_both = [&](NodeId x, NodeId y) {
+    for (int i = 0; i < kBoosts; ++i) {
+      load.push_back({x, y, Score::kPositive});
+      load.push_back({y, x, Score::kPositive});
+    }
+  };
+  boost_both(ids.a, ids.b);  // the colluding pair
+  boost_both(ids.b, ids.c);  // accomplice link, crosses shards at width 4
+  boost_both(ids.c, ids.d);  // second link, one more round to reach
+  const std::set<NodeId> chain{ids.a, ids.b, ids.c, ids.d};
+  std::vector<NodeId> outsiders;
+  for (NodeId i = 0; i < kN; ++i)
+    if (!chain.count(i)) outsiders.push_back(i);
+  for (const NodeId o : outsiders) {
+    load.push_back({o, ids.a, Score::kNegative});
+    load.push_back({o, ids.b, Score::kNegative});
+    load.push_back({o, ids.c, Score::kPositive});
+    load.push_back({o, ids.d, Score::kPositive});
+  }
+  // Honest background: o_k showers o_{k+1} with positives. One-directional,
+  // so it creates reputation without mutual frequent cells.
+  for (std::size_t k = 0; k + 1 < outsiders.size(); ++k)
+    for (int i = 0; i < 10; ++i)
+      load.push_back({outsiders[k], outsiders[k + 1], Score::kPositive});
+  return load;
+}
+
+ServiceConfig make_cfg(std::size_t shards, const std::string& detector) {
+  ServiceConfig cfg;
+  cfg.num_nodes = kN;
+  cfg.num_shards = shards;
+  cfg.epoch_ratings = 1u << 30;  // epochs only via force_epoch()
+  cfg.detector = detector;
+  cfg.detector_config.frequency_min = 10;
+  cfg.detector_config.positive_fraction_min = 0.8;
+  cfg.detector_config.complement_fraction_max = 0.25;
+  cfg.detector_config.high_rep_threshold = 0.05;
+  cfg.detector_config.require_mutual = true;
+  cfg.detector_config.joint_complement = true;
+  cfg.detector_config.flag_accomplices = true;
+  return cfg;
+}
+
+struct RunResult {
+  std::string report_log;
+  std::set<NodeId> suspected;
+  std::uint64_t exchange_rounds = 0;
+};
+
+RunResult run(const ServiceConfig& cfg, const std::vector<Rating>& load) {
+  ReputationService svc(cfg);
+  for (const Rating& r : load) EXPECT_TRUE(svc.ingest(r));
+  svc.force_epoch();
+  svc.drain();
+  RunResult out;
+  out.report_log = svc.report_log();
+  const ServiceSnapshot snap = svc.snapshot();
+  for (NodeId i = 0; i < kN; ++i)
+    if (snap.suspected(i)) out.suspected.insert(i);
+  out.exchange_rounds = svc.metrics().accomplice_exchange_rounds;
+  svc.stop();
+  return out;
+}
+
+class AccompliceExchangeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AccompliceExchangeTest, CrossShardChainMatchesSingleShardWalk) {
+  const ChainIds ids = pick_chain_ids();
+  const std::vector<Rating> load = chain_workload(ids);
+  const std::set<NodeId> expected{ids.a, ids.b, ids.c, ids.d};
+
+  const RunResult one = run(make_cfg(1, GetParam()), load);
+  // The chain is only reachable through propagation: the pair detector
+  // flags (a, b); c and d have clean (positive) complements, so only the
+  // accomplice walk can reach them — first c (round 1), then d (round 2).
+  ASSERT_EQ(one.suspected, expected);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    const RunResult wide = run(make_cfg(shards, GetParam()), load);
+    EXPECT_EQ(wide.suspected, one.suspected) << "shards " << shards;
+    EXPECT_EQ(wide.report_log, one.report_log) << "shards " << shards;
+    // Depth-2 chain: two productive exchange rounds before the fixpoint
+    // (the gauge also counts the final empty confirmation round).
+    EXPECT_GE(wide.exchange_rounds, 2u) << "shards " << shards;
+  }
+}
+
+TEST_P(AccompliceExchangeTest, ExchangeDisabledFlagsOnlyThePair) {
+  const ChainIds ids = pick_chain_ids();
+  const std::vector<Rating> load = chain_workload(ids);
+  ServiceConfig cfg = make_cfg(4, GetParam());
+  cfg.detector_config.flag_accomplices = false;
+  const RunResult r = run(cfg, load);
+  // Sanity check on the planting: without propagation the accomplices'
+  // clean complements keep them off the report entirely.
+  EXPECT_EQ(r.suspected, (std::set<NodeId>{ids.a, ids.b}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Detectors, AccompliceExchangeTest,
+                         ::testing::Values(std::string("basic"),
+                                           std::string("optimized")),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace p2prep::service

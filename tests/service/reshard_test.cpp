@@ -211,31 +211,29 @@ TEST(ReshardTest, ResizeAfterStopThrows) {
 }
 
 // --- Accomplice propagation vs the shard map (regression) ------------------
-// The force-off decision consults ShardMap::single_owner(), not the shard
-// count's modulo arithmetic: with one shard the map is single-owner, the
-// full pair graph is visible, and accomplice propagation must stay ON.
+// The cross-shard flagged-set exchange made accomplice propagation
+// map-agnostic: it stays on at any shard count, the constructor never
+// forces it off, and resize() no longer rejects multi-owner targets.
 
-TEST(ReshardTest, SingleOwnerMapKeepsAccomplicePropagationEnabled) {
+TEST(ReshardTest, AccomplicePropagationSurvivesGrowToMultiOwnerMap) {
   ServiceConfig cfg = reshard_config(1);
   cfg.detector_config.flag_accomplices = true;
   ReputationService svc(cfg);
   ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
   svc.drain();
-  // Accomplices survived the constructor, so growing to a multi-owner map
-  // must be refused — the feature cannot span partitions.
-  EXPECT_THROW(svc.resize(2), std::invalid_argument);
-  EXPECT_EQ(svc.num_shards(), 1u);
+  EXPECT_NO_THROW(svc.resize(2));
+  EXPECT_EQ(svc.num_shards(), 2u);
+  EXPECT_TRUE(svc.config().detector_config.flag_accomplices);
   svc.stop();
 }
 
-TEST(ReshardTest, MultiOwnerMapForcesAccomplicePropagationOff) {
+TEST(ReshardTest, MultiOwnerMapKeepsAccomplicePropagationEnabled) {
   ServiceConfig cfg = reshard_config(2);
   cfg.detector_config.flag_accomplices = true;
   ReputationService svc(cfg);
   ASSERT_TRUE(svc.ingest({1, 2, Score::kPositive, 0}));
   svc.drain();
-  // The constructor forced the flag off (multi-owner map), so resizing is
-  // legal — including down to one shard and back out.
+  EXPECT_TRUE(svc.config().detector_config.flag_accomplices);
   EXPECT_NO_THROW(svc.resize(4));
   svc.stop();
 }

@@ -145,10 +145,11 @@ TEST_P(GlobalEquivalenceTest, MatchesSingleManagerReference) {
   cfg.detector = GetParam();
   ReputationService svc(cfg);
 
-  // The service forces flag_accomplices off in global scope; the reference
-  // must run with the same effective config.
+  // Accomplice propagation stays on across shards (the cross-shard
+  // flagged-set exchange); the single-manager reference runs the core
+  // detectors' own walk with the same config and must agree.
   core::DetectorConfig ref_cfg = svc.config().detector_config;
-  ASSERT_FALSE(ref_cfg.flag_accomplices);
+  ASSERT_TRUE(ref_cfg.flag_accomplices);
   reputation::SummationEngine ref_engine(kN, /*normalize=*/false);
   managers::IncrementalCentralizedManager ref(kN, ref_engine, ref_cfg);
   std::unique_ptr<core::CollusionDetector> ref_detector;
