@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "cluster/protocol.h"
 #include "rating/types.h"
 #include "rpc/protocol.h"
 #include "service/metrics.h"
@@ -236,6 +237,201 @@ void gen_rpc(const std::filesystem::path& dir) {
   }
 }
 
+// --- Manager-cluster seeds (same rpc framing, so same corpus dir) ----------
+
+void gen_cluster(const std::filesystem::path& dir) {
+  namespace rpc = p2prep::rpc;
+  namespace cluster = p2prep::cluster;
+
+  // Valid requests, one per manager-to-manager type with a body
+  // (kMgrRingInfo's request is body-less, like kPing).
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrInsert, 20);
+    cluster::MgrInsertRequest body;
+    body.source = 3;
+    body.seq = 41;
+    body.forwarded = 1;
+    body.rating = Rating{7, 11, Score::kPositive, 42};
+    body.encode(p);
+    emit(dir, "req_mgr_insert", framed(p));
+  }
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrReplicate, 21);
+    cluster::MgrReplicateRequest body;
+    body.range = 2;
+    body.source = 3;
+    body.seq = 41;
+    body.rating = Rating{7, 11, Score::kPositive, 42};
+    body.encode(p);
+    emit(dir, "req_mgr_replicate", framed(p));
+  }
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrStatePull, 22);
+    cluster::MgrStatePullRequest body;
+    body.range = 1;
+    body.encode(p);
+    emit(dir, "req_mgr_state_pull", framed(p));
+  }
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrColluderSet, 23);
+    cluster::MgrColluderSetRequest body;
+    body.epoch_seq = 5;
+    body.flagged = {3, 5, 9};
+    body.encode(p);
+    emit(dir, "req_mgr_colluder_set", framed(p));
+  }
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrRejoin, 24);
+    cluster::MgrRejoinRequest body;
+    body.index = 2;
+    body.encode(p);
+    emit(dir, "req_mgr_rejoin", framed(p));
+  }
+
+  // Valid responses, one per bodied type.
+  {
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrInsert);
+    h.request_id = 20;
+    rpc::encode_response_header(p, h);
+    cluster::MgrInsertResponse body;
+    body.duplicate = 1;
+    body.encode(p);
+    emit(dir, "resp_mgr_insert", framed(p));
+  }
+  {
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrStatePull);
+    h.request_id = 22;
+    rpc::encode_response_header(p, h);
+    cluster::MgrStatePullResponse body;
+    body.range = 1;
+    body.blob = "checkpoint-image-bytes";
+    body.seqs = {{3, 41}, {4, 17}};
+    body.encode(p);
+    emit(dir, "resp_mgr_state_pull", framed(p));
+  }
+  {
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrColluderSet);
+    h.request_id = 23;
+    rpc::encode_response_header(p, h);
+    cluster::MgrColluderSetResponse body;
+    body.epochs_completed = 5;
+    body.encode(p);
+    emit(dir, "resp_mgr_colluder_set", framed(p));
+  }
+  {
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrRingInfo);
+    h.request_id = 25;
+    rpc::encode_response_header(p, h);
+    cluster::MgrRingInfoResponse body;
+    body.replication = 2;
+    body.num_nodes = 1000;
+    body.members = {{"127.0.0.1", 7500, 1},
+                    {"127.0.0.1", 7501, 0},
+                    {"127.0.0.1", 7502, 1}};
+    body.encode(p);
+    emit(dir, "resp_mgr_ring_info", framed(p));
+  }
+
+  // Hostile bodies under a VALID frame CRC — each pins one decoder guard
+  // in cluster/protocol.cpp.
+  {
+    // forwarded flag outside {0,1}: a second relay must be rejected at
+    // decode, not looped.
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrInsert, 30);
+    rpc::put_u64(p, 3);   // source
+    rpc::put_u64(p, 41);  // seq
+    rpc::put_u8(p, 2);    // forwarded > 1
+    rpc::put_rating(p, Rating{7, 11, Score::kPositive, 42});
+    emit(dir, "req_mgr_insert_bad_forwarded", framed(p));
+  }
+  {
+    // blob_len beyond kMaxStateBlobBytes with no bytes behind it.
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrStatePull);
+    h.request_id = 31;
+    rpc::encode_response_header(p, h);
+    rpc::put_u32(p, 1);            // range
+    rpc::put_u32(p, 0xffffffffu);  // blob_len >> kMaxStateBlobBytes
+    emit(dir, "resp_state_pull_hostile_blob_len", framed(p));
+  }
+  {
+    // seq-table count beyond kMaxSeqEntries behind an empty blob.
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrStatePull);
+    h.request_id = 32;
+    rpc::encode_response_header(p, h);
+    rpc::put_u32(p, 1);            // range
+    rpc::put_u32(p, 0);            // empty blob
+    rpc::put_u32(p, 0xffffffffu);  // seq count >> kMaxSeqEntries
+    emit(dir, "resp_state_pull_hostile_seq_count", framed(p));
+  }
+  {
+    // flagged-id count with no ids behind it (kMaxColluderIds guard).
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrColluderSet, 33);
+    rpc::put_u64(p, 5);            // epoch_seq
+    rpc::put_u32(p, 0xffffffffu);  // count, no ids follow
+    emit(dir, "req_mgr_colluder_set_hostile_count", framed(p));
+  }
+  {
+    // member count beyond kMaxManagers with no members behind it.
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrRingInfo);
+    h.request_id = 34;
+    rpc::encode_response_header(p, h);
+    rpc::put_u32(p, 2);            // replication
+    rpc::put_u64(p, 1000);         // num_nodes
+    rpc::put_u32(p, 0xffffffffu);  // member count >> kMaxManagers
+    emit(dir, "resp_ring_info_hostile_member_count", framed(p));
+  }
+  {
+    // host_len beyond kMaxHostBytes inside the first member.
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrRingInfo);
+    h.request_id = 35;
+    rpc::encode_response_header(p, h);
+    rpc::put_u32(p, 2);       // replication
+    rpc::put_u64(p, 1000);    // num_nodes
+    rpc::put_u32(p, 1);       // one member
+    rpc::put_u16(p, 0xffff);  // host_len >> kMaxHostBytes
+    emit(dir, "resp_ring_info_hostile_host_len", framed(p));
+  }
+  {
+    // alive flag outside {0,1}.
+    std::string p;
+    rpc::ResponseHeader h;
+    h.type = static_cast<std::uint8_t>(rpc::MsgType::kMgrRingInfo);
+    h.request_id = 36;
+    rpc::encode_response_header(p, h);
+    rpc::put_u32(p, 2);     // replication
+    rpc::put_u64(p, 1000);  // num_nodes
+    rpc::put_u32(p, 1);     // one member
+    rpc::put_u16(p, 4);     // host_len
+    p.append("host");
+    rpc::put_u16(p, 7500);  // port
+    rpc::put_u8(p, 2);      // alive > 1
+    emit(dir, "resp_ring_info_bad_alive", framed(p));
+  }
+}
+
 // --- WAL seeds -------------------------------------------------------------
 
 void gen_wal(const std::filesystem::path& dir) {
@@ -437,6 +633,7 @@ int main(int argc, char** argv) {
     }
   }
   gen_rpc(root / "rpc");
+  gen_cluster(root / "rpc");
   gen_wal(root / "wal");
   gen_checkpoint(root / "checkpoint");
   if (g_failures != 0) return 1;

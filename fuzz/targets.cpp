@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "cluster/protocol.h"
 #include "rpc/protocol.h"
 #include "service/wal.h"
 
@@ -64,9 +65,30 @@ void exercise_rpc_payload(std::string_view payload) {
         case rpc::MsgType::kResize:
           if (auto b = rpc::ResizeRequest::decode(r)) roundtrip_body(*b);
           break;
+        case rpc::MsgType::kMgrInsert:
+          if (auto b = cluster::MgrInsertRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrReplicate:
+          if (auto b = cluster::MgrReplicateRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrStatePull:
+          if (auto b = cluster::MgrStatePullRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrColluderSet:
+          if (auto b = cluster::MgrColluderSetRequest::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrRejoin:
+          if (auto b = cluster::MgrRejoinRequest::decode(r))
+            roundtrip_body(*b);
+          break;
         default:
-          // kPing / kQueryColluders / kGetMetrics / kGoAway have no request
-          // body; unknown types are the server's kUnsupportedType path.
+          // kPing / kQueryColluders / kGetMetrics / kGoAway / kMgrRingInfo
+          // have no request body; unknown types are the server's
+          // kUnsupportedType path.
           break;
       }
     }
@@ -93,7 +115,24 @@ void exercise_rpc_payload(std::string_view payload) {
         case rpc::MsgType::kResize:
           if (auto b = rpc::ResizeResponse::decode(r)) roundtrip_body(*b);
           break;
+        case rpc::MsgType::kMgrInsert:
+          if (auto b = cluster::MgrInsertResponse::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrStatePull:
+          if (auto b = cluster::MgrStatePullResponse::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrColluderSet:
+          if (auto b = cluster::MgrColluderSetResponse::decode(r))
+            roundtrip_body(*b);
+          break;
+        case rpc::MsgType::kMgrRingInfo:
+          if (auto b = cluster::MgrRingInfoResponse::decode(r))
+            roundtrip_body(*b);
+          break;
         default:
+          // kMgrReplicate / kMgrRejoin responses have no body.
           break;
       }
     }

@@ -1,0 +1,50 @@
+#include "cluster/backend.h"
+
+#include <string>
+#include <utility>
+
+namespace p2prep::cluster {
+
+std::shared_ptr<service::ClusterBackend> make_cluster_backend(
+    const ClusterBackendConfig& config) {
+  struct State {
+    std::vector<std::unique_ptr<ClusterClient>> workers;
+    std::unique_ptr<ClusterClient> admin;
+  };
+  auto state = std::make_shared<State>();
+  ClusterClientConfig cc;
+  cc.ring = config.ring;
+  cc.replication = config.replication;
+  cc.num_nodes = config.num_nodes;
+  cc.connect_timeout_ms = config.connect_timeout_ms;
+  cc.request_timeout_ms = config.request_timeout_ms;
+  state->workers.reserve(config.ring.size());
+  for (std::size_t i = 0; i < config.ring.size(); ++i) {
+    cc.source = config.source_base + i;
+    state->workers.push_back(std::make_unique<ClusterClient>(cc));
+  }
+  cc.source = config.source_base + config.ring.size();
+  state->admin = std::make_unique<ClusterClient>(cc);
+
+  auto backend = std::make_shared<service::ClusterBackend>();
+  backend->forward = [state](std::size_t shard, const rating::Rating& r) {
+    if (shard >= state->workers.size()) return false;
+    return state->workers[shard]->insert(r);
+  };
+  backend->pull = [state](std::size_t range) {
+    auto resp = state->admin->pull_state(range);
+    return resp ? std::move(resp->blob) : std::string();
+  };
+  backend->push = [state](std::uint64_t seq,
+                          const std::vector<rating::NodeId>& flagged) {
+    return state->admin->push_colluders(seq, flagged);
+  };
+  backend->failovers = [state] {
+    std::uint64_t total = state->admin->failovers();
+    for (const auto& w : state->workers) total += w->failovers();
+    return total;
+  };
+  return backend;
+}
+
+}  // namespace p2prep::cluster

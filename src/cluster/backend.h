@@ -1,0 +1,40 @@
+// Builds the service::ClusterBackend seam over real ClusterClients — the
+// glue that turns ReputationService into the decentralized-manager
+// deployment: every shard worker gets its own single-threaded client
+// (distinct source id, so per-source dedup sequencing stays correct under
+// concurrent workers), and the epoch coordinator gets an admin client for
+// the pull/push commit. The threading contract of service::ClusterBackend
+// (per-shard forward calls, coordinator-only pull/push) maps exactly onto
+// this layout, so no locking is needed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/manager_node.h"
+#include "service/shard.h"
+
+namespace p2prep::cluster {
+
+struct ClusterBackendConfig {
+  /// The manager ring, index-aligned. The service must run with
+  /// num_shards == ring.size().
+  std::vector<ManagerEndpoint> ring;
+  std::uint32_t replication = 1;
+  std::size_t num_nodes = 0;
+  /// Worker i inserts as source `source_base + i`; the admin client uses
+  /// `source_base + ring.size()`. Distinct services sharing one cluster
+  /// need disjoint source ranges.
+  std::uint64_t source_base = 1;
+  std::uint32_t connect_timeout_ms = 2000;
+  std::uint32_t request_timeout_ms = 5000;
+};
+
+/// Creates the backend; throws std::invalid_argument on a config the
+/// underlying ClusterClient would reject.
+[[nodiscard]] std::shared_ptr<service::ClusterBackend> make_cluster_backend(
+    const ClusterBackendConfig& config);
+
+}  // namespace p2prep::cluster

@@ -1,0 +1,179 @@
+#include "cluster/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2prep::cluster {
+
+ClusterClient::ClusterClient(ClusterClientConfig config)
+    : config_(std::move(config)),
+      map_(config_.ring.size(), config_.num_nodes) {
+  if (!config_.valid())
+    throw std::invalid_argument("cluster client: invalid configuration");
+  clients_.resize(config_.ring.size());
+}
+
+std::optional<ClusterClientConfig> ClusterClient::discover(
+    const ManagerEndpoint& entry, std::uint32_t connect_timeout_ms,
+    std::uint32_t request_timeout_ms) {
+  rpc::RpcClientConfig cc;
+  cc.host = entry.host;
+  cc.port = entry.port;
+  cc.connect_timeout_ms = connect_timeout_ms;
+  cc.request_timeout_ms = request_timeout_ms;
+  cc.max_frame_bytes = kClusterMaxFrameBytes;
+  rpc::RpcClient client(cc);
+  if (!client.connect()) return std::nullopt;
+  std::string body;
+  const rpc::CallResult res =
+      client.call_raw(rpc::MsgType::kMgrRingInfo, std::string(), &body);
+  if (!res.ok || res.status != rpc::Status::kOk) return std::nullopt;
+  rpc::Reader reader(body);
+  const auto info = MgrRingInfoResponse::decode(reader);
+  if (!info) return std::nullopt;
+  ClusterClientConfig out;
+  out.replication = info->replication;
+  out.num_nodes = static_cast<std::size_t>(info->num_nodes);
+  out.connect_timeout_ms = connect_timeout_ms;
+  out.request_timeout_ms = request_timeout_ms;
+  out.ring.reserve(info->members.size());
+  for (const auto& m : info->members)
+    out.ring.push_back(ManagerEndpoint{m.host, m.port});
+  if (!out.valid()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::size_t> ClusterClient::holders_of(std::size_t range) const {
+  std::vector<std::size_t> holders;
+  holders.reserve(config_.replication);
+  for (std::uint32_t i = 0; i < config_.replication; ++i)
+    holders.push_back((range + i) % config_.ring.size());
+  return holders;
+}
+
+rpc::CallResult ClusterClient::call(std::size_t idx, rpc::MsgType type,
+                                    const std::string& body,
+                                    std::string* body_out) {
+  if (!clients_[idx]) {
+    rpc::RpcClientConfig cc;
+    cc.host = config_.ring[idx].host;
+    cc.port = config_.ring[idx].port;
+    cc.connect_timeout_ms = config_.connect_timeout_ms;
+    cc.request_timeout_ms = config_.request_timeout_ms;
+    cc.max_frame_bytes = kClusterMaxFrameBytes;
+    clients_[idx] = std::make_unique<rpc::RpcClient>(cc);
+  }
+  rpc::RpcClient& client = *clients_[idx];
+  if (!client.connected()) {
+    std::string err;
+    if (!client.connect(&err)) {
+      rpc::CallResult res;
+      res.ok = false;
+      res.error = "connect to manager " + std::to_string(idx) + ": " + err;
+      return res;
+    }
+  }
+  return client.call_raw(type, body, body_out);
+}
+
+bool ClusterClient::insert(const rating::Rating& r, bool* duplicate) {
+  const std::size_t range = map_.owner(r.ratee);
+  MgrInsertRequest req;
+  req.source = config_.source;
+  req.seq = next_seq_++;
+  req.forwarded = 0;
+  req.rating = r;
+  std::string body;
+  req.encode(body);
+  bool primary_try = true;
+  for (std::size_t h : holders_of(range)) {
+    std::string resp_body;
+    const rpc::CallResult res =
+        call(h, rpc::MsgType::kMgrInsert, body, &resp_body);
+    if (!res.ok) {
+      primary_try = false;
+      continue;
+    }
+    if (res.status != rpc::Status::kOk) return false;
+    rpc::Reader reader(resp_body);
+    const auto resp = MgrInsertResponse::decode(reader);
+    if (!resp) return false;
+    if (!primary_try) failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (duplicate) *duplicate = resp->duplicate != 0;
+    return true;
+  }
+  return false;
+}
+
+bool ClusterClient::query(rating::NodeId node,
+                          rpc::QueryReputationResponse* out) {
+  const std::size_t range = map_.owner(node);
+  rpc::QueryReputationRequest req;
+  req.node = node;
+  std::string body;
+  req.encode(body);
+  for (std::size_t h : holders_of(range)) {
+    std::string resp_body;
+    const rpc::CallResult res =
+        call(h, rpc::MsgType::kQueryReputation, body, &resp_body);
+    if (!res.ok) continue;
+    if (res.status != rpc::Status::kOk) return false;
+    rpc::Reader reader(resp_body);
+    const auto resp = rpc::QueryReputationResponse::decode(reader);
+    if (!resp) return false;
+    if (out) *out = *resp;
+    return true;
+  }
+  return false;
+}
+
+std::optional<MgrStatePullResponse> ClusterClient::pull_state(
+    std::size_t range) {
+  MgrStatePullRequest req;
+  req.range = static_cast<std::uint32_t>(range);
+  std::string body;
+  req.encode(body);
+  for (std::size_t h : holders_of(range)) {
+    std::string resp_body;
+    const rpc::CallResult res =
+        call(h, rpc::MsgType::kMgrStatePull, body, &resp_body);
+    if (!res.ok || res.status != rpc::Status::kOk) continue;
+    rpc::Reader reader(resp_body);
+    auto resp = MgrStatePullResponse::decode(reader);
+    if (resp) return resp;
+  }
+  return std::nullopt;
+}
+
+bool ClusterClient::push_colluders(
+    std::uint64_t epoch_seq, const std::vector<rating::NodeId>& flagged) {
+  MgrColluderSetRequest req;
+  req.epoch_seq = epoch_seq;
+  req.flagged = flagged;
+  std::string body;
+  req.encode(body);
+  bool all_ok = true;
+  for (std::size_t i = 0; i < config_.ring.size(); ++i) {
+    std::string resp_body;
+    const rpc::CallResult res =
+        call(i, rpc::MsgType::kMgrColluderSet, body, &resp_body);
+    if (!res.ok || res.status != rpc::Status::kOk) all_ok = false;
+  }
+  return all_ok;
+}
+
+bool ClusterClient::get_metrics(std::size_t index,
+                                service::ServiceMetrics* out) {
+  if (index >= config_.ring.size()) return false;
+  std::string resp_body;
+  const rpc::CallResult res =
+      call(index, rpc::MsgType::kGetMetrics, std::string(), &resp_body);
+  if (!res.ok || res.status != rpc::Status::kOk) return false;
+  rpc::Reader reader(resp_body);
+  const auto resp = rpc::GetMetricsResponse::decode(reader);
+  if (!resp) return false;
+  if (out) *out = resp->metrics;
+  return true;
+}
+
+}  // namespace p2prep::cluster

@@ -1,0 +1,110 @@
+// ClusterClient: the client side of the multi-process manager cluster.
+// Routes each operation through the same consistent-hash map the managers
+// partition the key space with (service::ShardMap over the ring size), so
+// a rating goes straight to its owner range's primary — Chord routing
+// collapsed to one hop because every member knows the full ring, exactly
+// as in the single-process deployment. When the primary is unreachable the
+// client retries the successor replicas in holder order (client-side
+// failover); per-source sequence numbers make those retries exactly-once
+// at the managers.
+//
+// One instance is single-threaded: it owns one lazily-connected RpcClient
+// per manager and a monotonic sequence counter. Concurrent callers create
+// one client each (the decentralized service mode gives every shard worker
+// its own, see cluster/backend.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/manager_node.h"
+#include "cluster/protocol.h"
+#include "rpc/client.h"
+#include "service/metrics.h"
+#include "service/shard_map.h"
+
+namespace p2prep::cluster {
+
+struct ClusterClientConfig {
+  /// The manager ring, index-aligned (ring[i] is range i's primary).
+  std::vector<ManagerEndpoint> ring;
+  /// M: holders per range (primary + M-1 successors).
+  std::uint32_t replication = 1;
+  /// Key space size; must match the managers' num_nodes.
+  std::size_t num_nodes = 0;
+  /// This client's source id for exactly-once dedup. Every concurrently
+  /// inserting client needs a distinct source.
+  std::uint64_t source = 0;
+  std::uint32_t connect_timeout_ms = 2000;
+  std::uint32_t request_timeout_ms = 5000;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return !ring.empty() && replication >= 1 &&
+           replication <= ring.size() && num_nodes >= 2;
+  }
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterClientConfig config);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  /// Bootstraps a config from any live manager: one kMgrRingInfo round
+  /// trip to `entry` yields the full ring, replication factor and key
+  /// space size. `source` is left 0 — set it before concurrent use.
+  static std::optional<ClusterClientConfig> discover(
+      const ManagerEndpoint& entry, std::uint32_t connect_timeout_ms = 2000,
+      std::uint32_t request_timeout_ms = 5000);
+
+  /// Inserts one rating at its owner range, failing over to replica
+  /// holders when the primary is down. True once a holder acknowledged
+  /// (duplicate acks — a retry of a rating that already landed — count as
+  /// success; `duplicate`, when non-null, reports which).
+  bool insert(const rating::Rating& r, bool* duplicate = nullptr);
+
+  /// Reads one node's published reputation from its owner range's view.
+  bool query(rating::NodeId node, rpc::QueryReputationResponse* out);
+
+  /// Pulls a key range's full state (canonical checkpoint bytes + dedup
+  /// watermarks) from any live holder.
+  std::optional<MgrStatePullResponse> pull_state(std::size_t range);
+
+  /// Pushes a global epoch's colluder verdicts to EVERY manager in the
+  /// ring. True only when all K acknowledged — the epoch is a cluster-wide
+  /// commit, so a partial push is a failure the caller must retry.
+  bool push_colluders(std::uint64_t epoch_seq,
+                      const std::vector<rating::NodeId>& flagged);
+
+  /// Fetches manager `index`'s metrics snapshot (per-manager gauges).
+  bool get_metrics(std::size_t index, service::ServiceMetrics* out);
+
+  /// Owner range of a key under the cluster's map.
+  [[nodiscard]] std::size_t owner(rating::NodeId id) const {
+    return map_.owner(id);
+  }
+  /// Inserts that were served by a replica because the primary call
+  /// failed. Atomic: metrics threads read it while the owner inserts.
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One round trip to manager `idx`, reconnecting as needed.
+  rpc::CallResult call(std::size_t idx, rpc::MsgType type,
+                       const std::string& body, std::string* body_out);
+  [[nodiscard]] std::vector<std::size_t> holders_of(std::size_t range) const;
+
+  ClusterClientConfig config_;
+  service::ShardMap map_;
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients_;  ///< Lazy, aligned.
+  std::uint64_t next_seq_ = 1;
+  std::atomic<std::uint64_t> failovers_{0};
+};
+
+}  // namespace p2prep::cluster

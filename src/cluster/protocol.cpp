@@ -1,0 +1,181 @@
+#include "cluster/protocol.h"
+
+namespace p2prep::cluster {
+
+using rpc::put_u8;
+using rpc::put_u16;
+using rpc::put_u32;
+using rpc::put_u64;
+
+void MgrInsertRequest::encode(std::string& out) const {
+  put_u64(out, source);
+  put_u64(out, seq);
+  put_u8(out, forwarded);
+  rpc::put_rating(out, rating);
+}
+
+std::optional<MgrInsertRequest> MgrInsertRequest::decode(rpc::Reader& r) {
+  MgrInsertRequest req;
+  if (!r.get_u64(req.source) || !r.get_u64(req.seq) ||
+      !r.get_u8(req.forwarded) || !rpc::get_rating(r, req.rating))
+    return std::nullopt;
+  if (req.forwarded > 1) return std::nullopt;
+  return req;
+}
+
+void MgrInsertResponse::encode(std::string& out) const {
+  put_u8(out, duplicate);
+}
+
+std::optional<MgrInsertResponse> MgrInsertResponse::decode(rpc::Reader& r) {
+  MgrInsertResponse resp;
+  if (!r.get_u8(resp.duplicate)) return std::nullopt;
+  if (resp.duplicate > 1) return std::nullopt;
+  return resp;
+}
+
+void MgrReplicateRequest::encode(std::string& out) const {
+  put_u32(out, range);
+  put_u64(out, source);
+  put_u64(out, seq);
+  rpc::put_rating(out, rating);
+}
+
+std::optional<MgrReplicateRequest> MgrReplicateRequest::decode(
+    rpc::Reader& r) {
+  MgrReplicateRequest req;
+  if (!r.get_u32(req.range) || !r.get_u64(req.source) ||
+      !r.get_u64(req.seq) || !rpc::get_rating(r, req.rating))
+    return std::nullopt;
+  return req;
+}
+
+void MgrStatePullRequest::encode(std::string& out) const {
+  put_u32(out, range);
+}
+
+std::optional<MgrStatePullRequest> MgrStatePullRequest::decode(
+    rpc::Reader& r) {
+  MgrStatePullRequest req;
+  if (!r.get_u32(req.range)) return std::nullopt;
+  return req;
+}
+
+void MgrStatePullResponse::encode(std::string& out) const {
+  put_u32(out, range);
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.append(blob);
+  put_u32(out, static_cast<std::uint32_t>(seqs.size()));
+  for (const auto& [source, seq] : seqs) {
+    put_u64(out, source);
+    put_u64(out, seq);
+  }
+}
+
+std::optional<MgrStatePullResponse> MgrStatePullResponse::decode(
+    rpc::Reader& r) {
+  MgrStatePullResponse resp;
+  std::uint32_t blob_len = 0;
+  if (!r.get_u32(resp.range) || !r.get_u32(blob_len)) return std::nullopt;
+  if (blob_len > kMaxStateBlobBytes || blob_len > r.remaining())
+    return std::nullopt;
+  if (!r.get_bytes(resp.blob, blob_len)) return std::nullopt;
+  std::uint32_t count = 0;
+  if (!r.get_u32(count)) return std::nullopt;
+  if (count > kMaxSeqEntries ||
+      static_cast<std::size_t>(count) * 16 > r.remaining())
+    return std::nullopt;
+  resp.seqs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t source = 0;
+    std::uint64_t seq = 0;
+    if (!r.get_u64(source) || !r.get_u64(seq)) return std::nullopt;
+    resp.seqs.emplace_back(source, seq);
+  }
+  return resp;
+}
+
+void MgrColluderSetRequest::encode(std::string& out) const {
+  put_u64(out, epoch_seq);
+  put_u32(out, static_cast<std::uint32_t>(flagged.size()));
+  for (rating::NodeId id : flagged) put_u32(out, id);
+}
+
+std::optional<MgrColluderSetRequest> MgrColluderSetRequest::decode(
+    rpc::Reader& r) {
+  MgrColluderSetRequest req;
+  std::uint32_t count = 0;
+  if (!r.get_u64(req.epoch_seq) || !r.get_u32(count)) return std::nullopt;
+  if (count > rpc::kMaxColluderIds ||
+      static_cast<std::size_t>(count) * 4 > r.remaining())
+    return std::nullopt;
+  req.flagged.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rating::NodeId id = 0;
+    if (!r.get_u32(id)) return std::nullopt;
+    req.flagged.push_back(id);
+  }
+  return req;
+}
+
+void MgrColluderSetResponse::encode(std::string& out) const {
+  put_u64(out, epochs_completed);
+}
+
+std::optional<MgrColluderSetResponse> MgrColluderSetResponse::decode(
+    rpc::Reader& r) {
+  MgrColluderSetResponse resp;
+  if (!r.get_u64(resp.epochs_completed)) return std::nullopt;
+  return resp;
+}
+
+void MgrRingInfoResponse::encode(std::string& out) const {
+  put_u32(out, replication);
+  put_u64(out, num_nodes);
+  put_u32(out, static_cast<std::uint32_t>(members.size()));
+  for (const Member& m : members) {
+    put_u16(out, static_cast<std::uint16_t>(m.host.size()));
+    out.append(m.host);
+    put_u16(out, m.port);
+    put_u8(out, m.alive);
+  }
+}
+
+std::optional<MgrRingInfoResponse> MgrRingInfoResponse::decode(
+    rpc::Reader& r) {
+  MgrRingInfoResponse resp;
+  std::uint32_t count = 0;
+  if (!r.get_u32(resp.replication) || !r.get_u64(resp.num_nodes) ||
+      !r.get_u32(count))
+    return std::nullopt;
+  // Each member is at least 5 bytes (empty host); the count guard bounds
+  // the reserve before any member is parsed.
+  if (count > kMaxManagers ||
+      static_cast<std::size_t>(count) * 5 > r.remaining())
+    return std::nullopt;
+  resp.members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Member m;
+    std::uint16_t host_len = 0;
+    if (!r.get_u16(host_len)) return std::nullopt;
+    if (host_len > kMaxHostBytes || host_len > r.remaining())
+      return std::nullopt;
+    if (!r.get_bytes(m.host, host_len)) return std::nullopt;
+    if (!r.get_u16(m.port) || !r.get_u8(m.alive)) return std::nullopt;
+    if (m.alive > 1) return std::nullopt;
+    resp.members.push_back(std::move(m));
+  }
+  return resp;
+}
+
+void MgrRejoinRequest::encode(std::string& out) const {
+  put_u32(out, index);
+}
+
+std::optional<MgrRejoinRequest> MgrRejoinRequest::decode(rpc::Reader& r) {
+  MgrRejoinRequest req;
+  if (!r.get_u32(req.index)) return std::nullopt;
+  return req;
+}
+
+}  // namespace p2prep::cluster

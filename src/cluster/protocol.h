@@ -1,0 +1,155 @@
+// Manager-to-manager wire surface of the multi-process cluster
+// (DESIGN.md §16). Bodies travel inside the same CRC32-framed envelope as
+// the client-facing RPC surface (rpc/protocol.h — MsgType values
+// kMgrInsert..kMgrRejoin are registered there), so one transport,
+// version byte and status vocabulary covers the whole deployment.
+//
+// Every decode here is a hostile-input surface: a peer manager is just a
+// socket, and an attacker-authored frame is parsed with the same code as
+// a well-behaved one. Count and length fields are therefore validated
+// against the bytes actually present *before* any allocation they size,
+// mirroring parse_wal / parse_checkpoint (fuzz/fuzz_rpc_protocol.cpp
+// replays a corpus of valid + hostile seeds over all of them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rating/types.h"
+#include "rpc/protocol.h"
+
+namespace p2prep::cluster {
+
+/// Hard cap on one state-pull blob (a checkpoint-encoded key range). A
+/// range of a 1M-node deployment at 1% density is well under this; a
+/// length field beyond it is hostile, not big.
+inline constexpr std::uint32_t kMaxStateBlobBytes = 1u << 26;
+/// Hard cap on dedup-table entries travelling with a state pull.
+inline constexpr std::uint32_t kMaxSeqEntries = 1u << 16;
+/// Hard cap on ring members in a MgrRingInfo response.
+inline constexpr std::uint32_t kMaxManagers = 1u << 12;
+/// Hard cap on one member's host-string length.
+inline constexpr std::uint32_t kMaxHostBytes = 255;
+/// Frame cap for manager-to-manager connections: a state-pull response
+/// (blob + seq table + envelope) must fit in one frame, so peers raise
+/// rpc::RpcClientConfig::max_frame_bytes to this instead of the 1 MiB
+/// client default.
+inline constexpr std::uint32_t kClusterMaxFrameBytes =
+    kMaxStateBlobBytes + (1u << 20);
+
+/// Ingest one rating into its owner key range. `source`/`seq` identify
+/// the logical submission for exactly-once semantics: a client that
+/// fails over to a successor retries the same (source, seq), and the
+/// holder's dedup table turns the retry into an idempotent ack — the
+/// mechanism behind "zero acknowledged ratings lost" across a primary
+/// kill. `forwarded` marks a relay by a non-holder entry node; a
+/// forwarded request that lands on another non-holder is answered
+/// kInternal instead of relayed again, so routing bugs cannot loop.
+struct MgrInsertRequest {
+  std::uint64_t source = 0;
+  std::uint64_t seq = 0;
+  std::uint8_t forwarded = 0;
+  rating::Rating rating{};
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrInsertRequest> decode(rpc::Reader& r);
+};
+
+struct MgrInsertResponse {
+  std::uint8_t duplicate = 0;  ///< Dedup hit: already applied, still kOk.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrInsertResponse> decode(rpc::Reader& r);
+};
+
+/// Primary → replica synchronous copy of an accepted rating. Carries the
+/// owner range explicitly (the receiver holds several ranges) and the
+/// same (source, seq) identity so replicas dedup retries identically.
+/// Replicas never re-replicate. Response has no body.
+struct MgrReplicateRequest {
+  std::uint32_t range = 0;
+  std::uint64_t source = 0;
+  std::uint64_t seq = 0;
+  rating::Rating rating{};
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrReplicateRequest> decode(
+      rpc::Reader& r);
+};
+
+/// Pull one key range's full state from a holder: the checkpoint-encoded
+/// blob (service::encode_checkpoint image — the same canonical bytes the
+/// durability layer writes, so "byte-identical state" is literal) plus
+/// the range's dedup table. Used by the rejoin resync and by the
+/// decentralized service mode's epoch coordinator.
+struct MgrStatePullRequest {
+  std::uint32_t range = 0;
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrStatePullRequest> decode(
+      rpc::Reader& r);
+};
+
+struct MgrStatePullResponse {
+  std::uint32_t range = 0;
+  std::string blob;  ///< service::encode_checkpoint file image.
+  /// Dedup table: (source, highest applied seq), ascending by source.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seqs;
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrStatePullResponse> decode(
+      rpc::Reader& r);
+};
+
+/// Coordinator → manager: commit one global epoch's verdicts. The
+/// manager replays the exact single-process epoch mutation sequence on
+/// every range it holds (update, suppress/reset owned flagged ids,
+/// update, close epoch `epoch_seq`, checkpoint + WAL rotate), so cluster
+/// state after epoch k matches the single-process service byte for byte.
+struct MgrColluderSetRequest {
+  std::uint64_t epoch_seq = 0;
+  std::vector<rating::NodeId> flagged;  ///< Ascending.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrColluderSetRequest> decode(
+      rpc::Reader& r);
+};
+
+struct MgrColluderSetResponse {
+  std::uint64_t epochs_completed = 0;  ///< After applying; == epoch_seq.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrColluderSetResponse> decode(
+      rpc::Reader& r);
+};
+
+/// Ring membership as the answering manager sees it. The request has no
+/// body; any entry node can be asked, which is what lets ClusterClient
+/// bootstrap from a single address.
+struct MgrRingInfoResponse {
+  struct Member {
+    std::string host;
+    std::uint16_t port = 0;
+    std::uint8_t alive = 1;
+  };
+  std::uint32_t replication = 1;  ///< M: copies per key range.
+  std::uint64_t num_nodes = 0;    ///< Reputation-node id space.
+  std::vector<Member> members;    ///< Index == Chord range index.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrRingInfoResponse> decode(
+      rpc::Reader& r);
+};
+
+/// Restarted manager → peers: resynced and serving its ranges again.
+/// Response has no body.
+struct MgrRejoinRequest {
+  std::uint32_t index = 0;  ///< Ring index of the rejoining manager.
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrRejoinRequest> decode(rpc::Reader& r);
+};
+
+}  // namespace p2prep::cluster

@@ -13,6 +13,7 @@ RoundLatency measure_detection_round(DecentralizedReputationSystem& system,
                                      DetectionMethod method,
                                      const LatencyModel& model,
                                      bool pipelined) {
+  if (!model.enabled) return RoundLatency{};
   struct Check {
     rating::NodeId from;
     rating::NodeId to;

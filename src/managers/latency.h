@@ -20,6 +20,19 @@ struct LatencyModel {
   double per_hop_ms = 20.0;  ///< Mean one-way per-hop latency.
   double jitter_ms = 10.0;   ///< Uniform jitter added per hop, [0, jitter).
   std::uint64_t seed = 0x6c6174656e6379ULL;
+  /// Master switch. The model is injectable into paths that also run over
+  /// real transports (the manager cluster's serve loop), where simulated
+  /// hops are usually unwanted — disabled() turns every hop into zero cost
+  /// and measure_detection_round into a no-op.
+  bool enabled = true;
+
+  [[nodiscard]] static LatencyModel disabled() noexcept {
+    LatencyModel m;
+    m.per_hop_ms = 0.0;
+    m.jitter_ms = 0.0;
+    m.enabled = false;
+    return m;
+  }
 };
 
 struct RoundLatency {

@@ -228,6 +228,11 @@ CallResult RpcClient::call(MsgType type, const std::string& body,
 
 CallResult RpcClient::ping() { return call(MsgType::kPing, {}, nullptr); }
 
+CallResult RpcClient::call_raw(MsgType type, const std::string& body,
+                               std::string* body_out) {
+  return call(type, body, body_out);
+}
+
 CallResult RpcClient::submit_rating(const rating::Rating& r) {
   std::string body;
   SubmitRatingRequest{r}.encode(body);

@@ -77,6 +77,13 @@ class RpcClient {
   /// window (the server answers it inline), so use a generous timeout.
   CallResult resize(std::uint32_t new_num_shards, ResizeResponse* out);
 
+  /// One raw round trip with an already-encoded body — the transport seam
+  /// the cluster's manager-to-manager surface (cluster/protocol.h) calls
+  /// through. Semantics match the single-shot calls: no retry, !ok closes
+  /// the connection, `body_out` receives the response body bytes.
+  CallResult call_raw(MsgType type, const std::string& body,
+                      std::string* body_out);
+
   // --- Retrying submit paths ---
 
   /// Submits one rating, retrying sheds (after the hinted backoff) and

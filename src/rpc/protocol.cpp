@@ -29,6 +29,12 @@ std::string_view to_string(MsgType t) noexcept {
     case MsgType::kQueryColluders: return "query-colluders";
     case MsgType::kGetMetrics: return "get-metrics";
     case MsgType::kResize: return "resize";
+    case MsgType::kMgrInsert: return "mgr-insert";
+    case MsgType::kMgrReplicate: return "mgr-replicate";
+    case MsgType::kMgrStatePull: return "mgr-state-pull";
+    case MsgType::kMgrColluderSet: return "mgr-colluder-set";
+    case MsgType::kMgrRingInfo: return "mgr-ring-info";
+    case MsgType::kMgrRejoin: return "mgr-rejoin";
     case MsgType::kGoAway: return "go-away";
   }
   return "?";
@@ -106,6 +112,13 @@ bool Reader::get_f64(double& v) {
   return true;
 }
 
+bool Reader::get_bytes(std::string& out, std::size_t n) {
+  if (pos_ + n > data_.size()) return false;
+  out.assign(data_.substr(pos_, n));
+  pos_ += n;
+  return true;
+}
+
 // --- Framing ---------------------------------------------------------------
 
 std::string encode_frame(std::string_view payload) {
@@ -179,8 +192,6 @@ bool decode_response_header(Reader& r, ResponseHeader& h) {
 
 // --- Message bodies --------------------------------------------------------
 
-namespace {
-
 void put_rating(std::string& out, const rating::Rating& r) {
   put_u32(out, r.rater);
   put_u32(out, r.ratee);
@@ -189,7 +200,7 @@ void put_rating(std::string& out, const rating::Rating& r) {
   put_u64(out, r.time);
 }
 
-[[nodiscard]] bool get_rating(Reader& r, rating::Rating& out) {
+bool get_rating(Reader& r, rating::Rating& out) {
   std::uint8_t score = 0;
   if (!r.get_u32(out.rater) || !r.get_u32(out.ratee) || !r.get_u8(score) ||
       !r.get_u64(out.time))
@@ -198,11 +209,6 @@ void put_rating(std::string& out, const rating::Rating& r) {
   out.score = static_cast<rating::Score>(static_cast<int>(score) - 1);
   return true;
 }
-
-/// Bytes one encoded rating occupies (u32 + u32 + u8 + u64).
-constexpr std::size_t kRatingBytes = 17;
-
-}  // namespace
 
 void SubmitRatingRequest::encode(std::string& out) const {
   put_rating(out, rating);
@@ -339,6 +345,11 @@ void GetMetricsResponse::encode(std::string& out) const {
   put_u64(out, m.epoch_scan_threads);
   put_u64(out, m.epoch_overlap_us);
   put_u64(out, m.accomplice_exchange_rounds);
+  // Appended fields (manager-cluster gauges).
+  put_u64(out, m.cluster_owned_keys);
+  put_u64(out, m.cluster_replica_lag);
+  put_u64(out, m.cluster_forwards);
+  put_u64(out, m.cluster_failovers);
 }
 
 std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
@@ -361,7 +372,9 @@ std::optional<GetMetricsResponse> GetMetricsResponse::decode(Reader& r) {
       !r.get_u64(m.shard_map_epoch) || !r.get_u64(m.resizes_completed) ||
       !r.get_u64(m.keys_moved_last_resize) || !r.get_f64(m.last_resize_ms) ||
       !r.get_u64(m.epoch_scan_threads) || !r.get_u64(m.epoch_overlap_us) ||
-      !r.get_u64(m.accomplice_exchange_rounds))
+      !r.get_u64(m.accomplice_exchange_rounds) ||
+      !r.get_u64(m.cluster_owned_keys) || !r.get_u64(m.cluster_replica_lag) ||
+      !r.get_u64(m.cluster_forwards) || !r.get_u64(m.cluster_failovers))
     return std::nullopt;
   return resp;
 }

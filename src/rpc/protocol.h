@@ -62,6 +62,22 @@ enum class MsgType : std::uint8_t {
   kGetMetrics = 6,
   /// Admin: change the shard count online (ReputationService::resize).
   kResize = 7,
+  // Manager-to-manager surface of the multi-process cluster (src/cluster/).
+  // Bodies live in cluster/protocol.h; the type values are registered here
+  // so one byte space covers the whole deployment and to_string stays
+  // exhaustive.
+  /// Client/peer → holder: ingest one rating into its owner key range.
+  kMgrInsert = 16,
+  /// Primary → replica: synchronous copy of an accepted rating.
+  kMgrReplicate = 17,
+  /// Peer → holder: pull a whole key range's checkpoint-encoded state.
+  kMgrStatePull = 18,
+  /// Coordinator → manager: apply a global epoch's colluder verdicts.
+  kMgrColluderSet = 19,
+  /// Any → any: ring membership, replication factor, liveness view.
+  kMgrRingInfo = 20,
+  /// Restarted manager → peers: resynced and serving again.
+  kMgrRejoin = 21,
   /// Server-initiated: connection refused (max_connections) or about to
   /// be torn down. Always sent as a response with request_id 0.
   kGoAway = 0x7f,
@@ -92,6 +108,17 @@ void put_u32(std::string& out, std::uint32_t v);
 void put_u64(std::string& out, std::uint64_t v);
 void put_f64(std::string& out, double v);
 
+/// Bytes one encoded rating occupies (u32 rater + u32 ratee + u8 score +
+/// u64 tick) — shared by SubmitBatch's and the cluster codecs' count
+/// guards.
+inline constexpr std::size_t kRatingBytes = 17;
+
+/// Appends one rating in the canonical 17-byte wire layout (score travels
+/// with the WAL's +1 bias: -1/0/+1 as 0/1/2).
+void put_rating(std::string& out, const rating::Rating& r);
+/// Reads one rating; false on underrun or an out-of-range score byte.
+[[nodiscard]] bool get_rating(class Reader& r, rating::Rating& out);
+
 /// Bounds-checked little-endian reader; get_* return false on underrun and
 /// leave the cursor unmoved past the end.
 class Reader {
@@ -103,6 +130,10 @@ class Reader {
   [[nodiscard]] bool get_u32(std::uint32_t& v);
   [[nodiscard]] bool get_u64(std::uint64_t& v);
   [[nodiscard]] bool get_f64(double& v);
+  /// Reads `n` raw bytes into `out` (replacing its contents); false on
+  /// underrun with the cursor unmoved. Callers validate `n` against
+  /// remaining() *before* any allocation it sizes.
+  [[nodiscard]] bool get_bytes(std::string& out, std::size_t n);
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
   }

@@ -44,6 +44,17 @@ struct ServiceMetrics {
   /// when flag_accomplices is off or no pairs were flagged).
   std::uint64_t accomplice_exchange_rounds = 0;
 
+  // Manager cluster (src/cluster/; all zero outside cluster deployments).
+  /// Node ids whose owner range is held by this manager as primary.
+  std::uint64_t cluster_owned_keys = 0;
+  /// Replication copies that failed or are pending resync (gauge).
+  std::uint64_t cluster_replica_lag = 0;
+  /// Requests this manager forwarded to the owner range's holders.
+  std::uint64_t cluster_forwards = 0;
+  /// Failovers observed: manager-side acting-primary serves plus
+  /// client-side retargets after a primary death.
+  std::uint64_t cluster_failovers = 0;
+
   // Shard map (elastic resharding).
   std::uint64_t current_shard_count = 0;   ///< Live shard count (gauge).
   std::uint64_t shard_map_epoch = 0;       ///< Bumped by each committed resize.
@@ -89,6 +100,10 @@ struct ServiceMetrics {
        << "parallel_epoch: scan_threads=" << epoch_scan_threads
        << " overlap_us=" << epoch_overlap_us
        << " accomplice_rounds=" << accomplice_exchange_rounds << "\n"
+       << "cluster: owned_keys=" << cluster_owned_keys
+       << " replica_lag=" << cluster_replica_lag
+       << " forwards=" << cluster_forwards
+       << " failovers=" << cluster_failovers << "\n"
        << "shards: count=" << current_shard_count
        << " map_epoch=" << shard_map_epoch << " resizes=" << resizes_completed
        << " keys_moved_last=" << keys_moved_last_resize

@@ -18,6 +18,34 @@ ReputationService::ReputationService(ServiceConfig config)
   if (!config_.valid())
     throw std::invalid_argument("service: invalid ServiceConfig");
 
+  if (config_.cluster) {
+    // Decentralized-manager mode: shard state lives in the manager
+    // cluster; the local shards are per-epoch working copies refreshed by
+    // pull. Constraints follow from that shape — epochs must be global
+    // (the pull/push commit is cluster-wide), durability belongs to the
+    // managers, and reload_from() resets the virtual-time trigger state,
+    // so the cadence must be rating-count based.
+    if (config_.epoch_scope != EpochScope::kGlobal)
+      throw std::invalid_argument(
+          "service: cluster mode requires global epoch scope");
+    if (!config_.wal_dir.empty())
+      throw std::invalid_argument(
+          "service: cluster mode is incompatible with a local wal_dir "
+          "(the managers own durability)");
+    if (config_.detector != "basic" && config_.detector != "optimized")
+      throw std::invalid_argument(
+          "service: cluster mode supports detectors 'basic' and "
+          "'optimized' only");
+    if (config_.epoch_ticks != 0 || config_.epoch_ratings == 0)
+      throw std::invalid_argument(
+          "service: cluster mode requires a rating-count epoch trigger");
+    // The epoch body replaces shard matrices wholesale (reload_from), so
+    // ingest can never overlap it; checkpointing has nothing local to
+    // checkpoint.
+    config_.epoch_overlap = false;
+    config_.checkpoint_every_epochs = 0;
+  }
+
   // A durable directory that already holds service state decides the live
   // shard layout: recovery adopts the (map_epoch, num_shards) stamped into
   // the stored checkpoints / WAL headers by the most recent committed
@@ -553,6 +581,10 @@ ResizeStats ReputationService::resize(std::size_t new_num_shards) {
     throw std::invalid_argument(
         "service resize: normalized engine publication is not supported "
         "(per-shard normalization mass would shift mid-window)");
+  if (config_.cluster)
+    throw std::invalid_argument(
+        "service resize: decentralized-manager mode pins the shard count "
+        "to the cluster's ring size");
 
   const util::MutexLock resize_lock(resize_mu_);
   if (stopped_.load(std::memory_order_relaxed))
@@ -752,6 +784,18 @@ void ReputationService::worker_loop(std::shared_ptr<ShardSlot> slot_ptr) {
   while (auto rec = slot.queue.pop()) {
     if (crashing_.load(std::memory_order_relaxed)) return;
     if (rec->kind == WalRecordKind::kRating) {
+      if (config_.cluster) {
+        // Decentralized-manager mode: the rating's authoritative home is
+        // its owner key range in the manager cluster. The forward is
+        // synchronous, so by the time this worker parks at the next epoch
+        // barrier every rating it routed is acknowledged cluster-side.
+        if (config_.cluster->forward(slot.shard.index(), rec->rating))
+          cluster_forwards_.fetch_add(1, std::memory_order_relaxed);
+        else
+          cluster_forward_failures_.fetch_add(1, std::memory_order_relaxed);
+        handled_records_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
       slot.shard.log_record(*rec);
       {
         // Overlapped-epoch commit point: while the coordinator scans the
@@ -920,6 +964,24 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
   const auto start = std::chrono::steady_clock::now();
   const auto table = applied_table();
   const auto& slots = table->slots;
+
+  if (config_.cluster) {
+    // Refresh the working copies: every worker is parked at the barrier
+    // with its forwards acknowledged, so the managers hold exactly the
+    // pre-epoch stream — pulling each range now freezes the same state a
+    // single-process epoch would see. A failed pull (all holders down)
+    // leaves that range's previous copy in place rather than killing the
+    // coordinator thread.
+    for (const auto& slot : slots) {
+      std::string blob;
+      for (int attempt = 0; attempt < 3 && blob.empty(); ++attempt)
+        blob = config_.cluster->pull(slot->shard.index());
+      if (blob.empty()) continue;
+      const auto ckpt = parse_checkpoint(blob);
+      if (ckpt) slot->shard.reload_from(*ckpt);
+    }
+  }
+
   for (const auto& slot : slots) slot->shard.manager().update_reputations();
 
   // Detection/ingest overlap: reputations are frozen above and the scan
@@ -977,6 +1039,13 @@ void ReputationService::run_global_epoch(std::uint64_t seq, bool live) {
     for (rating::NodeId id : flagged)
       if (table->map->owner(id) == slot->shard.index()) owned.push_back(id);
     slot->shard.finish_global_epoch(seq, owned, text);
+  }
+
+  if (config_.cluster) {
+    // Cluster-wide epoch commit: every manager replays the same verdict
+    // sequence on its held ranges (idempotent on retry), keeping manager
+    // state in lockstep with the reports formatted above.
+    (void)config_.cluster->push(seq, flagged);
   }
 
   rings_found_.fetch_add(report.rings.size(), std::memory_order_relaxed);
@@ -1197,6 +1266,14 @@ ServiceMetrics ReputationService::metrics() const {
   m.epoch_overlap_us = epoch_overlap_us_.load(std::memory_order_relaxed);
   m.accomplice_exchange_rounds =
       accomplice_rounds_.load(std::memory_order_relaxed);
+
+  // Cluster gauges (decentralized-manager mode). Forwards that no holder
+  // acknowledged are lost ratings — surfaced as drops.
+  m.cluster_forwards = cluster_forwards_.load(std::memory_order_relaxed);
+  m.ratings_dropped +=
+      cluster_forward_failures_.load(std::memory_order_relaxed);
+  if (config_.cluster && config_.cluster->failovers)
+    m.cluster_failovers = config_.cluster->failovers();
 
   // Shard-map gauges (elastic resharding).
   m.current_shard_count = slots.size();

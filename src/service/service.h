@@ -401,6 +401,9 @@ class ReputationService {
   std::atomic<std::uint64_t> epoch_scan_threads_{1};
   std::atomic<std::uint64_t> epoch_overlap_us_{0};
   std::atomic<std::uint64_t> accomplice_rounds_{0};
+  // Cluster gauges (decentralized-manager mode).
+  std::atomic<std::uint64_t> cluster_forwards_{0};
+  std::atomic<std::uint64_t> cluster_forward_failures_{0};
   // Resize gauges.
   std::atomic<std::uint64_t> resizes_completed_{0};
   std::atomic<std::uint64_t> keys_moved_last_resize_{0};

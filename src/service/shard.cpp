@@ -245,4 +245,25 @@ void ServiceShard::restore(const ShardCheckpoint& ckpt) {
   publish_view(ckpt.epochs_completed, {}, std::string());
 }
 
+void ServiceShard::reload_from(const ShardCheckpoint& ckpt) {
+  // Rebuild the engine in place (the manager holds a reference to it, so
+  // assignment — not reconstruction — keeps that reference valid), then
+  // replace the manager wholesale for an empty matrix, and restore.
+  engine_ = reputation::SummationEngine(config_->num_nodes,
+                                        config_->engine_normalize);
+  manager_ = std::make_unique<managers::IncrementalCentralizedManager>(
+      config_->num_nodes, engine_, config_->detector_config,
+      config_->matrix_backend);
+  if (config_->epoch_scope == EpochScope::kPerShard &&
+      detector_->wants_dirty_tracking()) {
+    manager_->enable_dirty_tracking();
+  }
+  applied_total_.store(0, std::memory_order_relaxed);
+  applied_since_epoch_ = 0;
+  last_epoch_tick_ = 0;
+  last_applied_tick_ = 0;
+  epochs_completed_.store(0, std::memory_order_relaxed);
+  restore(ckpt);
+}
+
 }  // namespace p2prep::service

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -44,6 +45,33 @@ enum class EpochScope {
   /// mutually checked), but shards never wait for each other — the
   /// throughput configuration.
   kPerShard,
+};
+
+/// Transport seam of the decentralized-manager service mode: when
+/// ServiceConfig::cluster is set, shard workers forward ratings to the
+/// manager cluster instead of applying them locally, and the global epoch
+/// pulls each range's authoritative state back before detecting. Expressed
+/// as std::functions so the service layer never depends on src/cluster/
+/// (which depends on the service layer) — cluster::make_cluster_backend
+/// builds the real implementation over ClusterClients.
+///
+/// Threading contract: forward(shard, r) is called only by shard `shard`'s
+/// worker thread; pull/push/failovers only by the epoch coordinator while
+/// every worker is parked at the barrier. Implementations need no locking
+/// if they keep per-shard state disjoint.
+struct ClusterBackend {
+  /// Sends one rating (routed to `shard` == its owner key range) to the
+  /// cluster; false when no holder acknowledged.
+  std::function<bool(std::size_t shard, const rating::Rating& r)> forward;
+  /// Returns key range `range`'s state as canonical checkpoint bytes
+  /// (service::parse_checkpoint decodes them); empty on failure.
+  std::function<std::string(std::size_t range)> pull;
+  /// Commits a global epoch's colluder verdicts cluster-wide.
+  std::function<bool(std::uint64_t epoch_seq,
+                     const std::vector<rating::NodeId>& flagged)>
+      push;
+  /// Inserts served by a replica after a primary failure (gauge).
+  std::function<std::uint64_t()> failovers;
 };
 
 struct ServiceConfig {
@@ -110,6 +138,15 @@ struct ServiceConfig {
   /// Compact (checkpoint + WAL rotate) every N epochs; 0 = never.
   std::uint64_t checkpoint_every_epochs = 0;
 
+  /// Decentralized-manager mode: when set, shard state lives in the
+  /// multi-process manager cluster behind this seam — workers forward
+  /// ratings instead of applying them, the global epoch pulls range state
+  /// back to detect over it and pushes the verdicts cluster-wide.
+  /// Requires kGlobal scope with a rating-count trigger, no local wal_dir
+  /// and a basic/optimized detector; num_shards must equal the cluster's
+  /// ring size. Durability is the managers' concern, not the service's.
+  std::shared_ptr<ClusterBackend> cluster;
+
   [[nodiscard]] bool valid() const noexcept {
     return num_nodes >= 2 && num_shards >= 1 && queue_capacity >= 1 &&
            (epoch_ratings > 0 || epoch_ticks > 0) && detector_config.valid();
@@ -162,6 +199,13 @@ class ServiceShard {
   /// Restores state from a checkpoint (fresh shard only), republishes the
   /// engine view and the read snapshot.
   void restore(const ShardCheckpoint& ckpt);
+  /// Discards the shard's entire state (engine, matrix, counters) and
+  /// restores from `ckpt` — restore() for a shard that has already lived.
+  /// Used by the cluster paths: a rejoining manager adopting a peer's
+  /// authoritative range state, and the decentralized service mode
+  /// refreshing its local copies from the cluster at each epoch. Only
+  /// safe while the worker is parked (or before workers exist).
+  void reload_from(const ShardCheckpoint& ckpt);
 
   /// Stamps the shard map (epoch, count) this shard currently runs under;
   /// recorded in every checkpoint it writes and in rotated WAL headers.

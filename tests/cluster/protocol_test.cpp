@@ -1,0 +1,200 @@
+// Codec tests for the manager-to-manager wire surface
+// (cluster/protocol.h): every body round-trips canonically through its
+// encode/decode pair, and every hostile-count guard rejects before the
+// allocation it would otherwise size. The same guards are pinned by the
+// checked-in fuzz corpus (fuzz/corpus/rpc/*mgr*); these tests give them
+// named, debuggable assertions.
+#include "cluster/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rating/types.h"
+#include "rpc/protocol.h"
+
+namespace p2prep::cluster {
+namespace {
+
+using rating::Rating;
+using rating::Score;
+
+/// Encode → decode → re-encode must reproduce the bytes and consume all
+/// of them (canonical codec, no trailing slack).
+template <typename Body>
+Body roundtrip(const Body& in) {
+  std::string bytes;
+  in.encode(bytes);
+  rpc::Reader r(bytes);
+  const auto out = Body::decode(r);
+  EXPECT_TRUE(out.has_value());
+  EXPECT_TRUE(r.done());
+  std::string bytes2;
+  out->encode(bytes2);
+  EXPECT_EQ(bytes, bytes2);
+  return *out;
+}
+
+TEST(ClusterProtocol, InsertRoundTrip) {
+  MgrInsertRequest req;
+  req.source = 7;
+  req.seq = 1234567;
+  req.forwarded = 1;
+  req.rating = Rating{3, 9, Score::kNegative, 77};
+  const MgrInsertRequest out = roundtrip(req);
+  EXPECT_EQ(out.source, 7u);
+  EXPECT_EQ(out.seq, 1234567u);
+  EXPECT_EQ(out.forwarded, 1);
+  EXPECT_EQ(out.rating.rater, 3u);
+  EXPECT_EQ(out.rating.ratee, 9u);
+
+  MgrInsertResponse resp;
+  resp.duplicate = 1;
+  EXPECT_EQ(roundtrip(resp).duplicate, 1);
+}
+
+TEST(ClusterProtocol, InsertRejectsBadFlags) {
+  MgrInsertRequest req;
+  req.rating = Rating{1, 2, Score::kPositive, 1};
+  std::string bytes;
+  req.encode(bytes);
+  bytes[16] = 2;  // forwarded byte after source+seq
+  {
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrInsertRequest::decode(r).has_value());
+  }
+  {  // truncated
+    rpc::Reader r(std::string_view(bytes).substr(0, bytes.size() - 1));
+    EXPECT_FALSE(MgrInsertRequest::decode(r).has_value());
+  }
+  std::string resp_bytes;
+  rpc::put_u8(resp_bytes, 2);  // duplicate > 1
+  rpc::Reader r(resp_bytes);
+  EXPECT_FALSE(MgrInsertResponse::decode(r).has_value());
+}
+
+TEST(ClusterProtocol, ReplicateRoundTrip) {
+  MgrReplicateRequest req;
+  req.range = 5;
+  req.source = 2;
+  req.seq = 99;
+  req.rating = Rating{4, 6, Score::kNeutral, 12};
+  const MgrReplicateRequest out = roundtrip(req);
+  EXPECT_EQ(out.range, 5u);
+  EXPECT_EQ(out.seq, 99u);
+}
+
+TEST(ClusterProtocol, StatePullRoundTrip) {
+  MgrStatePullRequest req;
+  req.range = 3;
+  EXPECT_EQ(roundtrip(req).range, 3u);
+
+  MgrStatePullResponse resp;
+  resp.range = 3;
+  resp.blob = std::string("\x00\x01binary\xff", 9);
+  resp.seqs = {{1, 10}, {5, 2}, {9, 1}};
+  const MgrStatePullResponse out = roundtrip(resp);
+  EXPECT_EQ(out.blob, resp.blob);
+  EXPECT_EQ(out.seqs, resp.seqs);
+}
+
+TEST(ClusterProtocol, StatePullRejectsHostileLengths) {
+  {  // blob_len far beyond the bytes present (and beyond the cap)
+    std::string bytes;
+    rpc::put_u32(bytes, 0);
+    rpc::put_u32(bytes, 0xffffffffu);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrStatePullResponse::decode(r).has_value());
+  }
+  {  // blob_len over kMaxStateBlobBytes even if bytes were present
+    std::string bytes;
+    rpc::put_u32(bytes, 0);
+    rpc::put_u32(bytes, kMaxStateBlobBytes + 1);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrStatePullResponse::decode(r).has_value());
+  }
+  {  // seq count beyond kMaxSeqEntries with nothing behind it
+    std::string bytes;
+    rpc::put_u32(bytes, 0);
+    rpc::put_u32(bytes, 0);
+    rpc::put_u32(bytes, kMaxSeqEntries + 1);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrStatePullResponse::decode(r).has_value());
+  }
+}
+
+TEST(ClusterProtocol, ColluderSetRoundTrip) {
+  MgrColluderSetRequest req;
+  req.epoch_seq = 42;
+  req.flagged = {1, 5, 7, 1000};
+  const MgrColluderSetRequest out = roundtrip(req);
+  EXPECT_EQ(out.epoch_seq, 42u);
+  EXPECT_EQ(out.flagged, req.flagged);
+
+  MgrColluderSetResponse resp;
+  resp.epochs_completed = 42;
+  EXPECT_EQ(roundtrip(resp).epochs_completed, 42u);
+}
+
+TEST(ClusterProtocol, ColluderSetRejectsHostileCount) {
+  std::string bytes;
+  rpc::put_u64(bytes, 1);
+  rpc::put_u32(bytes, 0xffffffffu);  // count with no ids behind it
+  rpc::Reader r(bytes);
+  EXPECT_FALSE(MgrColluderSetRequest::decode(r).has_value());
+}
+
+TEST(ClusterProtocol, RingInfoRoundTrip) {
+  MgrRingInfoResponse resp;
+  resp.replication = 2;
+  resp.num_nodes = 5000;
+  resp.members = {{"127.0.0.1", 7500, 1},
+                  {"10.0.0.2", 7501, 0},
+                  {"", 7502, 1}};  // empty host is legal on the wire
+  const MgrRingInfoResponse out = roundtrip(resp);
+  ASSERT_EQ(out.members.size(), 3u);
+  EXPECT_EQ(out.members[0].host, "127.0.0.1");
+  EXPECT_EQ(out.members[1].alive, 0);
+  EXPECT_EQ(out.members[2].port, 7502);
+}
+
+TEST(ClusterProtocol, RingInfoRejectsHostileMembers) {
+  const auto prefix = [] {
+    std::string bytes;
+    rpc::put_u32(bytes, 2);     // replication
+    rpc::put_u64(bytes, 1000);  // num_nodes
+    return bytes;
+  };
+  {  // member count beyond kMaxManagers
+    std::string bytes = prefix();
+    rpc::put_u32(bytes, kMaxManagers + 1);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrRingInfoResponse::decode(r).has_value());
+  }
+  {  // host_len beyond kMaxHostBytes
+    std::string bytes = prefix();
+    rpc::put_u32(bytes, 1);
+    rpc::put_u16(bytes, 0xffff);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrRingInfoResponse::decode(r).has_value());
+  }
+  {  // alive flag outside {0,1}
+    std::string bytes = prefix();
+    rpc::put_u32(bytes, 1);
+    rpc::put_u16(bytes, 4);
+    bytes += "host";
+    rpc::put_u16(bytes, 7500);
+    rpc::put_u8(bytes, 2);
+    rpc::Reader r(bytes);
+    EXPECT_FALSE(MgrRingInfoResponse::decode(r).has_value());
+  }
+}
+
+TEST(ClusterProtocol, RejoinRoundTrip) {
+  MgrRejoinRequest req;
+  req.index = 9;
+  EXPECT_EQ(roundtrip(req).index, 9u);
+}
+
+}  // namespace
+}  // namespace p2prep::cluster

@@ -15,6 +15,10 @@
 //   p2prep_cli rate --port 7400 --rater 3 --ratee 9 --score 1
 //   p2prep_cli query --port 7400 --node 9
 //   p2prep_cli metrics --port 7400
+//   p2prep_cli manager --index 0 --ring 127.0.0.1:7500,127.0.0.1:7501
+//       --replication 2 --nodes 1000 --data-dir /tmp/mgr0
+//   p2prep_cli serve-replay --in o.csv --from-trace
+//       --cluster-ring 127.0.0.1:7500,127.0.0.1:7501 --replication 2
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/backend.h"
+#include "cluster/manager_node.h"
 #include "core/calibration.h"
 #include "detect/registry.h"
 #include "detect/snapshot.h"
@@ -149,7 +155,17 @@ int usage() {
                "  query     --port PORT [--host H] --node N | --colluders\n"
                "  metrics   --port PORT [--host H]\n"
                "  resize    --port PORT [--host H] --shards N "
-               "[--timeout-ms N]\n");
+               "[--timeout-ms N]\n"
+               "  manager   --index I --ring H:P,H:P,... [--replication M] "
+               "--nodes N\n"
+               "            [--data-dir DIR] [--bind ADDR] [--port P] "
+               "[--detector basic|optimized]\n"
+               "            [--epoch-ratings N] [--latency-ms F "
+               "--latency-jitter-ms F]\n"
+               "  serve-replay also accepts --cluster-ring H:P,H:P,... "
+               "[--replication M]\n"
+               "            to back the shards with a running manager "
+               "cluster\n");
   return 2;
 }
 
@@ -459,11 +475,54 @@ bool service_config_from(const Args& args, std::size_t num_nodes,
   return true;
 }
 
+/// Parses a comma-separated "host:port,host:port,..." manager ring; empty
+/// on malformed input.
+std::vector<cluster::ManagerEndpoint> parse_ring(const std::string& spec) {
+  std::vector<cluster::ManagerEndpoint> ring;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) return {};
+    const long port = std::strtol(entry.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) return {};
+    ring.push_back({entry.substr(0, colon),
+                    static_cast<std::uint16_t>(port)});
+    pos = comma + 1;
+  }
+  return ring;
+}
+
+/// Applies the --cluster-ring / --replication flags: backs the service's
+/// shards with a running manager cluster (decentralized-manager mode).
+/// Returns false on a malformed ring spec.
+bool apply_cluster_flags(const Args& args, service::ServiceConfig& cfg) {
+  if (!args.has("cluster-ring")) return true;
+  cluster::ClusterBackendConfig bc;
+  bc.ring = parse_ring(args.get("cluster-ring"));
+  if (bc.ring.empty()) {
+    std::fprintf(stderr, "error: malformed --cluster-ring "
+                         "(expect HOST:PORT,HOST:PORT,...)\n");
+    return false;
+  }
+  bc.replication =
+      static_cast<std::uint32_t>(args.get_u64("replication", 1));
+  bc.num_nodes = cfg.num_nodes;
+  cfg.cluster = cluster::make_cluster_backend(bc);
+  cfg.num_shards = bc.ring.size();  // cluster range i == service shard i
+  cfg.wal_dir.clear();              // the managers own durability
+  return true;
+}
+
 // Streams a rating file through the sharded online service — the durable
 // deployment front-end — and dumps metrics plus detection reports. With
 // --wal-dir the run is persisted; re-running over the same directory
-// recovers the previous state first and continues from it. SIGINT/SIGTERM
-// interrupts the replay but still drains and reports before exiting.
+// recovers the previous state first and continues from it. With
+// --cluster-ring the shards are backed by a running manager cluster
+// instead of local state. SIGINT/SIGTERM interrupts the replay but still
+// drains and reports before exiting.
 int cmd_serve_replay(const Args& args) {
   std::vector<rating::Rating> ratings;
   if (!load_ratings(args, ratings)) return 1;
@@ -477,6 +536,7 @@ int cmd_serve_replay(const Args& args) {
   service::ServiceConfig cfg;
   if (!service_config_from(args, static_cast<std::size_t>(max_id) + 1, cfg))
     return usage();
+  if (!apply_cluster_flags(args, cfg)) return 1;
 
   install_signal_handlers();
   try {
@@ -765,6 +825,76 @@ int cmd_resize(const Args& args) {
   return 0;
 }
 
+// Runs one manager process of the multi-process cluster: primary of key
+// range --index, replica of the M-1 preceding ranges, serving the
+// manager-to-manager RPC surface until SIGINT/SIGTERM. With --data-dir the
+// node is durable: kill -9 it, restart with the same flags, and it
+// recovers from its WAL + checkpoints, resyncs from live peers and
+// rejoins.
+int cmd_manager(const Args& args) {
+  if (!args.has("index") || !args.has("ring") || !args.has("nodes")) {
+    std::fprintf(stderr,
+                 "error: manager requires --index I --ring H:P,... "
+                 "--nodes N\n");
+    return usage();
+  }
+  cluster::ManagerNodeConfig cfg;
+  cfg.index = args.get_u64("index", 0);
+  cfg.ring = parse_ring(args.get("ring"));
+  if (cfg.ring.empty()) {
+    std::fprintf(stderr, "error: malformed --ring "
+                         "(expect HOST:PORT,HOST:PORT,...)\n");
+    return 1;
+  }
+  cfg.replication =
+      static_cast<std::uint32_t>(args.get_u64("replication", 1));
+  cfg.data_dir = args.get("data-dir");
+  cfg.bind_address = args.get("bind", cfg.bind_address);
+  cfg.port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+
+  cfg.service.num_nodes = args.get_u64("nodes", 0);
+  cfg.service.epoch_ratings = args.get_u64("epoch-ratings", 4096);
+  cfg.service.detector = args.get("detector", "optimized");
+  cfg.service.detector_config = detector_config_from(args);
+  const std::string backend = args.get("matrix-backend", "sparse");
+  cfg.service.matrix_backend = backend == "dense"
+                                   ? rating::MatrixBackend::kDense
+                                   : rating::MatrixBackend::kSparse;
+
+  if (args.has("latency-ms")) {
+    cfg.latency.enabled = true;
+    cfg.latency.per_hop_ms = args.get_double("latency-ms", 0.0);
+    cfg.latency.jitter_ms = args.get_double("latency-jitter-ms", 0.0);
+    cfg.latency.seed = args.get_u64("latency-seed", cfg.latency.seed);
+  }
+
+  install_signal_handlers();
+  try {
+    cluster::ManagerNode node(cfg);
+    node.start();
+    std::fprintf(stderr, "manager %zu listening on %s:%u (ranges:",
+                 cfg.index, cfg.bind_address.c_str(), node.port());
+    for (std::size_t r : node.held_ranges())
+      std::fprintf(stderr, " %zu", r);
+    std::fprintf(stderr, ")\n");
+    // The smoke/failover tests read the bound port from this line when
+    // --port 0 picked an ephemeral one.
+    std::printf("port=%u\n", node.port());
+    std::fflush(stdout);
+
+    while (g_shutdown_signal == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::fprintf(stderr, "signal %d: stopping manager %zu\n",
+                 static_cast<int>(g_shutdown_signal), cfg.index);
+    node.stop();
+    std::printf("%s\n", node.metrics_snapshot().to_string().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -782,5 +912,6 @@ int main(int argc, char** argv) {
   if (command == "query") return cmd_query(args);
   if (command == "metrics") return cmd_metrics(args);
   if (command == "resize") return cmd_resize(args);
+  if (command == "manager") return cmd_manager(args);
   return usage();
 }

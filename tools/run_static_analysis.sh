@@ -39,7 +39,11 @@
 #                         resize handoff against live ingest, plus
 #                         OverlapStress and ParallelEpoch, which soak the
 #                         parallel global epoch (multithreaded scan,
-#                         detection/ingest overlap) under contention
+#                         detection/ingest overlap) under contention,
+#                         plus the Cluster suites — the multi-threaded
+#                         manager nodes, replica failover and the
+#                         decentralized-manager service mode over real
+#                         sockets
 #   P2PREP_FUZZ_SECONDS   libFuzzer time budget per target in the fuzz
 #                         stage (default: 60)
 #   P2PREP_JOBS           parallel build/test jobs (default: nproc)
@@ -57,7 +61,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_prefix="${P2PREP_BUILD_PREFIX:-${repo_root}/build-}"
 jobs="${P2PREP_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 ctest_filter="${P2PREP_CTEST_FILTER:-}"
-tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency|DetectRegistryConcurrency|Reshard|OverlapStress|ParallelEpoch}"
+tsan_filter="${P2PREP_TSAN_FILTER:-ServiceConcurrency|ServiceBackendDifferential|RpcConcurrency|DetectRegistryConcurrency|Reshard|OverlapStress|ParallelEpoch|Cluster}"
 clangxx="${P2PREP_CLANG:-$(command -v clang++ || true)}"
 clang_tidy="$(command -v clang-tidy || true)"
 
