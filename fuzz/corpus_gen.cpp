@@ -292,6 +292,14 @@ void gen_cluster(const std::filesystem::path& dir) {
     body.encode(p);
     emit(dir, "req_mgr_rejoin", framed(p));
   }
+  {
+    std::string p;
+    rpc::encode_request_header(p, rpc::MsgType::kMgrResyncHint, 26);
+    cluster::MgrResyncHintRequest body;
+    body.range = 1;
+    body.encode(p);
+    emit(dir, "req_mgr_resync_hint", framed(p));
+  }
 
   // Valid responses, one per bodied type.
   {

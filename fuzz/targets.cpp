@@ -85,6 +85,10 @@ void exercise_rpc_payload(std::string_view payload) {
           if (auto b = cluster::MgrRejoinRequest::decode(r))
             roundtrip_body(*b);
           break;
+        case rpc::MsgType::kMgrResyncHint:
+          if (auto b = cluster::MgrResyncHintRequest::decode(r))
+            roundtrip_body(*b);
+          break;
         default:
           // kPing / kQueryColluders / kGetMetrics / kGoAway / kMgrRingInfo
           // have no request body; unknown types are the server's
@@ -132,7 +136,8 @@ void exercise_rpc_payload(std::string_view payload) {
             roundtrip_body(*b);
           break;
         default:
-          // kMgrReplicate / kMgrRejoin responses have no body.
+          // kMgrReplicate / kMgrRejoin / kMgrResyncHint responses have no
+          // body.
           break;
       }
     }

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +26,10 @@ namespace {
 
 /// Poll tick of every blocking loop; bounds stop() latency.
 constexpr int kPollTickMs = 100;
+
+/// "No peer rejoined in this request" sentinel for handle_request's
+/// rejoined_peer out-parameter.
+constexpr std::size_t kNoPeer = static_cast<std::size_t>(-1);
 
 bool send_all_fd(int fd, const std::string& data) {
   std::size_t sent = 0;
@@ -71,6 +76,10 @@ ManagerNode::~ManagerNode() { stop(); }
 
 bool ManagerNode::holds(std::size_t range) const noexcept {
   const std::size_t k = config_.ring.size();
+  // Wire-supplied ranges reach this unvalidated; without the bound check
+  // a range >= k would underflow the offset arithmetic below and could
+  // alias to a held offset for a range no store exists for.
+  if (range >= k) return false;
   // range r is held by r, r+1, ..., r+M-1 (mod k).
   const std::size_t offset = (config_.index + k - range) % k;
   return offset < config_.replication;
@@ -234,41 +243,90 @@ void ManagerNode::resync_from_peers() {
   // reachable peer's copy is authoritative (at worst equal). The dedup
   // table travels with the blob, so retried inserts stay exactly-once
   // across the rejoin.
-  std::vector<std::size_t> ranges = held_ranges();
-  for (std::size_t r : ranges) {
-    MgrStatePullRequest req;
-    req.range = static_cast<std::uint32_t>(r);
-    std::string body;
-    req.encode(body);
-    for (std::size_t h : holders_of(r)) {
-      if (h == config_.index) continue;
-      std::string resp_body;
-      const rpc::CallResult res =
-          peer_call(h, rpc::MsgType::kMgrStatePull, body, &resp_body,
-                    config_.resync_connect_timeout_ms);
-      if (!res.ok || res.status != rpc::Status::kOk) continue;
-      rpc::Reader reader(resp_body);
-      auto resp = MgrStatePullResponse::decode(reader);
-      if (!resp) continue;
-      const auto ckpt = service::parse_checkpoint(resp->blob);
-      if (!ckpt) continue;
-      {
-        const util::MutexLock lock(state_mu_);
-        RangeStore* store = store_of(r);
-        store->shard.reload_from(*ckpt);
-        store->seqs.clear();
-        for (const auto& [source, seq] : resp->seqs)
-          store->seqs[source] = seq;
-        // Re-anchor durability on the adopted state: the local WAL's
-        // records belong to the discarded pre-resync history, so cut a
-        // fresh checkpoint and rotate past them.
-        if (!config_.data_dir.empty() &&
-            store->shard.checkpoint_and_rotate(range_ckpt_path(r)))
-          checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t r : held_ranges())
+    (void)resync_range(r, config_.resync_connect_timeout_ms,
+                       /*wholesale=*/true);
+}
+
+bool ManagerNode::resync_range(std::size_t range,
+                               std::uint32_t connect_timeout_ms,
+                               bool wholesale) {
+  MgrStatePullRequest req;
+  req.range = static_cast<std::uint32_t>(range);
+  std::string body;
+  req.encode(body);
+  for (std::size_t h : holders_of(range)) {
+    if (h == config_.index) continue;
+    // One-shot connection, NOT the shared peer client: a bulk state pull
+    // must not hold Peer::mu against the replicate path, and a
+    // hint-triggered pull over the shared client would land on the very
+    // connection whose serve thread at the peer is blocked awaiting our
+    // hint response — a request cycle over one socket that only a
+    // timeout can break.
+    rpc::RpcClientConfig cc;
+    cc.host = config_.ring[h].host;
+    cc.port = config_.ring[h].port;
+    cc.request_timeout_ms = config_.request_timeout_ms;
+    if (connect_timeout_ms != 0) cc.connect_timeout_ms = connect_timeout_ms;
+    cc.max_frame_bytes = kClusterMaxFrameBytes;
+    rpc::RpcClient client(cc);
+    if (!client.connect()) continue;
+    std::string resp_body;
+    const rpc::CallResult res =
+        client.call_raw(rpc::MsgType::kMgrStatePull, body, &resp_body);
+    if (!res.ok || res.status != rpc::Status::kOk) continue;
+    rpc::Reader reader(resp_body);
+    auto resp = MgrStatePullResponse::decode(reader);
+    if (!resp) continue;
+    const auto ckpt = service::parse_checkpoint(resp->blob);
+    if (!ckpt) continue;
+    const util::MutexLock lock(state_mu_);
+    RangeStore* store = store_of(range);
+    if (!wholesale) {
+      // Catch-up adopt (kMgrResyncHint): take the peer copy only when
+      // its watermarks cover every locally-acked rating — this node may
+      // have served failover inserts the peer never received, and
+      // wholesale adoption would drop them. Checked under state_mu_, so
+      // a rating applied after the pull forces a retry instead of being
+      // silently overwritten.
+      bool peer_covers_local = true;
+      for (const auto& [source, seq] : store->seqs) {
+        const auto it =
+            std::lower_bound(resp->seqs.begin(), resp->seqs.end(),
+                             std::make_pair(source, std::uint64_t{0}));
+        if (it == resp->seqs.end() || it->first != source ||
+            it->second < seq) {
+          peer_covers_local = false;
+          break;
+        }
       }
-      break;
+      if (!peer_covers_local) {
+        // The stale side may be the peer: if the local watermarks cover
+        // the peer's, this copy is already current.
+        bool local_covers_peer = true;
+        for (const auto& [source, seq] : resp->seqs) {
+          const auto it = store->seqs.find(source);
+          if (it == store->seqs.end() || it->second < seq) {
+            local_covers_peer = false;
+            break;
+          }
+        }
+        if (local_covers_peer) return true;
+        continue;  // diverged both ways; try another holder
+      }
     }
+    store->shard.reload_from(*ckpt);
+    store->seqs.clear();
+    for (const auto& [source, seq] : resp->seqs) store->seqs[source] = seq;
+    // Re-anchor durability on the adopted state: the local WAL's records
+    // belong to the discarded pre-adopt history, so cut a fresh
+    // checkpoint and rotate past them.
+    if (!config_.data_dir.empty() &&
+        store->shard.checkpoint_and_rotate(range_ckpt_path(range)))
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
+  return false;
 }
 
 void ManagerNode::broadcast_rejoin() {
@@ -303,18 +361,41 @@ void ManagerNode::stop() {
 // --- Serving ----------------------------------------------------------------
 
 void ManagerNode::accept_loop() {
-  std::vector<std::thread> conns;
+  // Each connection gets a thread; finished ones are reaped every poll
+  // tick so a long-lived manager serving many short-lived connections
+  // does not accumulate unjoined threads without bound.
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Conn> conns;
+  const auto reap = [&conns](bool all) {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollTickMs);
+    reap(/*all=*/false);
     if (ready <= 0) continue;
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    conns.emplace_back([this, fd] { serve_connection(fd); });
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    conns.push_back(Conn{std::thread([this, fd, done] {
+                           serve_connection(fd);
+                           done->store(true, std::memory_order_release);
+                         }),
+                         done});
   }
-  for (auto& t : conns) t.join();
+  reap(/*all=*/true);
 }
 
 void ManagerNode::serve_connection(int fd) {
@@ -354,19 +435,27 @@ void ManagerNode::serve_connection(int fd) {
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(ms));
       }
-      const std::string response = handle_request(payload);
+      std::size_t rejoined_peer = kNoPeer;
+      const std::string response = handle_request(payload, &rejoined_peer);
       buf.erase(0, consumed);
       if (!response.empty() && !send_all_fd(fd, response)) {
         corrupt = true;
         break;
       }
+      // A rejoined peer has finished its startup resync, so any debt
+      // recorded toward it is already covered — repay it now rather than
+      // waiting for the next insert to touch a shared range. Must happen
+      // after the response: the rejoiner's broadcast_rejoin holds its
+      // own peer entry for this node until the reply lands.
+      if (rejoined_peer != kNoPeer) repair_lagging(rejoined_peer);
     }
     if (corrupt) break;
   }
   ::close(fd);
 }
 
-std::string ManagerNode::handle_request(std::string_view payload) {
+std::string ManagerNode::handle_request(std::string_view payload,
+                                        std::size_t* rejoined_peer) {
   rpc::Reader r(payload);
   rpc::RequestHeader req{};
   if (!rpc::decode_request_header(r, req)) return {};  // drop, no reply
@@ -402,7 +491,10 @@ std::string ManagerNode::handle_request(std::string_view payload) {
         resp_h.status = handle_ring_info(body);
         break;
       case rpc::MsgType::kMgrRejoin:
-        resp_h.status = handle_rejoin(r, body);
+        resp_h.status = handle_rejoin(r, body, rejoined_peer);
+        break;
+      case rpc::MsgType::kMgrResyncHint:
+        resp_h.status = handle_resync_hint(r, body);
         break;
       case rpc::MsgType::kGetMetrics:
         resp_h.status = handle_get_metrics(body);
@@ -489,10 +581,66 @@ void ManagerNode::replicate(std::size_t range,
   req.encode(body);
   for (std::size_t h : holders_of(range)) {
     if (h == config_.index) continue;
-    const rpc::CallResult res =
+    rpc::CallResult res =
         peer_call(h, rpc::MsgType::kMgrReplicate, body, nullptr);
+    // One retry: a transient timeout or dropped connection must not
+    // strand a live replica with a hole in its copy.
     if (!res.ok || res.status != rpc::Status::kOk)
+      res = peer_call(h, rpc::MsgType::kMgrReplicate, body, nullptr);
+    if (!res.ok || res.status != rpc::Status::kOk) {
+      // Record the debt: this holder is missing a copy it must receive
+      // before it can serve the range alone. Repaid by repair_lagging
+      // the next time the peer answers, or by its own restart resync.
       replica_lag_.fetch_add(1, std::memory_order_relaxed);
+      const util::MutexLock lock(peers_[h]->mu);
+      ++peers_[h]->lagging[range];
+      continue;
+    }
+    repair_lagging(h);
+  }
+}
+
+void ManagerNode::repair_lagging(std::size_t idx) {
+  Peer& peer = *peers_[idx];
+  std::vector<std::pair<std::size_t, std::uint64_t>> debts;
+  {
+    const util::MutexLock lock(peer.mu);
+    if (peer.lagging.empty()) return;
+    debts.assign(peer.lagging.begin(), peer.lagging.end());
+  }
+  for (const auto& [range, missed] : debts) {
+    MgrResyncHintRequest hint;
+    hint.range = static_cast<std::uint32_t>(range);
+    std::string body;
+    hint.encode(body);
+    rpc::CallResult res =
+        peer_call(idx, rpc::MsgType::kMgrResyncHint, body, nullptr);
+    // One retry: the cached connection to a peer that died and came back
+    // is a stale socket, and the first call on it fails while tearing it
+    // down — exactly the situation a rejoin-triggered repair runs in.
+    if (!res.ok || res.status != rpc::Status::kOk)
+      res = peer_call(idx, rpc::MsgType::kMgrResyncHint, body, nullptr);
+    if (!res.ok || res.status != rpc::Status::kOk) continue;
+    // The peer re-pulled the range and is caught up; repay at most the
+    // snapshot's debt — copies that failed since the snapshot stay owed.
+    // The gauge moves by exactly what this call removes from the map: a
+    // concurrent repair (rejoin-triggered and insert-triggered can race)
+    // that already claimed the entry repays nothing here, so the debt is
+    // never subtracted twice.
+    std::uint64_t repaid = 0;
+    {
+      const util::MutexLock lock(peer.mu);
+      const auto it = peer.lagging.find(range);
+      if (it != peer.lagging.end()) {
+        repaid = std::min(missed, it->second);
+        if (it->second <= missed)
+          peer.lagging.erase(it);
+        else
+          it->second -= missed;
+      }
+    }
+    if (repaid != 0)
+      replica_lag_.fetch_sub(repaid, std::memory_order_relaxed);
   }
 }
 
@@ -579,10 +727,26 @@ rpc::Status ManagerNode::handle_colluder_set(rpc::Reader& r,
                                              std::string& body) {
   const auto req = MgrColluderSetRequest::decode(r);
   if (!req || !r.done()) return rpc::Status::kInvalidArgument;
+  // Wire-supplied verdicts: every flagged id is an index into the
+  // ownership map, so an id outside the node space is hostile.
+  for (rating::NodeId id : req->flagged)
+    if (id >= config_.service.num_nodes)
+      return rpc::Status::kInvalidArgument;
   using SuppressionMode = managers::CentralizedManager::SuppressionMode;
   std::uint64_t completed = 0;
   {
     const util::MutexLock lock(state_mu_);
+    // Validate the epoch number against the least-caught-up range before
+    // touching anything: a hostile epoch_seq (e.g. 2^64-1) committed
+    // verbatim would make every later legitimate epoch look like an
+    // idempotent retry and wedge cluster-wide commits for good. A small
+    // jump is legitimate — a holder that missed commits while
+    // partitioned catches up on the next push.
+    for (const auto& store : stores_) {
+      const std::uint64_t have = store->shard.epochs_completed();
+      if (req->epoch_seq > have && req->epoch_seq - have > kMaxEpochSkip)
+        return rpc::Status::kInvalidArgument;
+    }
     for (const auto& store : stores_) {
       // Idempotent: a coordinator retry of an epoch the range already
       // committed is acknowledged without replaying.
@@ -645,13 +809,24 @@ rpc::Status ManagerNode::handle_ring_info(std::string& body) {
   return rpc::Status::kOk;
 }
 
-rpc::Status ManagerNode::handle_rejoin(rpc::Reader& r, std::string&) {
+rpc::Status ManagerNode::handle_rejoin(rpc::Reader& r, std::string&,
+                                       std::size_t* rejoined_peer) {
   const auto req = MgrRejoinRequest::decode(r);
   if (!req || !r.done()) return rpc::Status::kInvalidArgument;
   if (req->index >= config_.ring.size() || req->index == config_.index)
     return rpc::Status::kInvalidArgument;
   peers_[req->index]->alive.store(true, std::memory_order_relaxed);
+  if (rejoined_peer != nullptr) *rejoined_peer = req->index;
   return rpc::Status::kOk;
+}
+
+rpc::Status ManagerNode::handle_resync_hint(rpc::Reader& r, std::string&) {
+  const auto req = MgrResyncHintRequest::decode(r);
+  if (!req || !r.done()) return rpc::Status::kInvalidArgument;
+  if (!holds(req->range)) return rpc::Status::kInvalidArgument;
+  return resync_range(req->range, 0, /*wholesale=*/false)
+             ? rpc::Status::kOk
+             : rpc::Status::kInternal;
 }
 
 rpc::Status ManagerNode::handle_get_metrics(std::string& body) {

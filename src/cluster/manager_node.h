@@ -126,9 +126,15 @@ class ManagerNode {
 
   /// Lazily-connected client to one peer manager. `mu` serializes use of
   /// the connection; `alive` is the liveness view RingInfo reports.
+  /// `lagging` records replication debt owed to this peer: range ->
+  /// number of copies that failed delivery (after the retry). The debt is
+  /// repaid by a kMgrResyncHint on the next successful replicate contact,
+  /// or out of band by the peer's own restart resync.
   struct Peer {
     util::Mutex mu;
     std::optional<rpc::RpcClient> client P2PREP_GUARDED_BY(mu);
+    std::unordered_map<std::size_t, std::uint64_t> lagging
+        P2PREP_GUARDED_BY(mu);
     std::atomic<bool> alive{true};
   };
 
@@ -152,11 +158,38 @@ class ManagerNode {
   void resync_from_peers();
   void broadcast_rejoin();
 
+  /// Pulls `range` from its other holders and adopts a reachable peer's
+  /// copy. `wholesale` (the startup resync) adopts the first reachable
+  /// holder unconditionally — the peers kept accepting writes while this
+  /// node was down, so their copy is authoritative. The catch-up mode
+  /// (kMgrResyncHint, wholesale=false) adopts only a copy whose dedup
+  /// watermarks cover every local (source, seq) — this node may hold
+  /// acked failover inserts the peer lacks, which adoption must not
+  /// drop. Returns true when the local copy is known caught-up after the
+  /// call.
+  bool resync_range(std::size_t range, std::uint32_t connect_timeout_ms,
+                    bool wholesale) P2PREP_EXCLUDES(state_mu_);
+
+  /// Peer `idx` is reachable again — it either answered a replicate call
+  /// or announced itself with kMgrRejoin: sends a kMgrResyncHint for
+  /// every range with recorded replication debt to it, and clears the
+  /// repaid debt from Peer::lagging / replica_lag. The rejoin trigger
+  /// matters on an idle cluster: without it the debt (and the gauge)
+  /// would sit unrepaid until the next insert happened to land on a
+  /// shared range.
+  void repair_lagging(std::size_t idx) P2PREP_EXCLUDES(state_mu_);
+
   // Serving.
   void accept_loop();
   void serve_connection(int fd);
   /// Dispatches one decoded request; returns the full framed response.
-  std::string handle_request(std::string_view payload);
+  /// A successful kMgrRejoin sets `*rejoined_peer` to the rejoined ring
+  /// index — the caller repays that peer's replication debt after the
+  /// response is on the wire (not inside the handler: the rejoiner's
+  /// broadcast_rejoin blocks on this reply, and a hint sent before it
+  /// would stall behind the rejoiner's own startup traffic).
+  std::string handle_request(std::string_view payload,
+                             std::size_t* rejoined_peer);
 
   // Per-type handlers; each returns (status, body bytes).
   rpc::Status handle_insert(rpc::Reader& r, std::string& body);
@@ -165,12 +198,17 @@ class ManagerNode {
   rpc::Status handle_state_pull(rpc::Reader& r, std::string& body);
   rpc::Status handle_colluder_set(rpc::Reader& r, std::string& body);
   rpc::Status handle_ring_info(std::string& body);
-  rpc::Status handle_rejoin(rpc::Reader& r, std::string& body);
+  rpc::Status handle_rejoin(rpc::Reader& r, std::string& body,
+                            std::size_t* rejoined_peer);
+  rpc::Status handle_resync_hint(rpc::Reader& r, std::string& body);
   rpc::Status handle_get_metrics(std::string& body);
 
-  /// Synchronously copies an accepted rating to every other live holder
-  /// of `range`; a failed copy marks the peer dead and counts into
-  /// replica_lag (the rejoin resync is what repays the debt).
+  /// Synchronously copies an accepted rating to every other holder of
+  /// `range`, retrying each failed copy once (a transient timeout must
+  /// not strand a live replica). A copy that still fails marks the peer
+  /// dead and records the debt in Peer::lagging / replica_lag; the next
+  /// successful replicate contact with that peer sends a kMgrResyncHint
+  /// so it re-pulls the range, repaying the debt without a restart.
   void replicate(std::size_t range, const MgrReplicateRequest& req)
       P2PREP_EXCLUDES(state_mu_);
 

@@ -178,4 +178,15 @@ std::optional<MgrRejoinRequest> MgrRejoinRequest::decode(rpc::Reader& r) {
   return req;
 }
 
+void MgrResyncHintRequest::encode(std::string& out) const {
+  put_u32(out, range);
+}
+
+std::optional<MgrResyncHintRequest> MgrResyncHintRequest::decode(
+    rpc::Reader& r) {
+  MgrResyncHintRequest req;
+  if (!r.get_u32(req.range)) return std::nullopt;
+  return req;
+}
+
 }  // namespace p2prep::cluster

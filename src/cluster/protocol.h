@@ -32,6 +32,12 @@ inline constexpr std::uint32_t kMaxSeqEntries = 1u << 16;
 inline constexpr std::uint32_t kMaxManagers = 1u << 12;
 /// Hard cap on one member's host-string length.
 inline constexpr std::uint32_t kMaxHostBytes = 255;
+/// How far past a holder's own epoch count a MgrColluderSet commit may
+/// jump. Legitimate jumps are small (a holder that missed a few commits
+/// while partitioned); a wire-supplied epoch_seq beyond this window is
+/// hostile — committing it verbatim would make every later legitimate
+/// epoch look like an idempotent retry and wedge the cluster.
+inline constexpr std::uint64_t kMaxEpochSkip = 1024;
 /// Frame cap for manager-to-manager connections: a state-pull response
 /// (blob + seq table + envelope) must fit in one frame, so peers raise
 /// rpc::RpcClientConfig::max_frame_bytes to this instead of the 1 MiB
@@ -150,6 +156,20 @@ struct MgrRejoinRequest {
 
   void encode(std::string& out) const;
   [[nodiscard]] static std::optional<MgrRejoinRequest> decode(rpc::Reader& r);
+};
+
+/// Holder → lagging holder: the sender failed to deliver replication
+/// copies for `range` while the receiver was unreachable, and the
+/// receiver is reachable again — it should re-pull the range from the
+/// other holders now instead of waiting for its next restart. The
+/// receiver answers kOk once its copy is caught up (adopted a dominating
+/// peer state, or was already current). Response has no body.
+struct MgrResyncHintRequest {
+  std::uint32_t range = 0;
+
+  void encode(std::string& out) const;
+  [[nodiscard]] static std::optional<MgrResyncHintRequest> decode(
+      rpc::Reader& r);
 };
 
 }  // namespace p2prep::cluster

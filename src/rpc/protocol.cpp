@@ -35,6 +35,7 @@ std::string_view to_string(MsgType t) noexcept {
     case MsgType::kMgrColluderSet: return "mgr-colluder-set";
     case MsgType::kMgrRingInfo: return "mgr-ring-info";
     case MsgType::kMgrRejoin: return "mgr-rejoin";
+    case MsgType::kMgrResyncHint: return "mgr-resync-hint";
     case MsgType::kGoAway: return "go-away";
   }
   return "?";

@@ -78,6 +78,10 @@ enum class MsgType : std::uint8_t {
   kMgrRingInfo = 20,
   /// Restarted manager → peers: resynced and serving again.
   kMgrRejoin = 21,
+  /// Holder → lagging holder: replication copies were missed while the
+  /// receiver was unreachable; re-pull the named range from the other
+  /// holders now. Response has no body.
+  kMgrResyncHint = 22,
   /// Server-initiated: connection refused (max_connections) or about to
   /// be torn down. Always sent as a response with request_id 0.
   kGoAway = 0x7f,

@@ -47,7 +47,9 @@ struct ServiceMetrics {
   // Manager cluster (src/cluster/; all zero outside cluster deployments).
   /// Node ids whose owner range is held by this manager as primary.
   std::uint64_t cluster_owned_keys = 0;
-  /// Replication copies that failed or are pending resync (gauge).
+  /// Replication copies owed to lagging holders (gauge): incremented per
+  /// copy that failed delivery (after the retry), decremented when the
+  /// debt is repaid by a resync hint toward the recovered holder.
   std::uint64_t cluster_replica_lag = 0;
   /// Requests this manager forwarded to the owner range's holders.
   std::uint64_t cluster_forwards = 0;

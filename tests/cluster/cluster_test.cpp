@@ -13,9 +13,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/client.h"
@@ -308,6 +310,227 @@ TEST_F(ClusterTest, ColluderSetCommitsEpochClusterWideAndIsIdempotent) {
   ASSERT_TRUE(client.query(ratee, &q));
   EXPECT_EQ(q.epoch, 2u);
   EXPECT_EQ(q.suspected, 1u);
+}
+
+TEST_F(ClusterTest, ReplicateAndStatePullRejectHostileRange) {
+  rpc::RpcClient c = raw_client(0);
+  ASSERT_TRUE(c.connect());
+  // Ranges >= the ring size never name a store; before validation the
+  // modular holds() arithmetic could alias them to a held offset (e.g.
+  // range 7 in a ring of 3) and dereference a null store.
+  for (const std::uint32_t hostile : {std::uint32_t{kRingSize},
+                                      std::uint32_t{7}, 0xffffffffu}) {
+    MgrReplicateRequest rep;
+    rep.range = hostile;
+    rep.source = 50;
+    rep.seq = 1;
+    rep.rating = Rating{0, 1, Score::kPositive, 1};
+    std::string body;
+    rep.encode(body);
+    std::string resp_body;
+    rpc::CallResult res =
+        c.call_raw(rpc::MsgType::kMgrReplicate, body, &resp_body);
+    ASSERT_TRUE(res.ok) << "range " << hostile;
+    EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+
+    MgrStatePullRequest pull;
+    pull.range = hostile;
+    body.clear();
+    pull.encode(body);
+    res = c.call_raw(rpc::MsgType::kMgrStatePull, body, &resp_body);
+    ASSERT_TRUE(res.ok) << "range " << hostile;
+    EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+
+    MgrResyncHintRequest hint;
+    hint.range = hostile;
+    body.clear();
+    hint.encode(body);
+    res = c.call_raw(rpc::MsgType::kMgrResyncHint, body, &resp_body);
+    ASSERT_TRUE(res.ok) << "range " << hostile;
+    EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+  }
+  // Nothing was applied anywhere.
+  for (std::size_t i = 0; i < kRingSize; ++i)
+    EXPECT_EQ(nodes_[i]->metrics_snapshot().ratings_applied, 0u);
+}
+
+TEST_F(ClusterTest, ColluderSetRejectsHostileFlaggedId) {
+  rpc::RpcClient c = raw_client(0);
+  ASSERT_TRUE(c.connect());
+  MgrColluderSetRequest req;
+  req.epoch_seq = 1;
+  req.flagged = {static_cast<rating::NodeId>(kNumNodes)};  // out of range
+  std::string body;
+  req.encode(body);
+  std::string resp_body;
+  const rpc::CallResult res =
+      c.call_raw(rpc::MsgType::kMgrColluderSet, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+  EXPECT_EQ(nodes_[0]->metrics_snapshot().epochs_completed, 0u);
+}
+
+TEST_F(ClusterTest, ColluderSetRejectsEpochJumpBeyondWindow) {
+  rpc::RpcClient c = raw_client(0);
+  ASSERT_TRUE(c.connect());
+  MgrColluderSetRequest req;
+  req.epoch_seq = ~std::uint64_t{0};  // hostile: would wedge every later epoch
+  std::string body;
+  req.encode(body);
+  std::string resp_body;
+  const rpc::CallResult res =
+      c.call_raw(rpc::MsgType::kMgrColluderSet, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+  EXPECT_EQ(nodes_[0]->metrics_snapshot().epochs_completed, 0u);
+
+  // The cluster is not wedged: the next legitimate epoch still commits.
+  ClusterClient client(client_config(5));
+  ASSERT_TRUE(client.push_colluders(1, {}));
+  for (std::size_t i = 0; i < kRingSize; ++i)
+    EXPECT_EQ(nodes_[i]->metrics_snapshot().epochs_completed, 1u);
+}
+
+TEST_F(ClusterTest, ResyncHintCatchesUpStaleHolder) {
+  // Plant a copy on node 0 only: handle_replicate never re-replicates,
+  // so node 1 (the other holder of range 0) is now one rating behind —
+  // the state a slow replica is in after missing a copy.
+  const rating::NodeId ratee = ratee_in_range(0);
+  MgrReplicateRequest rep;
+  rep.range = 0;
+  rep.source = 51;
+  rep.seq = 1;
+  rep.rating = Rating{other_than(ratee), ratee, Score::kPositive, 1};
+  std::string body;
+  rep.encode(body);
+  rpc::RpcClient c0 = raw_client(0);
+  ASSERT_TRUE(c0.connect());
+  std::string resp_body;
+  rpc::CallResult res = c0.call_raw(rpc::MsgType::kMgrReplicate, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.status, rpc::Status::kOk);
+  EXPECT_EQ(nodes_[0]->metrics_snapshot().ratings_applied, 1u);
+  EXPECT_EQ(nodes_[1]->metrics_snapshot().ratings_applied, 0u);
+
+  // The hint makes node 1 pull range 0 from node 0 and adopt its copy.
+  rpc::RpcClient c1 = raw_client(1);
+  ASSERT_TRUE(c1.connect());
+  MgrResyncHintRequest hint;
+  hint.range = 0;
+  body.clear();
+  hint.encode(body);
+  res = c1.call_raw(rpc::MsgType::kMgrResyncHint, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, rpc::Status::kOk);
+  EXPECT_EQ(nodes_[1]->metrics_snapshot().ratings_applied, 1u);
+
+  // Both holders now serve byte-identical state.
+  MgrStatePullRequest pull;
+  pull.range = 0;
+  body.clear();
+  pull.encode(body);
+  std::string from0, from1;
+  ASSERT_EQ(c0.call_raw(rpc::MsgType::kMgrStatePull, body, &from0).status,
+            rpc::Status::kOk);
+  ASSERT_EQ(c1.call_raw(rpc::MsgType::kMgrStatePull, body, &from1).status,
+            rpc::Status::kOk);
+  EXPECT_EQ(from0, from1);
+
+  // A hint for a range the receiver does not hold is hostile.
+  hint.range = 1;  // node 0 does not hold range 1
+  body.clear();
+  hint.encode(body);
+  res = c0.call_raw(rpc::MsgType::kMgrResyncHint, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, rpc::Status::kInvalidArgument);
+}
+
+TEST_F(ClusterTest, ReplicationDebtIsRepaidWhenPeerReturns) {
+  // Kill range 1's primary, then ack an insert through the surviving
+  // holder: the copy to the dead peer fails and is recorded as debt.
+  nodes_[1]->stop();
+  nodes_[1].reset();
+  const rating::NodeId ratee = ratee_in_range(1);
+  ClusterClient client(client_config(6));
+  ASSERT_TRUE(client.insert({other_than(ratee), ratee, Score::kPositive, 1}));
+  EXPECT_EQ(nodes_[2]->metrics_snapshot().cluster_replica_lag, 1u);
+
+  // The peer comes back (resyncs on start, as a restart would).
+  nodes_[1] = std::make_unique<ManagerNode>(node_config(1));
+  nodes_[1]->start();
+
+  // The next insert through the survivor replicates successfully, which
+  // triggers the resync hint toward the recovered peer and repays the
+  // recorded debt — without any further restart.
+  MgrInsertRequest ins;
+  ins.source = 52;
+  ins.seq = 1;
+  ins.rating = Rating{other_than(ratee), ratee, Score::kNegative, 2};
+  std::string body;
+  ins.encode(body);
+  rpc::RpcClient c2 = raw_client(2);
+  ASSERT_TRUE(c2.connect());
+  std::string resp_body;
+  const rpc::CallResult res =
+      c2.call_raw(rpc::MsgType::kMgrInsert, body, &resp_body);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.status, rpc::Status::kOk);
+  EXPECT_EQ(nodes_[2]->metrics_snapshot().cluster_replica_lag, 0u);
+
+  // Both holders of range 1 serve the same bytes again.
+  MgrStatePullRequest pull;
+  pull.range = 1;
+  body.clear();
+  pull.encode(body);
+  rpc::RpcClient c1 = raw_client(1);
+  ASSERT_TRUE(c1.connect());
+  std::string from1, from2;
+  ASSERT_EQ(c1.call_raw(rpc::MsgType::kMgrStatePull, body, &from1).status,
+            rpc::Status::kOk);
+  ASSERT_EQ(c2.call_raw(rpc::MsgType::kMgrStatePull, body, &from2).status,
+            rpc::Status::kOk);
+  EXPECT_EQ(from1, from2);
+}
+
+TEST_F(ClusterTest, RejoinAloneRepaysReplicationDebt) {
+  // Same debt setup as above: range 1's primary dies, a failover insert
+  // through the survivor records one owed copy.
+  nodes_[1]->stop();
+  nodes_[1].reset();
+  const rating::NodeId ratee = ratee_in_range(1);
+  ClusterClient client(client_config(7));
+  ASSERT_TRUE(client.insert({other_than(ratee), ratee, Score::kPositive, 1}));
+  ASSERT_EQ(nodes_[2]->metrics_snapshot().cluster_replica_lag, 1u);
+
+  // The peer restarts and broadcasts its rejoin — and nothing else: no
+  // insert ever touches the shared range again. The survivor must repay
+  // the debt off the rejoin alone (it repairs after answering the
+  // broadcast), or an idle cluster would report phantom lag forever.
+  nodes_[1] = std::make_unique<ManagerNode>(node_config(1));
+  nodes_[1]->start();
+  std::uint64_t lag = 1;
+  for (int tries = 0; tries < 100; ++tries) {
+    lag = nodes_[2]->metrics_snapshot().cluster_replica_lag;
+    if (lag == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(lag, 0u);
+
+  // Both holders of range 1 serve the same bytes.
+  MgrStatePullRequest pull;
+  pull.range = 1;
+  std::string body;
+  pull.encode(body);
+  rpc::RpcClient c1 = raw_client(1);
+  rpc::RpcClient c2 = raw_client(2);
+  ASSERT_TRUE(c1.connect());
+  ASSERT_TRUE(c2.connect());
+  std::string from1, from2;
+  ASSERT_EQ(c1.call_raw(rpc::MsgType::kMgrStatePull, body, &from1).status,
+            rpc::Status::kOk);
+  ASSERT_EQ(c2.call_raw(rpc::MsgType::kMgrStatePull, body, &from2).status,
+            rpc::Status::kOk);
+  EXPECT_EQ(from1, from2);
 }
 
 TEST_F(ClusterTest, GaugesTravelTheGetMetricsWire) {

@@ -196,5 +196,14 @@ TEST(ClusterProtocol, RejoinRoundTrip) {
   EXPECT_EQ(roundtrip(req).index, 9u);
 }
 
+TEST(ClusterProtocol, ResyncHintRoundTrip) {
+  MgrResyncHintRequest req;
+  req.range = 4;
+  EXPECT_EQ(roundtrip(req).range, 4u);
+
+  rpc::Reader r(std::string_view("\x01", 1));  // truncated u32
+  EXPECT_FALSE(MgrResyncHintRequest::decode(r).has_value());
+}
+
 }  // namespace
 }  // namespace p2prep::cluster
